@@ -1,0 +1,64 @@
+"""Ablation A2 — sensitivity of the heuristic ranking to the intra-cluster cost.
+
+The grid-aware heuristics exist because the intra-cluster broadcast time T can
+rival wide-area costs (paper §5).  This ablation sweeps a scale factor applied
+to the Table 2 T range (x0, x0.1, x1, x3) and reports, for a 20-cluster grid,
+the mean completion time of a latency-only heuristic (FEF), a communication
+heuristic (ECEF) and the grid-aware ECEF-LAT / BottomUp.
+
+Expected: with T ≈ 0 the grid-aware terms are irrelevant (all ECEF-like
+heuristics collapse onto each other and BottomUp loses its rationale); as T
+grows the spread between T-blind and T-aware selection grows and the absolute
+completion time becomes dominated by T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_iterations, emit
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+from repro.topology.generators import PAPER_PARAMETER_RANGES
+
+SCALE_FACTORS = (0.0, 0.1, 1.0, 3.0)
+HEURISTICS = ("fef", "ecef", "ecef_la", "ecef_lat_max", "bottom_up")
+
+
+def _run_sensitivity():
+    iterations = bench_iterations(60)
+    tables = {}
+    for factor in SCALE_FACTORS:
+        config = SimulationStudyConfig(
+            cluster_counts=(20,),
+            iterations=iterations,
+            heuristics=HEURISTICS,
+            ranges=PAPER_PARAMETER_RANGES.scaled_broadcast(factor),
+        )
+        tables[factor] = run_simulation_study(config)
+    return tables
+
+
+def test_ablation_intra_cluster_cost_scale(benchmark):
+    tables = benchmark.pedantic(_run_sensitivity, rounds=1, iterations=1)
+    names = tables[1.0].heuristic_names
+    series = {
+        name: [float(tables[f].mean_completion_times()[0, names.index(name)]) for f in SCALE_FACTORS]
+        for name in names
+    }
+    emit(
+        render_series_table(
+            "T_scale",
+            list(SCALE_FACTORS),
+            series,
+            title="Ablation A2 — mean completion time (s) at 20 clusters vs intra-cluster cost scale",
+        )
+    )
+    ecef = np.array(series["ECEF"])
+    # Completion time is dominated by T once T is large.
+    assert ecef[-1] > 2.0 * ecef[1]
+    # With T = 0 the problem reduces to pure communication scheduling and the
+    # whole ECEF family ties almost exactly.
+    zero_row = [series[name][0] for name in ("ECEF", "ECEF-LA", "ECEF-LAT")]
+    assert max(zero_row) < 1.05 * min(zero_row)

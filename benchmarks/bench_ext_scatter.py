@@ -1,0 +1,61 @@
+"""Extension A3 — grid-aware scatter and all-to-all (paper §8 future work).
+
+The paper closes by announcing grid-aware schedules for scatter and all-to-all
+patterns.  This benchmark exercises our implementation of both on the Table 3
+grid and reports, per block size, the simulated completion times of the naive
+strategy (direct point-to-point messages) versus the hierarchical grid-aware
+strategy (aggregate per cluster, one wide-area message per cluster pair).
+
+Expected: the grid-aware strategies win when the per-message wide-area latency
+dominates (small blocks); for large blocks the single coordinator NIC becomes
+the bottleneck and the direct strategy catches up — the benchmark reports the
+crossover.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.comparison import crossover_points
+from repro.experiments.report import render_series_table
+from repro.mpi.communicator import GridCommunicator
+from repro.topology.grid5000 import build_grid5000_topology
+
+BLOCK_SIZES = (256, 1_024, 4_096, 16_384, 65_536)
+
+
+def _run_extension():
+    comm = GridCommunicator(build_grid5000_topology())
+    scatter_aware, scatter_flat, a2a_aware, a2a_direct = [], [], [], []
+    for block in BLOCK_SIZES:
+        scatter_aware.append(comm.scatter(block, heuristic="ecef_la").measured_time)
+        scatter_flat.append(comm.scatter(block, grid_aware=False).measured_time)
+        a2a_aware.append(comm.alltoall(block).measured_time)
+        a2a_direct.append(comm.alltoall(block, grid_aware=False).measured_time)
+    return scatter_aware, scatter_flat, a2a_aware, a2a_direct
+
+
+def test_extension_scatter_and_alltoall(benchmark):
+    scatter_aware, scatter_flat, a2a_aware, a2a_direct = benchmark.pedantic(
+        _run_extension, rounds=1, iterations=1
+    )
+    emit(
+        render_series_table(
+            "block_bytes",
+            list(BLOCK_SIZES),
+            {
+                "scatter grid-aware": scatter_aware,
+                "scatter flat": scatter_flat,
+                "alltoall grid-aware": a2a_aware,
+                "alltoall direct": a2a_direct,
+            },
+            title="Extension A3 — scatter / all-to-all completion time (s) on the 88-machine grid",
+            precision=4,
+        )
+    )
+    crossings = crossover_points(list(BLOCK_SIZES), a2a_aware, a2a_direct)
+    emit(f"alltoall grid-aware/direct crossover near block size(s): {crossings or 'none'}")
+    # Grid-aware scatter wins in the latency-dominated regime (small blocks).
+    assert scatter_aware[0] < scatter_flat[0]
+    # Grid-aware all-to-all saves wide-area messages for the smallest blocks.
+    assert a2a_aware[0] < a2a_direct[0] * 2.0

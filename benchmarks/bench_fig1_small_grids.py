@@ -1,0 +1,42 @@
+"""Figure 1 — mean completion time of a 1 MB broadcast, 2 to 10 clusters.
+
+Paper set-up: random grids drawn from Table 2, 10 000 iterations, seven
+heuristics (Flat Tree, FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT, BottomUp).
+Expected shape: Flat Tree worst and growing with the cluster count, FEF below
+it, the ECEF family best and nearly flat, BottomUp in between.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_iterations, emit
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+
+
+def _run_figure1():
+    config = SimulationStudyConfig.figure1(iterations=bench_iterations(300))
+    return run_simulation_study(config)
+
+
+def test_figure1_small_grids(benchmark):
+    result = benchmark.pedantic(_run_figure1, rounds=1, iterations=1)
+    series = {name: result.series(name) for name in result.heuristic_names}
+    emit(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=(
+                "Figure 1 — mean completion time (s), 1 MB broadcast, "
+                f"{result.config.iterations} iterations"
+            ),
+        )
+    )
+    # Shape assertions matching the paper's discussion of Figure 1.
+    means = result.mean_completion_times()
+    flat = result.heuristic_names.index("Flat Tree")
+    ecef = result.heuristic_names.index("ECEF")
+    assert means[-1, flat] == means[-1].max()
+    assert means[-1, ecef] < means[-1, flat]

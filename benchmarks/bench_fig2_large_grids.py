@@ -1,0 +1,45 @@
+"""Figure 2 — mean completion time of a 1 MB broadcast, 5 to 50 clusters.
+
+Expected shape: the Flat Tree grows linearly (≈19 s at 50 clusters in the
+paper), FEF degrades markedly (≈8–10 s), the ECEF family stays nearly flat
+(≈3–4 s) and BottomUp sits between FEF and the ECEF family.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_iterations, emit
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+
+
+def _run_figure2():
+    config = SimulationStudyConfig.figure2(iterations=bench_iterations(80))
+    return run_simulation_study(config)
+
+
+def test_figure2_large_grids(benchmark):
+    result = benchmark.pedantic(_run_figure2, rounds=1, iterations=1)
+    series = {name: result.series(name) for name in result.heuristic_names}
+    emit(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=(
+                "Figure 2 — mean completion time (s), 1 MB broadcast, "
+                f"{result.config.iterations} iterations"
+            ),
+        )
+    )
+    flat = result.series("Flat Tree")
+    fef = result.series("FEF")
+    ecef = result.series("ECEF")
+    bottomup = result.series("BottomUp")
+    # Who wins, by roughly what factor (paper: ~19 s vs ~3.2 s at 50 clusters).
+    assert flat[-1] > 4 * ecef[-1]
+    assert fef[-1] > 1.5 * ecef[-1]
+    assert ecef[-1] < bottomup[-1] < fef[-1]
+    # The ECEF family barely grows with the cluster count.
+    assert ecef[-1] < 1.4 * ecef[0]

@@ -1,0 +1,41 @@
+"""Figure 3 — zoom on the four ECEF-like heuristics, 5 to 50 clusters.
+
+Expected shape: the four curves lie within a few percent of each other and are
+almost insensitive to the number of clusters (the paper plots them between
+roughly 3.0 s and 3.7 s).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_iterations, emit
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+
+
+def _run_figure3():
+    config = SimulationStudyConfig.figure3(iterations=bench_iterations(100))
+    return run_simulation_study(config)
+
+
+def test_figure3_ecef_family_zoom(benchmark):
+    result = benchmark.pedantic(_run_figure3, rounds=1, iterations=1)
+    series = {name: result.series(name) for name in result.heuristic_names}
+    emit(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=(
+                "Figure 3 — ECEF-like heuristics, mean completion time (s), "
+                f"{result.config.iterations} iterations"
+            ),
+        )
+    )
+    means = result.mean_completion_times()
+    # The four heuristics stay within ~10 % of each other at every point.
+    spreads = means.max(axis=1) / means.min(axis=1)
+    assert spreads.max() < 1.10
+    # ...and none of them blows up with the cluster count.
+    assert means[-1].max() < 1.5 * means[0].min()

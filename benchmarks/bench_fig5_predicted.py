@@ -1,0 +1,39 @@
+"""Figure 5 — predicted completion time on the 88-machine Table 3 grid.
+
+The pLogP model predicts the completion time of every heuristic's schedule for
+message sizes between 0 and 4.5 MB.  Expected shape: all curves grow with the
+message size; the Flat Tree grows several times faster than the ECEF family.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.config import PracticalStudyConfig
+from repro.experiments.practical_study import run_practical_study
+from repro.experiments.report import render_table
+
+
+def _run_figure5():
+    config = PracticalStudyConfig(noise_sigma=0.0, include_binomial_baseline=False)
+    return run_practical_study(config)
+
+
+def test_figure5_predicted_times(benchmark):
+    result = benchmark.pedantic(_run_figure5, rounds=1, iterations=1)
+    emit(
+        render_table(
+            result.as_table(which="predicted"),
+            title="Figure 5 — predicted completion time (s) for a broadcast on the 88-machine grid",
+        )
+    )
+    predicted = result.predicted
+    names = result.heuristic_names
+    # Monotone in message size for every heuristic.
+    for column in range(predicted.shape[1]):
+        series = predicted[:, column]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+    # Flat Tree several times slower than ECEF at 4.5 MB.
+    flat = predicted[-1, names.index("Flat Tree")]
+    ecef = predicted[-1, names.index("ECEF")]
+    assert flat > 3 * ecef

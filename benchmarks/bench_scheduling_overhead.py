@@ -1,0 +1,56 @@
+"""Scheduling overhead — the cost of running the heuristics themselves.
+
+Paper §7 notes that "the algorithm complexity is a factor that must be
+considered when implementing more elaborate techniques like ECEF-LAT".  This
+benchmark measures the wall-clock cost of producing one schedule with each
+heuristic on random 10-, 30- and 50-cluster grids, i.e. the overhead an MPI
+library would pay at communicator-construction (or topology-change) time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic
+from repro.topology.generators import RandomGridGenerator
+from repro.utils.rng import RandomStream
+
+CLUSTER_COUNTS = (10, 30, 50)
+
+
+def _grid(num_clusters: int):
+    return RandomGridGenerator(cluster_size=2).generate(
+        num_clusters, RandomStream(seed=num_clusters)
+    )
+
+
+@pytest.mark.parametrize("key", PAPER_HEURISTICS)
+@pytest.mark.parametrize("num_clusters", CLUSTER_COUNTS)
+def test_scheduling_overhead(benchmark, key, num_clusters):
+    grid = _grid(num_clusters)
+    heuristic = get_heuristic(key)
+    benchmark.group = f"schedule {num_clusters} clusters"
+    schedule = benchmark(lambda: heuristic.schedule(grid, 1_048_576))
+    assert schedule.makespan > 0
+
+
+def test_scheduling_overhead_summary():
+    """A one-shot, human-readable comparison (microseconds per schedule)."""
+    import time
+
+    lines = ["Scheduling overhead (single schedule construction, wall-clock):"]
+    for num_clusters in CLUSTER_COUNTS:
+        grid = _grid(num_clusters)
+        cells = []
+        for key in PAPER_HEURISTICS:
+            heuristic = get_heuristic(key)
+            start = time.perf_counter()
+            repetitions = 5
+            for _ in range(repetitions):
+                heuristic.schedule(grid, 1_048_576)
+            elapsed = (time.perf_counter() - start) / repetitions
+            cells.append(f"{heuristic.name}={elapsed * 1e3:.2f}ms")
+        lines.append(f"  {num_clusters:2d} clusters: " + "  ".join(cells))
+    emit("\n".join(lines))

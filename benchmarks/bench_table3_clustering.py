@@ -1,0 +1,55 @@
+"""Table 3 — identification of the logical clusters of the 88-machine grid.
+
+The paper obtains its six logical clusters (31+29 Orsay, 6+1+1 IDPOT,
+20 Toulouse) by running Lowekamp's algorithm with tolerance ρ = 30 % on the
+measured latencies.  This benchmark times our identification step on the
+synthetic 88×88 node latency matrix and checks it recovers exactly the
+Table 3 partition, with and without measurement jitter.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.topology.clustering import identify_logical_clusters
+from repro.topology.grid5000 import (
+    GRID5000_CLUSTER_SIZES,
+    build_grid5000_topology,
+    build_node_latency_matrix,
+)
+
+
+def _identify():
+    matrix = build_node_latency_matrix()
+    return identify_logical_clusters(matrix, tolerance=0.30)
+
+
+def test_table3_logical_cluster_identification(benchmark):
+    clusters = benchmark(_identify)
+    sizes = sorted((c.size for c in clusters), reverse=True)
+    lines = ["Table 3 — logical clusters identified with tolerance rho = 30%:"]
+    for index, cluster in enumerate(clusters):
+        lines.append(
+            f"  cluster {index}: {cluster.size:3d} machines, "
+            f"reference latency {cluster.reference_latency * 1e6:8.2f} us"
+        )
+    emit("\n".join(lines))
+    assert sizes == sorted(GRID5000_CLUSTER_SIZES, reverse=True)
+
+
+def test_table3_latency_map_matches_paper():
+    """The inter-cluster latencies of the reconstructed grid reproduce the
+    Table 3 values exactly (they are inputs, not measurements)."""
+    grid = build_grid5000_topology()
+    rows = []
+    for i in range(grid.num_clusters):
+        cells = []
+        for j in range(grid.num_clusters):
+            if i == j:
+                cells.append("      -  ")
+            else:
+                cells.append(f"{grid.latency(i, j) * 1e6:9.2f}")
+        rows.append("  " + " ".join(cells))
+    emit("Table 3 — inter-cluster latency (us):\n" + "\n".join(rows))
+    assert grid.latency(0, 2) * 1e6 == round(12181.52, 2)
+    assert grid.latency(0, 5) * 1e6 == round(5210.99, 2)

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a figure or a table)
+and prints the corresponding rows/series, so the console output of::
+
+    pytest benchmarks/ --benchmark-only -s
+
+doubles as the data source for EXPERIMENTS.md.  The Monte-Carlo iteration
+counts default to values that finish in seconds; set the environment variable
+``REPRO_BENCH_ITERATIONS`` to a larger number (the paper used 10 000) for
+tighter averages.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+#: All emitted tables are appended here (cleared at the start of each pytest
+#: session), so the regenerated paper artefacts survive output capturing.
+RESULTS_FILE = Path(__file__).parent / "results" / "paper_artifacts.txt"
+
+
+def pytest_sessionstart(session):
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_FILE.write_text("")
+
+
+def bench_iterations(default: int) -> int:
+    """Iteration count for Monte-Carlo benchmarks, overridable via the env."""
+    override = os.environ.get("REPRO_BENCH_ITERATIONS")
+    if override:
+        return max(1, int(override))
+    return default
+
+
+def emit(text: str) -> None:
+    """Record a result table.
+
+    The table is appended to ``benchmarks/results/paper_artifacts.txt`` (the
+    durable record used by EXPERIMENTS.md) and also written to stderr so that
+    running pytest with ``-s`` shows it inline.
+    """
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(text + "\n\n")
+    sys.stderr.write("\n" + text + "\n")
+
+
+@pytest.fixture
+def iterations():
+    """Default iteration count fixture (kept small for CI-speed runs)."""
+    return bench_iterations(100)

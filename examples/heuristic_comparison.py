@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare every scheduling heuristic on the GRID5000 grid and on random grids.
+
+This example reproduces, in miniature, the two halves of the paper's
+evaluation:
+
+* the *practical* side — all seven heuristics (plus the exhaustive optimum on
+  a truncated grid) scheduling a 4 MB broadcast on the Table 3 topology, with
+  predicted and simulated times side by side; and
+* the *statistical* side — a small Monte-Carlo sweep over random grids
+  (Table 2 parameter ranges) printing the mean completion time per heuristic
+  and cluster count, i.e. a low-iteration Figure 1.
+
+Run with::
+
+    python examples/heuristic_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import PAPER_HEURISTICS, get_heuristic
+from repro.analysis.comparison import rank_heuristics
+from repro.core.optimal import OptimalSearch
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.report import render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+from repro.mpi.communicator import GridCommunicator
+from repro.topology.cluster import Cluster
+from repro.topology.grid import Grid
+from repro.topology.grid5000 import build_grid5000_topology
+
+MESSAGE_SIZE = 4 * 1_048_576
+
+
+def practical_comparison() -> None:
+    """All heuristics on the 88-machine grid, predicted vs simulated."""
+    grid = build_grid5000_topology()
+    comm = GridCommunicator(grid)
+    print(f"== 4 MB broadcast on {grid.name} ==")
+    print(f"{'heuristic':<12} {'predicted (s)':>14} {'simulated (s)':>14}")
+    measured: dict[str, float] = {}
+    for key in PAPER_HEURISTICS:
+        outcome = comm.bcast(MESSAGE_SIZE, heuristic=key)
+        name = outcome.schedule.heuristic_name
+        measured[name] = outcome.measured_time
+        print(f"{name:<12} {outcome.predicted_time:>14.3f} {outcome.measured_time:>14.3f}")
+    baseline = comm.bcast_binomial(MESSAGE_SIZE)
+    print(f"{'Default LAM':<12} {'-':>14} {baseline.measured_time:>14.3f}")
+    print()
+    print("ranking (fastest first):")
+    for position, (name, time) in enumerate(rank_heuristics(measured), start=1):
+        print(f"  {position}. {name:<12} {time:.3f} s")
+    print()
+
+
+def optimal_on_truncated_grid() -> None:
+    """Exhaustive optimum on the first five clusters of the Table 3 grid."""
+    full = build_grid5000_topology()
+    keep = 5
+    clusters = [
+        Cluster(
+            cluster_id=index,
+            name=cluster.name,
+            size=cluster.size,
+            intra_params=cluster.intra_params,
+            broadcast_algorithm=cluster.broadcast_algorithm,
+        )
+        for index, cluster in enumerate(full.clusters[:keep])
+    ]
+    links = {
+        (i, j): full.link(i, j) for i in range(keep) for j in range(i + 1, keep)
+    }
+    truncated = Grid(clusters, links, name="grid5000-truncated-5")
+    optimum = OptimalSearch().schedule(truncated, MESSAGE_SIZE)
+    print(f"== exhaustive optimum on {truncated.name} ==")
+    print(f"optimal makespan: {optimum.makespan:.3f} s")
+    for key in ("flat_tree", "ecef", "ecef_lat_max"):
+        heuristic = get_heuristic(key)
+        gap = heuristic.makespan(truncated, MESSAGE_SIZE) / optimum.makespan
+        print(f"  {heuristic.name:<12} is {gap:5.2f}x the optimum")
+    print()
+
+
+def monte_carlo_comparison() -> None:
+    """A miniature Figure 1 (mean completion time vs number of clusters)."""
+    config = SimulationStudyConfig(cluster_counts=(2, 4, 6, 8, 10), iterations=150)
+    result = run_simulation_study(config)
+    series = {name: result.series(name) for name in result.heuristic_names}
+    print(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=f"Mean completion time (s) of a 1 MB broadcast ({config.iterations} random grids per point)",
+        )
+    )
+
+
+def main() -> None:
+    practical_comparison()
+    optimal_on_truncated_grid()
+    monte_carlo_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Scalability study — how the heuristics behave as grids grow to 50 clusters.
+
+The paper's motivation is that grids will soon interconnect "tenths of
+clusters".  This example sweeps the cluster count from 5 to 50 (a miniature
+Figure 2 + Figure 4), then demonstrates the *mixed strategy* recommended at
+the end of the paper's §6: use a performance-oriented heuristic below a
+cluster-count threshold and ECEF-LAT above it.
+
+Run with::
+
+    python examples/scalability_study.py           # quick (default 80 iterations)
+    REPRO_ITERATIONS=1000 python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.mixed import MixedStrategy
+from repro.core.registry import register_heuristic
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.hit_rate import hit_rate_from_study
+from repro.experiments.report import render_hit_rate_table, render_series_table
+from repro.experiments.simulation_study import run_simulation_study
+
+ITERATIONS = int(os.environ.get("REPRO_ITERATIONS", "80"))
+CLUSTER_COUNTS = (5, 10, 20, 30, 40, 50)
+
+
+def completion_time_sweep() -> None:
+    """Mean completion time for all heuristics plus the mixed strategy."""
+    register_heuristic("example_mixed", lambda: MixedStrategy(threshold=10), overwrite=True)
+    config = SimulationStudyConfig(
+        cluster_counts=CLUSTER_COUNTS,
+        iterations=ITERATIONS,
+        heuristics=(
+            "flat_tree",
+            "fef",
+            "ecef",
+            "ecef_la",
+            "ecef_lat_max",
+            "bottom_up",
+            "example_mixed",
+        ),
+    )
+    result = run_simulation_study(config)
+    series = {name: result.series(name) for name in result.heuristic_names}
+    print(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=f"Mean completion time (s), 1 MB broadcast, {ITERATIONS} iterations",
+        )
+    )
+    print()
+
+    flat = result.series("Flat Tree")
+    ecef = result.series("ECEF")
+    print(
+        "observations: the Flat Tree needs "
+        f"{flat[-1] / ecef[-1]:.1f}x the time of ECEF at 50 clusters, "
+        f"while ECEF itself only grew by {100 * (ecef[-1] / ecef[0] - 1):.0f}% "
+        "between 5 and 50 clusters."
+    )
+    print()
+
+
+def hit_rate_sweep() -> None:
+    """The Figure 4 methodology: who matches the per-iteration global minimum."""
+    config = SimulationStudyConfig(
+        cluster_counts=CLUSTER_COUNTS,
+        iterations=ITERATIONS,
+        heuristics=("ecef", "ecef_la", "ecef_lat_max", "ecef_lat_min"),
+    )
+    result = hit_rate_from_study(run_simulation_study(config))
+    counts = {name: result.series(name) for name in result.heuristic_names}
+    print(
+        render_hit_rate_table(
+            result.cluster_counts,
+            counts,
+            iterations=result.iterations,
+            title="Hit rate of the ECEF-like heuristics",
+        )
+    )
+    print()
+    for name in result.heuristic_names:
+        slope = result.trend_slope(name)
+        direction = "degrades" if slope < -1e-3 else "holds steady"
+        print(f"  {name:<10} hit rate {direction} with the cluster count (slope {slope:+.4f}/cluster)")
+
+
+def main() -> None:
+    completion_time_sweep()
+    hit_rate_sweep()
+
+
+if __name__ == "__main__":
+    main()

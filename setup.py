@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The execution environment ships setuptools without the ``wheel`` package and
+has no network access, so PEP 517 editable builds (which need to produce a
+wheel) cannot run.  Keeping this shim lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

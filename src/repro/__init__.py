@@ -1,0 +1,94 @@
+"""repro — grid-aware broadcast scheduling heuristics.
+
+A full reproduction of Barchet-Steffenel & Mounié,
+*Scheduling Heuristics for Efficient Broadcast Operations on Grid
+Environments* (PMEO-PDS'06 / IPPS 2006 workshops).
+
+The package is organised in layers (see DESIGN.md for the complete map):
+
+* :mod:`repro.model` — the pLogP performance model,
+* :mod:`repro.topology` — clusters, grids, random generators and the Table 3
+  GRID5000 topology,
+* :mod:`repro.collectives` — intra-cluster broadcast trees and their costs,
+* :mod:`repro.core` — the inter-cluster scheduling heuristics (the paper's
+  contribution),
+* :mod:`repro.simulator` — a discrete-event simulator standing in for the
+  real testbed,
+* :mod:`repro.mpi` — a simulated MPI layer (grid-aware broadcast, the
+  grid-unaware binomial baseline, scatter / all-to-all extensions),
+* :mod:`repro.experiments` — the harness that regenerates every figure and
+  table of the paper,
+* :mod:`repro.analysis` — statistics and ranking helpers.
+
+Quickstart
+----------
+
+>>> from repro import build_grid5000_topology, get_heuristic
+>>> grid = build_grid5000_topology()
+>>> heuristic = get_heuristic("ecef_lat_max")          # the paper's ECEF-LAT
+>>> schedule = heuristic.schedule(grid, message_size=1_048_576, root=0)
+>>> schedule.makespan > 0
+True
+"""
+
+from repro.core import (
+    BottomUp,
+    BroadcastSchedule,
+    ECEF,
+    ECEFLookahead,
+    FastestEdgeFirst,
+    FlatTreeHeuristic,
+    MixedStrategy,
+    OptimalSearch,
+    PAPER_HEURISTICS,
+    SchedulingHeuristic,
+    available_heuristics,
+    evaluate_order,
+    get_heuristic,
+    register_heuristic,
+)
+from repro.model import GapFunction, PLogPParameters, predict_broadcast_time
+from repro.topology import (
+    Cluster,
+    Grid,
+    InterClusterLink,
+    ParameterRanges,
+    RandomGridGenerator,
+    build_grid5000_topology,
+    identify_logical_clusters,
+    make_uniform_grid,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BottomUp",
+    "BroadcastSchedule",
+    "ECEF",
+    "ECEFLookahead",
+    "FastestEdgeFirst",
+    "FlatTreeHeuristic",
+    "MixedStrategy",
+    "OptimalSearch",
+    "PAPER_HEURISTICS",
+    "SchedulingHeuristic",
+    "available_heuristics",
+    "evaluate_order",
+    "get_heuristic",
+    "register_heuristic",
+    # model
+    "GapFunction",
+    "PLogPParameters",
+    "predict_broadcast_time",
+    # topology
+    "Cluster",
+    "Grid",
+    "InterClusterLink",
+    "ParameterRanges",
+    "RandomGridGenerator",
+    "build_grid5000_topology",
+    "identify_logical_clusters",
+    "make_uniform_grid",
+]

@@ -1,0 +1,24 @@
+"""Statistics, ranking and visualisation helpers for experiment results."""
+
+from repro.analysis.statistics import (
+    SummaryStatistics,
+    confidence_interval,
+    summarize,
+)
+from repro.analysis.comparison import (
+    crossover_points,
+    pairwise_speedup,
+    rank_heuristics,
+)
+from repro.analysis.gantt import render_execution_gantt, render_schedule_gantt
+
+__all__ = [
+    "SummaryStatistics",
+    "confidence_interval",
+    "summarize",
+    "crossover_points",
+    "pairwise_speedup",
+    "rank_heuristics",
+    "render_execution_gantt",
+    "render_schedule_gantt",
+]

@@ -1,0 +1,70 @@
+"""Comparing heuristics: rankings, speed-ups and crossover detection."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def rank_heuristics(mean_times: dict[str, float]) -> list[tuple[str, float]]:
+    """Sort heuristics by mean completion time (best first).
+
+    Ties are broken alphabetically so that rankings are stable across runs.
+    """
+    if not mean_times:
+        raise ValueError("mean_times must not be empty")
+    for name, value in mean_times.items():
+        if value < 0:
+            raise ValueError(f"negative completion time for {name!r}")
+    return sorted(mean_times.items(), key=lambda item: (item[1], item[0]))
+
+
+def pairwise_speedup(
+    baseline: Sequence[float], candidate: Sequence[float]
+) -> list[float]:
+    """Element-wise speed-up of ``candidate`` over ``baseline``.
+
+    A value above 1 means the candidate is faster at that point.  Zero
+    candidate values (possible for degenerate zero-byte runs) yield
+    ``float('inf')``.
+    """
+    if len(baseline) != len(candidate):
+        raise ValueError("series must have the same length")
+    speedups: list[float] = []
+    for base, cand in zip(baseline, candidate):
+        if base < 0 or cand < 0:
+            raise ValueError("completion times must be non-negative")
+        if cand == 0:
+            speedups.append(float("inf") if base > 0 else 1.0)
+        else:
+            speedups.append(base / cand)
+    return speedups
+
+
+def crossover_points(
+    x_values: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> list[float]:
+    """X positions where series A and B swap order (linear interpolation).
+
+    Used to locate, for example, the cluster count beyond which ECEF-LAT
+    starts beating ECEF-LA, or the message size where the grid-unaware
+    binomial overtakes the Flat Tree.
+    """
+    if not (len(x_values) == len(series_a) == len(series_b)):
+        raise ValueError("all series must have the same length")
+    if len(x_values) < 2:
+        return []
+    crossings: list[float] = []
+    for index in range(1, len(x_values)):
+        before = series_a[index - 1] - series_b[index - 1]
+        after = series_a[index] - series_b[index]
+        if before == 0.0:
+            crossings.append(float(x_values[index - 1]))
+            continue
+        if before * after < 0:
+            # Linear interpolation of the zero crossing of (A - B).
+            fraction = before / (before - after)
+            x0, x1 = float(x_values[index - 1]), float(x_values[index])
+            crossings.append(x0 + fraction * (x1 - x0))
+    return crossings

@@ -1,0 +1,143 @@
+"""ASCII Gantt charts of broadcast schedules and simulated executions.
+
+Useful when debugging a heuristic or explaining why a schedule is slow: the
+chart shows, per cluster (or per machine), when the coordinator is busy
+injecting wide-area messages, when the message arrives and when the local
+broadcast runs.  Pure text, so it works in logs and in doctests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schedule import BroadcastSchedule
+from repro.simulator.execution import ExecutionResult
+from repro.utils.validation import check_positive
+
+#: Characters used by the charts.
+SEND_CHAR = "#"
+LOCAL_CHAR = "="
+WAIT_CHAR = "."
+IDLE_CHAR = " "
+
+
+def _scale(time: float, makespan: float, width: int) -> int:
+    if makespan <= 0:
+        return 0
+    return min(width, int(round(time / makespan * width)))
+
+
+def render_schedule_gantt(
+    schedule: BroadcastSchedule,
+    *,
+    width: int = 60,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Render a cluster-level Gantt chart of a broadcast schedule.
+
+    Per cluster the chart shows, on a time axis scaled to the makespan:
+
+    * ``.`` while the cluster is waiting for the message,
+    * ``#`` while its coordinator is injecting inter-cluster messages,
+    * ``=`` during its local broadcast,
+    * a trailing ``|`` at its completion time.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw.
+    width:
+        Number of character cells representing the makespan.
+    labels:
+        Optional row labels (defaults to ``cluster <i>``); must have one entry
+        per cluster.
+    """
+    check_positive(width, "width")
+    width = int(width)
+    num_clusters = schedule.num_clusters
+    if labels is None:
+        labels = [f"cluster {index}" for index in range(num_clusters)]
+    labels = list(labels)
+    if len(labels) != num_clusters:
+        raise ValueError(
+            f"labels must have {num_clusters} entries, got {len(labels)}"
+        )
+    makespan = schedule.makespan
+    label_width = max(len(label) for label in labels)
+    lines = [
+        f"schedule Gantt ({schedule.heuristic_name or 'unnamed'}), "
+        f"makespan {makespan * 1e3:.2f} ms, one column ≈ {makespan / max(width, 1) * 1e3:.2f} ms"
+    ]
+    for cluster in range(num_clusters):
+        row = [IDLE_CHAR] * (width + 1)
+        arrival = schedule.arrival_times[cluster]
+        completion = schedule.completion_times[cluster]
+        local_start = schedule.local_start_times[cluster]
+        # waiting period
+        for cell in range(_scale(0.0, makespan, width), _scale(arrival, makespan, width)):
+            row[cell] = WAIT_CHAR
+        # local broadcast period
+        for cell in range(
+            _scale(local_start, makespan, width), _scale(completion, makespan, width)
+        ):
+            row[cell] = LOCAL_CHAR
+        # sending periods (drawn last so they win over the local marker)
+        for transfer in schedule.sends_of(cluster):
+            start = _scale(transfer.start_time, makespan, width)
+            end = max(start + 1, _scale(transfer.sender_release_time, makespan, width))
+            for cell in range(start, min(end, width + 1)):
+                row[cell] = SEND_CHAR
+        end_marker = _scale(completion, makespan, width)
+        row[min(end_marker, width)] = "|"
+        lines.append(f"{labels[cluster]:<{label_width}} {''.join(row)}")
+    lines.append(
+        f"{'legend':<{label_width}} {WAIT_CHAR}=waiting  {SEND_CHAR}=inter-cluster send  "
+        f"{LOCAL_CHAR}=local broadcast  |=completion"
+    )
+    return "\n".join(lines)
+
+
+def render_execution_gantt(
+    execution: ExecutionResult,
+    *,
+    width: int = 60,
+    max_rows: int = 24,
+) -> str:
+    """Render a machine-level Gantt chart of a simulated execution.
+
+    Each row is one rank; ``#`` marks intervals during which the rank's NIC is
+    injecting a message (from the execution trace), ``.`` marks the waiting
+    period before its first activation.  Only the ``max_rows`` busiest ranks
+    are shown, which keeps 88-machine charts readable.
+    """
+    check_positive(width, "width")
+    check_positive(max_rows, "max_rows")
+    width = int(width)
+    makespan = execution.makespan
+    num_ranks = len(execution.activation_times)
+    busy: dict[int, list[tuple[float, float]]] = {}
+    for record in execution.trace:
+        busy.setdefault(record.source, []).append(
+            (record.start_time, record.start_time + (record.delivery_time - record.start_time))
+        )
+    # Rank rows by activity (number of sends, then rank id) and truncate.
+    ordered = sorted(range(num_ranks), key=lambda r: (-len(busy.get(r, [])), r))
+    shown = sorted(ordered[: int(max_rows)])
+    lines = [
+        f"execution Gantt ({execution.program_name}), makespan {makespan * 1e3:.2f} ms, "
+        f"{len(shown)}/{num_ranks} ranks shown"
+    ]
+    for rank in shown:
+        row = [IDLE_CHAR] * (width + 1)
+        activation = execution.activation_times[rank]
+        if activation is None:
+            activation = makespan
+        for cell in range(0, _scale(activation, makespan, width)):
+            row[cell] = WAIT_CHAR
+        for start, end in busy.get(rank, []):
+            first = _scale(start, makespan, width)
+            last = max(first + 1, _scale(end, makespan, width))
+            for cell in range(first, min(last, width + 1)):
+                row[cell] = SEND_CHAR
+        lines.append(f"rank {rank:>4} {''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+``repro-bcast`` exposes the main entry points of the library from a shell:
+
+* ``repro-bcast schedule`` — schedule a broadcast on the Table 3 GRID5000
+  grid (or a random grid) with a chosen heuristic and print the schedule;
+* ``repro-bcast compare`` — compare all paper heuristics on one grid;
+* ``repro-bcast simulate`` — run a (small) Monte-Carlo study and print the
+  Figure 1/2-style table;
+* ``repro-bcast practical`` — run the Figure 5/6 predicted-vs-measured study.
+
+The CLI is intentionally a thin shell over :mod:`repro.experiments`; anything
+serious should use the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.registry import PAPER_HEURISTICS, available_heuristics, get_heuristic
+from repro.experiments.config import (
+    PracticalStudyConfig,
+    SimulationStudyConfig,
+)
+from repro.experiments.practical_study import BINOMIAL_BASELINE_NAME, run_practical_study
+from repro.experiments.report import render_series_table, render_table
+from repro.experiments.simulation_study import run_simulation_study
+from repro.topology.generators import RandomGridGenerator
+from repro.topology.grid5000 import build_grid5000_topology
+from repro.utils.rng import RandomStream
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bcast",
+        description="Grid-aware broadcast scheduling heuristics (IPPS 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule", help="schedule one broadcast and print it")
+    schedule.add_argument("--heuristic", default="ecef_la", choices=available_heuristics())
+    schedule.add_argument("--message-size", type=int, default=1_048_576)
+    schedule.add_argument("--root", type=int, default=0)
+    schedule.add_argument(
+        "--clusters",
+        type=int,
+        default=0,
+        help="use a random grid with this many clusters instead of the Table 3 grid",
+    )
+    schedule.add_argument("--seed", type=int, default=1)
+
+    compare = sub.add_parser("compare", help="compare all paper heuristics on one grid")
+    compare.add_argument("--message-size", type=int, default=1_048_576)
+    compare.add_argument("--root", type=int, default=0)
+    compare.add_argument("--clusters", type=int, default=0)
+    compare.add_argument("--seed", type=int, default=1)
+
+    simulate = sub.add_parser("simulate", help="run a Monte-Carlo study (Figures 1/2)")
+    simulate.add_argument("--iterations", type=int, default=200)
+    simulate.add_argument("--min-clusters", type=int, default=2)
+    simulate.add_argument("--max-clusters", type=int, default=10)
+    simulate.add_argument("--step", type=int, default=1)
+    simulate.add_argument("--seed", type=int, default=20060331)
+
+    practical = sub.add_parser(
+        "practical", help="run the predicted-vs-measured study (Figures 5/6)"
+    )
+    practical.add_argument("--max-size", type=int, default=4_718_592)
+    practical.add_argument("--points", type=int, default=10)
+    practical.add_argument("--noise", type=float, default=0.03)
+
+    return parser
+
+
+def _make_grid(clusters: int, seed: int):
+    if clusters <= 0:
+        return build_grid5000_topology()
+    generator = RandomGridGenerator()
+    return generator.generate(clusters, RandomStream(seed=seed))
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    grid = _make_grid(args.clusters, args.seed)
+    heuristic = get_heuristic(args.heuristic)
+    schedule = heuristic.schedule(grid, args.message_size, root=args.root)
+    print(schedule.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    grid = _make_grid(args.clusters, args.seed)
+    print(f"grid: {grid.name}  ({grid.num_clusters} clusters, {grid.num_nodes} nodes)")
+    print(f"message size: {args.message_size} bytes, root cluster: {args.root}")
+    print()
+    header = f"{'heuristic':<12}  {'makespan (ms)':>14}  {'inter-cluster (ms)':>19}"
+    print(header)
+    print("-" * len(header))
+    for key in PAPER_HEURISTICS:
+        heuristic = get_heuristic(key)
+        schedule = heuristic.schedule(grid, args.message_size, root=args.root)
+        print(
+            f"{heuristic.name:<12}  {schedule.makespan * 1e3:>14.3f}  "
+            f"{schedule.inter_cluster_makespan * 1e3:>19.3f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    counts = tuple(range(args.min_clusters, args.max_clusters + 1, args.step))
+    config = SimulationStudyConfig(
+        cluster_counts=counts, iterations=args.iterations, seed=args.seed
+    )
+    result = run_simulation_study(config)
+    series = {
+        name: result.series(name) for name in result.heuristic_names
+    }
+    print(
+        render_series_table(
+            "clusters",
+            result.cluster_counts,
+            series,
+            title=f"Mean completion time (s) over {args.iterations} iterations, 1 MB broadcast",
+        )
+    )
+    return 0
+
+
+def _cmd_practical(args: argparse.Namespace) -> int:
+    sizes = tuple(
+        int(round(index * args.max_size / max(args.points - 1, 1)))
+        for index in range(args.points)
+    )
+    config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
+    result = run_practical_study(config)
+    print(render_table(result.as_table(which="predicted"), title="Predicted completion time (s)"))
+    print()
+    print(render_table(result.as_table(which="measured"), title="Measured completion time (s)"))
+    if result.baseline_measured is not None:
+        print()
+        print(f"(the '{BINOMIAL_BASELINE_NAME}' column is the grid-unaware binomial tree)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (also installed as the ``repro-bcast`` script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "schedule": _cmd_schedule,
+        "compare": _cmd_compare,
+        "simulate": _cmd_simulate,
+        "practical": _cmd_practical,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation only
+    sys.exit(main())

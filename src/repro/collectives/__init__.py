@@ -1,0 +1,42 @@
+"""Intra-cluster collective communication algorithms.
+
+Inside a cluster the interconnect is homogeneous, so classic fixed-shape trees
+apply.  This sub-package provides the tree *constructions* (who sends to whom,
+in which order) as explicit per-node send lists:
+
+* :func:`~repro.collectives.trees.binomial_tree` — the shape used by MagPIe
+  and by the paper for every local broadcast,
+* :func:`~repro.collectives.trees.flat_tree`,
+* :func:`~repro.collectives.trees.chain_tree`,
+* :func:`~repro.collectives.trees.binary_tree`.
+
+Trees are consumed in two places: the analytic cost predictions of
+:mod:`repro.model.prediction` (validated against each other in the tests) and
+the per-node execution of :mod:`repro.mpi` on top of the discrete-event
+simulator.  :mod:`repro.collectives.selector` implements the per-cluster
+"fast tuning" step that picks the cheapest tree for a given cluster and
+message size.
+"""
+
+from repro.collectives.trees import (
+    BroadcastTree,
+    binary_tree,
+    binomial_tree,
+    chain_tree,
+    flat_tree,
+    make_tree,
+)
+from repro.collectives.cost import predict_tree_time
+from repro.collectives.selector import TunedCollective, select_best_tree
+
+__all__ = [
+    "BroadcastTree",
+    "binary_tree",
+    "binomial_tree",
+    "chain_tree",
+    "flat_tree",
+    "make_tree",
+    "predict_tree_time",
+    "TunedCollective",
+    "select_best_tree",
+]

@@ -1,0 +1,60 @@
+"""pLogP cost of executing a broadcast tree on a homogeneous cluster.
+
+Where :mod:`repro.model.prediction` provides closed-form(ish) predictions per
+tree *shape*, this module times an arbitrary :class:`BroadcastTree` edge by
+edge, which the test-suite uses to cross-validate the closed forms and which
+the tuning step uses for custom trees.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.trees import BroadcastTree
+from repro.model.plogp import PLogPParameters
+from repro.utils.validation import check_non_negative
+
+
+def per_node_arrival_times(
+    tree: BroadcastTree,
+    params: PLogPParameters,
+    message_size: float,
+) -> list[float]:
+    """Arrival time of the message at every participant of the tree.
+
+    The root holds the message at time 0.  A participant that received the
+    message at ``t`` performs its sends back to back: the ``k``-th (1-based)
+    send starts at ``t + (k-1) * g(m)``, keeps it busy for ``g(m)`` and
+    delivers ``L`` later.
+    """
+    check_non_negative(message_size, "message_size")
+    gap = params.gap(message_size)
+    latency = params.latency
+    arrivals = [float("inf")] * tree.size
+    arrivals[0] = 0.0
+    # Process participants in arrival order so every parent is timed before
+    # its children (the tree structure guarantees such an order exists).
+    pending = [0]
+    while pending:
+        pending.sort(key=lambda p: arrivals[p])
+        parent = pending.pop(0)
+        base = arrivals[parent]
+        for position, child in enumerate(tree.children[parent]):
+            send_start = base + position * gap
+            arrivals[child] = send_start + gap + latency
+            pending.append(child)
+    return arrivals
+
+
+def predict_tree_time(
+    tree: BroadcastTree,
+    params: PLogPParameters,
+    message_size: float,
+) -> float:
+    """Makespan of a broadcast over ``tree``: the latest per-node arrival."""
+    if tree.size != params.num_procs:
+        raise ValueError(
+            f"tree has {tree.size} participants but params.num_procs is "
+            f"{params.num_procs}"
+        )
+    if tree.size == 1:
+        return 0.0
+    return max(per_node_arrival_times(tree, params, message_size))

@@ -1,0 +1,80 @@
+"""Per-cluster selection of the cheapest broadcast tree ("fast tuning").
+
+The authors' companion work (*Fast tuning of intra-cluster collective
+communications*, Euro PVM/MPI 2004) selects, for every cluster and message
+size, the tree shape with the smallest predicted completion time.  The
+practical evaluation of the paper relies on that machinery to obtain the
+``T_i`` values; this module reproduces the selection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.cost import predict_tree_time
+from repro.collectives.trees import BroadcastTree, TREE_BUILDERS, make_tree
+from repro.model.plogp import PLogPParameters
+from repro.utils.validation import check_non_negative
+
+#: Tree shapes considered by default, in tie-break preference order (the
+#: binomial tree wins ties because it is what MagPIe ships).
+DEFAULT_CANDIDATES: tuple[str, ...] = ("binomial", "binary", "chain", "flat")
+
+
+@dataclass(frozen=True)
+class TunedCollective:
+    """Result of tuning one cluster for one message size.
+
+    Attributes
+    ----------
+    tree:
+        The winning broadcast tree.
+    predicted_time:
+        Its predicted completion time (seconds).
+    alternatives:
+        Mapping of every candidate name to its predicted time, for reporting.
+    """
+
+    tree: BroadcastTree
+    predicted_time: float
+    alternatives: dict[str, float]
+
+
+def select_best_tree(
+    params: PLogPParameters,
+    message_size: float,
+    *,
+    candidates: tuple[str, ...] = DEFAULT_CANDIDATES,
+) -> TunedCollective:
+    """Pick the cheapest tree shape for a cluster and message size.
+
+    Parameters
+    ----------
+    params:
+        The cluster's intra-cluster pLogP parameters (``num_procs`` is the
+        cluster size).
+    message_size:
+        Message size in bytes.
+    candidates:
+        Tree names to consider (must all be registered in
+        :data:`repro.collectives.trees.TREE_BUILDERS`).
+    """
+    check_non_negative(message_size, "message_size")
+    if not candidates:
+        raise ValueError("candidates must not be empty")
+    unknown = [name for name in candidates if name not in TREE_BUILDERS]
+    if unknown:
+        raise ValueError(f"unknown tree candidates: {unknown}")
+    predictions: dict[str, float] = {}
+    best_name: str | None = None
+    for name in candidates:
+        tree = make_tree(name, params.num_procs)
+        predictions[name] = predict_tree_time(tree, params, message_size)
+        if best_name is None or predictions[name] < predictions[best_name]:
+            best_name = name
+    assert best_name is not None
+    return TunedCollective(
+        tree=make_tree(best_name, params.num_procs),
+        predicted_time=predictions[best_name],
+        alternatives=predictions,
+    )

@@ -1,0 +1,202 @@
+"""The heuristic interface and the shared A/B scheduling state."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.schedule import BroadcastSchedule, evaluate_order
+from repro.topology.grid import Grid
+from repro.utils.validation import check_non_negative
+
+
+@dataclass
+class SchedulingState:
+    """The A/B set formalism of paper §3, shared by all greedy heuristics.
+
+    ``A`` holds the clusters whose coordinator already has (or is about to
+    have) the message, together with the *ready time* ``RT_i`` at which that
+    coordinator may start a new transmission.  ``B`` holds the clusters still
+    waiting for the message.  Picking a pair moves the receiver from ``B`` to
+    ``A`` and updates the sender's ready time by the gap of the transmission.
+
+    The state also pre-computes, for the message size at hand, the gap
+    ``g_{i,j}(m)`` of every cluster pair and the local broadcast times
+    ``T_i`` so the heuristics' O(|A|·|B|) inner loops only do float reads.
+    """
+
+    grid: Grid
+    message_size: float
+    root: int
+    ready_time: dict[int, float] = field(init=False)
+    waiting: set[int] = field(init=False)
+    order: list[tuple[int, int]] = field(init=False)
+    _gap: list[list[float]] = field(init=False, repr=False)
+    _latency: list[list[float]] = field(init=False, repr=False)
+    _broadcast: list[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.message_size, "message_size")
+        n = self.grid.num_clusters
+        if not 0 <= self.root < n:
+            raise ValueError(f"root must be a valid cluster index, got {self.root}")
+        self.ready_time = {self.root: 0.0}
+        self.waiting = set(range(n)) - {self.root}
+        self.order = []
+        self._gap = [[0.0] * n for _ in range(n)]
+        self._latency = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                self._gap[i][j] = self.grid.gap(i, j, self.message_size)
+                self._latency[i][j] = self.grid.latency(i, j)
+        self._broadcast = self.grid.broadcast_times(self.message_size)
+
+    # -- cached pLogP reads -------------------------------------------------------
+
+    def gap(self, i: int, j: int) -> float:
+        """Cached ``g_{i,j}(m)``."""
+        return self._gap[i][j]
+
+    def latency(self, i: int, j: int) -> float:
+        """Cached ``L_{i,j}``."""
+        return self._latency[i][j]
+
+    def transfer_time(self, i: int, j: int) -> float:
+        """Cached ``g_{i,j}(m) + L_{i,j}``."""
+        return self._gap[i][j] + self._latency[i][j]
+
+    def broadcast_time(self, i: int) -> float:
+        """Cached intra-cluster broadcast time ``T_i``."""
+        return self._broadcast[i]
+
+    @property
+    def broadcast_times(self) -> list[float]:
+        """All cached ``T_i`` values (index order)."""
+        return list(self._broadcast)
+
+    # -- set manipulation -----------------------------------------------------------
+
+    @property
+    def informed(self) -> list[int]:
+        """The clusters of set ``A``, sorted for determinism."""
+        return sorted(self.ready_time)
+
+    @property
+    def pending(self) -> list[int]:
+        """The clusters of set ``B``, sorted for determinism."""
+        return sorted(self.waiting)
+
+    @property
+    def done(self) -> bool:
+        """Whether every cluster has been scheduled to receive the message."""
+        return not self.waiting
+
+    def completion_estimate(self, i: int, j: int) -> float:
+        """``RT_i + g_{i,j}(m) + L_{i,j}``: the ECEF selection quantity."""
+        return self.ready_time[i] + self.transfer_time(i, j)
+
+    def commit(self, sender: int, receiver: int) -> None:
+        """Record the decision (sender -> receiver) and update both ready times."""
+        if sender not in self.ready_time:
+            raise ValueError(f"cluster {sender} is not informed yet")
+        if receiver not in self.waiting:
+            raise ValueError(f"cluster {receiver} is not waiting for the message")
+        gap = self.gap(sender, receiver)
+        latency = self.latency(sender, receiver)
+        start = self.ready_time[sender]
+        self.ready_time[sender] = start + gap
+        self.ready_time[receiver] = start + gap + latency
+        self.waiting.remove(receiver)
+        self.order.append((sender, receiver))
+
+    def to_schedule(self, heuristic_name: str = "") -> BroadcastSchedule:
+        """Time the accumulated decision order into a full schedule."""
+        return evaluate_order(
+            self.grid,
+            self.message_size,
+            self.root,
+            self.order,
+            heuristic_name=heuristic_name,
+            broadcast_times=self._broadcast,
+        )
+
+
+class SchedulingHeuristic(ABC):
+    """Base class of every inter-cluster broadcast scheduling heuristic.
+
+    Subclasses implement :meth:`build_order`, which receives a fresh
+    :class:`SchedulingState` and must drive it to completion (every cluster
+    informed).  The public entry point :meth:`schedule` wraps that order into
+    a timed :class:`~repro.core.schedule.BroadcastSchedule` using the shared
+    cost model, so all heuristics are compared on an equal footing.
+    """
+
+    #: Registry key (lowercase, no spaces).  Set by subclasses.
+    key: str = ""
+    #: Display name matching the paper's figures.  Set by subclasses.
+    display_name: str = ""
+
+    @abstractmethod
+    def build_order(self, state: SchedulingState) -> None:
+        """Drive ``state`` until :attr:`SchedulingState.done` is true."""
+
+    def schedule(
+        self,
+        grid: Grid,
+        message_size: float,
+        *,
+        root: int = 0,
+    ) -> BroadcastSchedule:
+        """Compute a timed broadcast schedule for ``grid``.
+
+        Parameters
+        ----------
+        grid:
+            The grid topology.
+        message_size:
+            Message size in bytes.
+        root:
+            Index of the cluster initially holding the message.
+        """
+        state = SchedulingState(grid=grid, message_size=message_size, root=root)
+        if not state.done:
+            self.build_order(state)
+        if not state.done:
+            raise RuntimeError(
+                f"heuristic {self.name!r} finished without informing every cluster"
+            )
+        return state.to_schedule(heuristic_name=self.name)
+
+    def makespan(self, grid: Grid, message_size: float, *, root: int = 0) -> float:
+        """Convenience shortcut: the makespan of :meth:`schedule`."""
+        return self.schedule(grid, message_size, root=root).makespan
+
+    @property
+    def name(self) -> str:
+        """The display name of the heuristic."""
+        return self.display_name or type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def run_heuristics(
+    heuristics: Sequence[SchedulingHeuristic],
+    grid: Grid,
+    message_size: float,
+    *,
+    root: int = 0,
+) -> dict[str, BroadcastSchedule]:
+    """Run several heuristics on the same grid and collect their schedules.
+
+    The per-grid broadcast times are computed once and shared across
+    evaluations, which is what makes the 10 000-iteration Monte-Carlo loops
+    of the paper tractable in pure Python.
+    """
+    results: dict[str, BroadcastSchedule] = {}
+    for heuristic in heuristics:
+        results[heuristic.name] = heuristic.schedule(grid, message_size, root=root)
+    return results

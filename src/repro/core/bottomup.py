@@ -1,0 +1,61 @@
+"""The BottomUp max-min heuristic (paper §5.3)."""
+
+from __future__ import annotations
+
+from repro.core.base import SchedulingHeuristic, SchedulingState
+
+
+class BottomUp(SchedulingHeuristic):
+    """Max-min selection: serve the slowest waiting cluster as early as possible.
+
+    The ECEF family is min-min/min-max flavoured: it always optimises the
+    communication terms and therefore favours *fast* clusters.  The paper
+    observes that the critical path of a hierarchical broadcast is usually set
+    by the **slow** clusters, and proposes a max-min rule instead::
+
+        choose  argmax_{j in B}  min_{i in A} ( g_{i,j}(m) + L_{i,j} + T_j )
+
+    i.e. among the waiting clusters, pick the one whose *best possible*
+    completion (cheapest incoming transfer plus its own local broadcast) is
+    the worst, and serve it through that cheapest sender.  Slow clusters are
+    contacted as soon as possible while senders are released early, "ready to
+    be selected again".
+
+    Parameters
+    ----------
+    use_ready_time:
+        When ``True`` the inner minimisation uses
+        ``RT_i + g_{i,j}(m) + L_{i,j} + T_j`` instead of the paper's formula
+        (which omits ``RT_i``).  The default ``False`` follows the paper; the
+        variant is exercised by the lookahead/strategy ablation benchmarks.
+    """
+
+    key = "bottom_up"
+    display_name = "BottomUp"
+
+    def __init__(self, *, use_ready_time: bool = False) -> None:
+        self.use_ready_time = bool(use_ready_time)
+
+    def build_order(self, state: SchedulingState) -> None:
+        while not state.done:
+            best_receiver: int | None = None
+            best_receiver_cost = -float("inf")
+            best_sender: int | None = None
+            for receiver in state.pending:
+                inner_best_cost = float("inf")
+                inner_best_sender: int | None = None
+                for sender in state.informed:
+                    cost = state.transfer_time(sender, receiver) + state.broadcast_time(
+                        receiver
+                    )
+                    if self.use_ready_time:
+                        cost += state.ready_time[sender]
+                    if cost < inner_best_cost:
+                        inner_best_cost = cost
+                        inner_best_sender = sender
+                if inner_best_cost > best_receiver_cost:
+                    best_receiver_cost = inner_best_cost
+                    best_receiver = receiver
+                    best_sender = inner_best_sender
+            assert best_receiver is not None and best_sender is not None
+            state.commit(best_sender, best_receiver)

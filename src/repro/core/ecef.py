@@ -1,0 +1,125 @@
+"""Early Completion Edge First and its lookahead variants (paper §4.3–§5.2).
+
+This module hosts three of the paper's heuristics behind two classes:
+
+* :class:`ECEF` — Bhat's Early Completion Edge First: minimise
+  ``RT_i + g_{i,j}(m) + L_{i,j}``.
+* :class:`ECEFLookahead` — the lookahead family: minimise
+  ``RT_i + g_{i,j}(m) + L_{i,j} + F_j`` for a pluggable lookahead ``F``.
+  Instantiated with :func:`repro.core.lookahead.min_edge_lookahead` it is
+  Bhat's ECEF-LA; with :func:`~repro.core.lookahead.grid_aware_min_lookahead`
+  it is the paper's ECEF-LAt; with
+  :func:`~repro.core.lookahead.grid_aware_max_lookahead` it is ECEF-LAT.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SchedulingHeuristic, SchedulingState
+from repro.core.lookahead import (
+    LookaheadFunction,
+    get_lookahead,
+    grid_aware_max_lookahead,
+    grid_aware_min_lookahead,
+    min_edge_lookahead,
+)
+
+
+class ECEF(SchedulingHeuristic):
+    """Early Completion Edge First (Bhat et al., paper §4.3).
+
+    Tracks the ready time ``RT_i`` of every informed cluster and picks the
+    pair ``(i, j)`` whose transmission can *finish* earliest::
+
+        minimise  RT_i + g_{i,j}(m) + L_{i,j}
+
+    compared to FEF this avoids selecting senders that do not yet hold the
+    message, so the resulting schedules never block.
+    """
+
+    key = "ecef"
+    display_name = "ECEF"
+
+    def build_order(self, state: SchedulingState) -> None:
+        while not state.done:
+            best_pair: tuple[int, int] | None = None
+            best_completion = float("inf")
+            for sender in state.informed:
+                for receiver in state.pending:
+                    completion = state.completion_estimate(sender, receiver)
+                    if completion < best_completion:
+                        best_completion = completion
+                        best_pair = (sender, receiver)
+            assert best_pair is not None
+            state.commit(*best_pair)
+
+
+class ECEFLookahead(SchedulingHeuristic):
+    """ECEF with a lookahead evaluation function (paper §4.4, §5.1, §5.2).
+
+    The selected pair minimises ``RT_i + g_{i,j}(m) + L_{i,j} + F_j`` where
+    ``F_j`` scores the usefulness of promoting cluster ``j``.
+
+    Parameters
+    ----------
+    lookahead:
+        Either a callable ``(state, candidate) -> float`` or the name of a
+        registered lookahead (see
+        :data:`repro.core.lookahead.LOOKAHEAD_FUNCTIONS`).
+    key, display_name:
+        Override the registry key / display name; the named constructors
+        below set them to the paper's labels.
+    """
+
+    def __init__(
+        self,
+        lookahead: LookaheadFunction | str = min_edge_lookahead,
+        *,
+        key: str = "ecef_la",
+        display_name: str = "ECEF-LA",
+    ) -> None:
+        if isinstance(lookahead, str):
+            lookahead = get_lookahead(lookahead)
+        if not callable(lookahead):
+            raise TypeError("lookahead must be callable or a registered name")
+        self.lookahead = lookahead
+        self.key = key
+        self.display_name = display_name
+
+    def build_order(self, state: SchedulingState) -> None:
+        while not state.done:
+            best_pair: tuple[int, int] | None = None
+            best_score = float("inf")
+            pending = state.pending
+            lookahead_values = {j: self.lookahead(state, j) for j in pending}
+            for sender in state.informed:
+                for receiver in pending:
+                    score = (
+                        state.completion_estimate(sender, receiver)
+                        + lookahead_values[receiver]
+                    )
+                    if score < best_score:
+                        best_score = score
+                        best_pair = (sender, receiver)
+            assert best_pair is not None
+            state.commit(*best_pair)
+
+    # -- named constructors matching the paper's heuristics -------------------------
+
+    @classmethod
+    def bhat(cls) -> "ECEFLookahead":
+        """Bhat's ECEF-LA: ``F_j = min_k (g_{j,k}(m) + L_{j,k})``."""
+        return cls(min_edge_lookahead, key="ecef_la", display_name="ECEF-LA")
+
+    @classmethod
+    def grid_aware_min(cls) -> "ECEFLookahead":
+        """The paper's ECEF-LAt: ``F_j = min_k (g_{j,k}(m) + L_{j,k} + T_k)``."""
+        return cls(
+            grid_aware_min_lookahead, key="ecef_lat_min", display_name="ECEF-LAt"
+        )
+
+    @classmethod
+    def grid_aware_max(cls) -> "ECEFLookahead":
+        """The paper's ECEF-LAT: ``F_j = max_k (g_{j,k}(m) + L_{j,k} + T_k)``."""
+        return cls(
+            grid_aware_max_lookahead, key="ecef_lat_max", display_name="ECEF-LAT"
+        )

@@ -1,0 +1,50 @@
+"""The Flat Tree baseline (ECO / MagPIe strategy, paper §4.1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import SchedulingHeuristic, SchedulingState
+
+
+class FlatTreeHeuristic(SchedulingHeuristic):
+    """Root sends to every other coordinator, one after the other.
+
+    This is the inter-cluster strategy of the ECO and MagPIe libraries: the
+    root's coordinator walks the cluster list sequentially, "despite the
+    presence of other (potential) sources in set A".  The paper stresses two
+    weaknesses that our implementation preserves faithfully:
+
+    * the schedule ignores link heterogeneity entirely, and
+    * it depends on how the cluster list is arranged relative to the root —
+      rotating the broadcast root can change the performance substantially.
+
+    Parameters
+    ----------
+    cluster_order:
+        Optional explicit visit order (cluster indices).  When omitted the
+        clusters are contacted in increasing index order starting after the
+        root, wrapping around — i.e. exactly "how the clusters list is
+        arranged with respect to the root process".
+    """
+
+    key = "flat_tree"
+    display_name = "Flat Tree"
+
+    def __init__(self, cluster_order: Sequence[int] | None = None) -> None:
+        self.cluster_order = list(cluster_order) if cluster_order is not None else None
+
+    def build_order(self, state: SchedulingState) -> None:
+        root = state.root
+        if self.cluster_order is not None:
+            targets = [c for c in self.cluster_order if c != root]
+            remaining = set(state.waiting)
+            if set(targets) != remaining:
+                raise ValueError(
+                    "cluster_order must contain every non-root cluster exactly once"
+                )
+        else:
+            count = state.grid.num_clusters
+            targets = [(root + offset) % count for offset in range(1, count)]
+        for target in targets:
+            state.commit(root, target)

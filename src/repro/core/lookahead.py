@@ -1,0 +1,133 @@
+"""Lookahead functions for the ECEF-LA family.
+
+Bhat's Early Completion Edge First with lookahead (ECEF-LA) picks the pair
+``(i, j)`` minimising ``RT_i + g_{i,j}(m) + L_{i,j} + F_j`` where ``F_j``
+estimates how useful cluster ``j`` will be *after* it joins the informed set.
+The paper proposes two grid-aware lookahead functions (ECEF-LAt / ECEF-LAT)
+that fold in the intra-cluster broadcast time ``T_k``; Bhat additionally
+suggested average-based variants, which we implement too for the ablation
+benchmark (DESIGN.md item A1).
+
+A lookahead function receives the scheduling state and the candidate receiver
+``j`` (still in ``B``) and returns a float in seconds.  By convention it is
+evaluated over the *other* clusters of ``B`` (``k != j``); when ``j`` is the
+last waiting cluster the lookahead is 0, which never changes the selected pair
+because ``F_j`` is then a constant offset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import SchedulingState
+
+#: Type alias for lookahead functions.
+LookaheadFunction = Callable[[SchedulingState, int], float]
+
+
+def no_lookahead(state: SchedulingState, candidate: int) -> float:
+    """``F_j = 0``: degenerates ECEF-LA into plain ECEF."""
+    return 0.0
+
+
+def min_edge_lookahead(state: SchedulingState, candidate: int) -> float:
+    """Bhat's original lookahead: ``F_j = min_{k in B} (g_{j,k}(m) + L_{j,k})``.
+
+    It measures how quickly ``j`` could retransmit the message to some other
+    waiting cluster, i.e. the *utility* of promoting ``j`` to the informed
+    set.
+    """
+    others = [k for k in state.waiting if k != candidate]
+    if not others:
+        return 0.0
+    return min(state.transfer_time(candidate, k) for k in others)
+
+
+def average_latency_lookahead(state: SchedulingState, candidate: int) -> float:
+    """Alternative suggested by Bhat: the average cost from ``j`` to ``B``.
+
+    ``F_j = mean_{k in B} (g_{j,k}(m) + L_{j,k})``; a smoother utility
+    estimate that is less sensitive to one exceptionally close cluster.
+    """
+    others = [k for k in state.waiting if k != candidate]
+    if not others:
+        return 0.0
+    return sum(state.transfer_time(candidate, k) for k in others) / len(others)
+
+
+def average_informed_lookahead(state: SchedulingState, candidate: int) -> float:
+    """Bhat's other suggestion: average cost between sets A∪{j} and B∖{j}.
+
+    Estimates the quality of the *global* dissemination capacity if ``j`` is
+    promoted: the mean transfer time from every (would-be) informed cluster to
+    every remaining waiting cluster.
+    """
+    informed = list(state.ready_time) + [candidate]
+    others = [k for k in state.waiting if k != candidate]
+    if not others:
+        return 0.0
+    total = 0.0
+    count = 0
+    for source in informed:
+        for target in others:
+            if source == target:
+                continue
+            total += state.transfer_time(source, target)
+            count += 1
+    return total / count if count else 0.0
+
+
+def grid_aware_min_lookahead(state: SchedulingState, candidate: int) -> float:
+    """The paper's ECEF-LAt lookahead (min, lowercase "t").
+
+    ``F_j = min_{k in B} (g_{j,k}(m) + L_{j,k} + T_k)``: pick receivers that
+    can quickly reach some cluster *and* let that cluster finish its local
+    broadcast soon.
+    """
+    others = [k for k in state.waiting if k != candidate]
+    if not others:
+        return 0.0
+    return min(
+        state.transfer_time(candidate, k) + state.broadcast_time(k) for k in others
+    )
+
+
+def grid_aware_max_lookahead(state: SchedulingState, candidate: int) -> float:
+    """The paper's ECEF-LAT lookahead (max, uppercase "T").
+
+    ``F_j = max_{k in B} (g_{j,k}(m) + L_{j,k} + T_k)``: favour receivers that
+    are well placed to serve the *slowest* remaining cluster, counting on
+    inter-cluster overlap to hide the extra cost (paper §5.2).
+    """
+    others = [k for k in state.waiting if k != candidate]
+    if not others:
+        return 0.0
+    return max(
+        state.transfer_time(candidate, k) + state.broadcast_time(k) for k in others
+    )
+
+
+#: Named registry of lookahead functions, used by the ablation benchmark.
+LOOKAHEAD_FUNCTIONS: dict[str, LookaheadFunction] = {
+    "none": no_lookahead,
+    "min_edge": min_edge_lookahead,
+    "average_latency": average_latency_lookahead,
+    "average_informed": average_informed_lookahead,
+    "grid_aware_min": grid_aware_min_lookahead,
+    "grid_aware_max": grid_aware_max_lookahead,
+}
+
+
+def get_lookahead(name: str) -> LookaheadFunction:
+    """Look a lookahead function up by name.
+
+    Raises
+    ------
+    ValueError
+        If the name is unknown; the message lists the valid options.
+    """
+    try:
+        return LOOKAHEAD_FUNCTIONS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(LOOKAHEAD_FUNCTIONS))
+        raise ValueError(f"unknown lookahead {name!r}; known: {known}") from exc

@@ -1,0 +1,153 @@
+"""Exhaustive / branch-and-bound search for the optimal broadcast schedule.
+
+Finding the optimal broadcast tree of a heterogeneous system is NP-complete
+and the number of possible schedules is exponential in the number of clusters
+(paper §1), which is why the paper replaces the true optimum by the
+"global minimum" over the evaluated heuristics when computing hit rates
+(Figure 4).  For *small* grids, however, the optimum is reachable by
+enumeration, and having it available lets the test-suite assert that the
+heuristics are never better than optimal and lets users calibrate the
+hit-rate proxy on small instances.
+
+The search enumerates the same decision space as the greedy heuristics (at
+every step an informed cluster sends to a waiting one) with a simple
+branch-and-bound pruning on the makespan lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SchedulingHeuristic, SchedulingState
+from repro.core.schedule import BroadcastSchedule, evaluate_order
+from repro.topology.grid import Grid
+
+#: Above this many clusters OptimalSearch refuses to run by default — the
+#: decision space grows super-exponentially (n! · Catalan-like factors).
+DEFAULT_MAX_CLUSTERS = 7
+
+
+class OptimalSearch(SchedulingHeuristic):
+    """Exhaustive branch-and-bound over sender/receiver decision sequences.
+
+    Parameters
+    ----------
+    max_clusters:
+        Safety limit; scheduling a larger grid raises :class:`ValueError`
+        instead of silently running for hours.
+    """
+
+    key = "optimal"
+    display_name = "Optimal"
+
+    def __init__(self, *, max_clusters: int = DEFAULT_MAX_CLUSTERS) -> None:
+        if isinstance(max_clusters, bool) or not isinstance(max_clusters, int):
+            raise TypeError("max_clusters must be an int")
+        if max_clusters < 1:
+            raise ValueError(f"max_clusters must be >= 1, got {max_clusters}")
+        self.max_clusters = max_clusters
+
+    # The generic SchedulingHeuristic flow (build_order on a shared state) is
+    # awkward for a search that needs backtracking, so `schedule` is overridden
+    # and `build_order` simply replays the best decision sequence found.
+
+    def schedule(
+        self, grid: Grid, message_size: float, *, root: int = 0
+    ) -> BroadcastSchedule:
+        if grid.num_clusters > self.max_clusters:
+            raise ValueError(
+                f"OptimalSearch is limited to {self.max_clusters} clusters "
+                f"(got {grid.num_clusters}); raise max_clusters explicitly if you "
+                "really want an exhaustive search"
+            )
+        state = SchedulingState(grid=grid, message_size=message_size, root=root)
+        broadcast_times = state.broadcast_times
+        best_order, _best_makespan = self._search(grid, message_size, root, state)
+        return evaluate_order(
+            grid,
+            message_size,
+            root,
+            best_order,
+            heuristic_name=self.name,
+            broadcast_times=broadcast_times,
+        )
+
+    def build_order(self, state: SchedulingState) -> None:
+        best_order, _ = self._search(state.grid, state.message_size, state.root, state)
+        for sender, receiver in best_order:
+            state.commit(sender, receiver)
+
+    # -- the actual search ---------------------------------------------------------
+
+    def _search(
+        self,
+        grid: Grid,
+        message_size: float,
+        root: int,
+        state: SchedulingState,
+    ) -> tuple[list[tuple[int, int]], float]:
+        num_clusters = grid.num_clusters
+        broadcast_times = state.broadcast_times
+        best_makespan = float("inf")
+        best_order: list[tuple[int, int]] = []
+
+        def lower_bound(ready: dict[int, float], waiting: frozenset[int]) -> float:
+            """A makespan lower bound for the current partial schedule.
+
+            Every informed cluster will at least finish its local broadcast
+            after its current ready time; every waiting cluster must still
+            receive the message through its cheapest incoming edge from *any*
+            other cluster, no earlier than the smallest current ready time.
+            """
+            bound = 0.0
+            min_ready = min(ready.values())
+            for cluster, ready_time in ready.items():
+                bound = max(bound, ready_time + broadcast_times[cluster])
+            for cluster in waiting:
+                cheapest = min(
+                    state.transfer_time(source, cluster)
+                    for source in range(num_clusters)
+                    if source != cluster
+                )
+                bound = max(bound, min_ready + cheapest + broadcast_times[cluster])
+            return bound
+
+        def recurse(
+            ready: dict[int, float],
+            waiting: frozenset[int],
+            order: list[tuple[int, int]],
+        ) -> None:
+            nonlocal best_makespan, best_order
+            if not waiting:
+                makespan = max(
+                    ready[cluster] + broadcast_times[cluster]
+                    for cluster in range(num_clusters)
+                )
+                if makespan < best_makespan:
+                    best_makespan = makespan
+                    best_order = list(order)
+                return
+            if lower_bound(ready, waiting) >= best_makespan:
+                return
+            # Explore cheaper completions first so the bound tightens quickly.
+            candidates = sorted(
+                (
+                    (ready[sender] + state.transfer_time(sender, receiver), sender, receiver)
+                    for sender in ready
+                    for receiver in waiting
+                ),
+                key=lambda item: item[0],
+            )
+            for _, sender, receiver in candidates:
+                gap = state.gap(sender, receiver)
+                latency = state.latency(sender, receiver)
+                start = ready[sender]
+                new_ready = dict(ready)
+                new_ready[sender] = start + gap
+                new_ready[receiver] = start + gap + latency
+                order.append((sender, receiver))
+                recurse(new_ready, waiting - {receiver}, order)
+                order.pop()
+
+        initial_ready = {root: 0.0}
+        initial_waiting = frozenset(range(num_clusters)) - {root}
+        recurse(initial_ready, initial_waiting, [])
+        return best_order, best_makespan

@@ -1,0 +1,161 @@
+"""Experiment configurations.
+
+The defaults encode the paper's set-ups:
+
+* the Monte-Carlo study broadcasts a **1 MB** message on grids whose pLogP
+  parameters are drawn from **Table 2**, averaging 10 000 iterations
+  (``iterations`` is configurable because 10 000 pure-Python iterations at 50
+  clusters take a while; a few hundred already reproduce the figure shapes);
+* Figure 1 sweeps 2–10 clusters, Figures 2–4 sweep 5–50 clusters in steps of
+  5;
+* the practical study sweeps message sizes from 0 to 4.5 MB on the Table 3
+  grid, like the x-axes of Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import ECEF_FAMILY, PAPER_HEURISTICS
+from repro.topology.generators import PAPER_PARAMETER_RANGES, ParameterRanges
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.units import mib_to_bytes
+
+#: Message size of the simulation study: "1 MB Broadcast in a Grid Environment".
+PAPER_MESSAGE_SIZE: int = mib_to_bytes(1.0)
+
+#: Cluster counts of Figure 1 (2 to 10 clusters).
+FIGURE1_CLUSTER_COUNTS: tuple[int, ...] = tuple(range(2, 11))
+
+#: Cluster counts of Figures 2, 3 and 4 (5 to 50 clusters, step 5).
+FIGURE2_CLUSTER_COUNTS: tuple[int, ...] = tuple(range(5, 51, 5))
+
+#: Number of iterations used by the paper.
+PAPER_ITERATIONS: int = 10_000
+
+#: Message sizes of Figures 5 and 6 (0 to 4.5 MB, in 512 KB steps).
+PRACTICAL_MESSAGE_SIZES: tuple[int, ...] = tuple(
+    int(round(step * 512 * 1024)) for step in range(0, 10)
+)
+
+
+@dataclass(frozen=True)
+class SimulationStudyConfig:
+    """Configuration of the Monte-Carlo simulation study (Figures 1–4).
+
+    Attributes
+    ----------
+    cluster_counts:
+        Grid sizes to sweep.
+    iterations:
+        Independent random grids per cluster count.
+    message_size:
+        Broadcast payload in bytes (1 MiB in the paper).
+    heuristics:
+        Registry keys of the heuristics to compare.
+    ranges:
+        Table 2 sampling ranges.
+    seed:
+        Root seed of the random streams (one child stream per iteration).
+    root_cluster:
+        Index of the broadcast root in every generated grid.
+    """
+
+    cluster_counts: tuple[int, ...] = FIGURE1_CLUSTER_COUNTS
+    iterations: int = 1_000
+    message_size: int = PAPER_MESSAGE_SIZE
+    heuristics: tuple[str, ...] = PAPER_HEURISTICS
+    ranges: ParameterRanges = PAPER_PARAMETER_RANGES
+    seed: int = DEFAULT_SEED
+    root_cluster: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_counts:
+            raise ValueError("cluster_counts must not be empty")
+        if any(count < 1 for count in self.cluster_counts):
+            raise ValueError("cluster counts must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.message_size < 0:
+            raise ValueError("message_size must be non-negative")
+        if not self.heuristics:
+            raise ValueError("heuristics must not be empty")
+
+    # -- canonical figure set-ups -----------------------------------------------------
+
+    @classmethod
+    def figure1(cls, *, iterations: int = 1_000, seed: int = DEFAULT_SEED) -> "SimulationStudyConfig":
+        """Figure 1: all seven heuristics, 2–10 clusters."""
+        return cls(
+            cluster_counts=FIGURE1_CLUSTER_COUNTS,
+            iterations=iterations,
+            heuristics=PAPER_HEURISTICS,
+            seed=seed,
+        )
+
+    @classmethod
+    def figure2(cls, *, iterations: int = 300, seed: int = DEFAULT_SEED) -> "SimulationStudyConfig":
+        """Figure 2: all seven heuristics, 5–50 clusters."""
+        return cls(
+            cluster_counts=FIGURE2_CLUSTER_COUNTS,
+            iterations=iterations,
+            heuristics=PAPER_HEURISTICS,
+            seed=seed,
+        )
+
+    @classmethod
+    def figure3(cls, *, iterations: int = 300, seed: int = DEFAULT_SEED) -> "SimulationStudyConfig":
+        """Figure 3: the ECEF family only, 5–50 clusters."""
+        return cls(
+            cluster_counts=FIGURE2_CLUSTER_COUNTS,
+            iterations=iterations,
+            heuristics=ECEF_FAMILY,
+            seed=seed,
+        )
+
+    @classmethod
+    def figure4(cls, *, iterations: int = 300, seed: int = DEFAULT_SEED) -> "SimulationStudyConfig":
+        """Figure 4: hit rate of the ECEF family, 5–50 clusters."""
+        return cls.figure3(iterations=iterations, seed=seed)
+
+
+@dataclass(frozen=True)
+class PracticalStudyConfig:
+    """Configuration of the practical (Table 3 grid) study (Figures 5 and 6).
+
+    Attributes
+    ----------
+    message_sizes:
+        Payload sizes in bytes (x-axis of Figures 5/6).
+    heuristics:
+        Heuristic registry keys to evaluate.
+    include_binomial_baseline:
+        Also run the grid-unaware binomial broadcast (the "Default LAM"
+        curve of Figure 6).
+    root_cluster:
+        Broadcast root.
+    noise_sigma:
+        Log-normal noise applied by the simulator to the "measured" runs.
+    seed:
+        Simulator noise seed.
+    local_tree:
+        Intra-cluster broadcast tree shape.
+    """
+
+    message_sizes: tuple[int, ...] = PRACTICAL_MESSAGE_SIZES
+    heuristics: tuple[str, ...] = PAPER_HEURISTICS
+    include_binomial_baseline: bool = True
+    root_cluster: int = 0
+    noise_sigma: float = 0.03
+    seed: int = DEFAULT_SEED
+    local_tree: str = "binomial"
+
+    def __post_init__(self) -> None:
+        if not self.message_sizes:
+            raise ValueError("message_sizes must not be empty")
+        if any(size < 0 for size in self.message_sizes):
+            raise ValueError("message sizes must be non-negative")
+        if not self.heuristics:
+            raise ValueError("heuristics must not be empty")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")

@@ -1,0 +1,169 @@
+"""The practical evaluation on the Table 3 grid (paper §7, Figures 5 and 6).
+
+For every heuristic and every message size the study produces two numbers:
+
+* the **predicted** completion time — the makespan of the heuristic's
+  schedule under the pLogP model (Figure 5), and
+* the **measured** completion time — the makespan observed when the
+  corresponding node-level program is executed on the discrete-event
+  simulator, optionally with noise (Figure 6).
+
+The grid-unaware binomial broadcast ("Default LAM" in Figure 6) is measured
+as well; it has no scheduled prediction, matching the paper, which only plots
+it in the measured figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.registry import instantiate
+from repro.experiments.config import PracticalStudyConfig
+from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
+from repro.simulator.execution import execute_program
+from repro.simulator.network import NetworkConfig, SimulatedNetwork
+from repro.topology.grid import Grid
+from repro.topology.grid5000 import build_grid5000_topology
+
+#: Display name of the grid-unaware baseline, as labelled in Figure 6.
+BINOMIAL_BASELINE_NAME = "Default LAM"
+
+
+@dataclass
+class PracticalStudyResult:
+    """Predicted and measured completion times on a concrete grid.
+
+    Attributes
+    ----------
+    config:
+        The configuration used.
+    heuristic_names:
+        Display names of the scheduled heuristics (the binomial baseline is
+        reported separately).
+    message_sizes:
+        Payload sizes in bytes (x-axis).
+    predicted:
+        Array ``(len(message_sizes), len(heuristics))`` of model-predicted
+        makespans (Figure 5).
+    measured:
+        Array of the same shape with simulator-measured makespans (Figure 6).
+    baseline_measured:
+        Measured makespans of the grid-unaware binomial broadcast, or ``None``
+        when the baseline was not requested.
+    """
+
+    config: PracticalStudyConfig
+    heuristic_names: list[str]
+    message_sizes: list[int]
+    predicted: np.ndarray
+    measured: np.ndarray
+    baseline_measured: np.ndarray | None
+
+    def prediction_error(self) -> np.ndarray:
+        """Relative error |measured - predicted| / measured, element-wise.
+
+        The paper's §7 claim is that "performance predictions fit with a good
+        precision the practical results"; this is the quantity that
+        substantiates it (zero-size messages are excluded by callers when
+        averaging, as both numbers are sub-millisecond there).
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            error = np.abs(self.measured - self.predicted) / np.where(
+                self.measured > 0, self.measured, np.nan
+            )
+        return error
+
+    def predicted_series(self, heuristic_name: str) -> list[float]:
+        """Predicted completion times of one heuristic across message sizes."""
+        return self.predicted[:, self._index(heuristic_name)].tolist()
+
+    def measured_series(self, heuristic_name: str) -> list[float]:
+        """Measured completion times of one heuristic across message sizes."""
+        return self.measured[:, self._index(heuristic_name)].tolist()
+
+    def _index(self, heuristic_name: str) -> int:
+        try:
+            return self.heuristic_names.index(heuristic_name)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown heuristic {heuristic_name!r}; available: {self.heuristic_names}"
+            ) from exc
+
+    def as_table(self, *, which: str = "measured") -> list[dict[str, float]]:
+        """Rows of (message size, per-heuristic time), like the figures' data.
+
+        Parameters
+        ----------
+        which:
+            ``"measured"`` (default) or ``"predicted"``.
+        """
+        if which == "measured":
+            data = self.measured
+        elif which == "predicted":
+            data = self.predicted
+        else:
+            raise ValueError("which must be 'measured' or 'predicted'")
+        rows: list[dict[str, float]] = []
+        for row_index, size in enumerate(self.message_sizes):
+            row: dict[str, float] = {"message_size": float(size)}
+            for column_index, name in enumerate(self.heuristic_names):
+                row[name] = float(data[row_index, column_index])
+            if which == "measured" and self.baseline_measured is not None:
+                row[BINOMIAL_BASELINE_NAME] = float(self.baseline_measured[row_index])
+            rows.append(row)
+        return rows
+
+
+def run_practical_study(
+    config: PracticalStudyConfig | None = None,
+    *,
+    grid: Grid | None = None,
+) -> PracticalStudyResult:
+    """Run the Figure 5 / Figure 6 experiment.
+
+    Parameters
+    ----------
+    config:
+        Study configuration; defaults to the paper's set-up.
+    grid:
+        The grid to evaluate on; defaults to the Table 3 GRID5000 topology.
+    """
+    config = config if config is not None else PracticalStudyConfig()
+    grid = grid if grid is not None else build_grid5000_topology()
+    heuristics = instantiate(config.heuristics)
+    network = SimulatedNetwork(
+        grid, NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed)
+    )
+    sizes = list(config.message_sizes)
+    predicted = np.empty((len(sizes), len(heuristics)), dtype=float)
+    measured = np.empty_like(predicted)
+    baseline = (
+        np.empty(len(sizes), dtype=float) if config.include_binomial_baseline else None
+    )
+    for size_index, message_size in enumerate(sizes):
+        for heuristic_index, heuristic in enumerate(heuristics):
+            schedule = heuristic.schedule(grid, message_size, root=config.root_cluster)
+            predicted[size_index, heuristic_index] = schedule.makespan
+            program = grid_aware_bcast_program(
+                grid, schedule, message_size, local_tree=config.local_tree
+            )
+            execution = execute_program(network, program)
+            measured[size_index, heuristic_index] = execution.makespan
+        if baseline is not None:
+            program = binomial_bcast_program(
+                grid,
+                message_size,
+                root_rank=grid.coordinator_rank(config.root_cluster),
+            )
+            execution = execute_program(network, program)
+            baseline[size_index] = execution.makespan
+    return PracticalStudyResult(
+        config=config,
+        heuristic_names=[h.name for h in heuristics],
+        message_sizes=sizes,
+        predicted=predicted,
+        measured=measured,
+        baseline_measured=baseline,
+    )

@@ -1,0 +1,133 @@
+"""The Monte-Carlo simulation study (paper §6, Figures 1–3).
+
+For every cluster count the study generates ``iterations`` independent random
+grids (Table 2 parameter ranges), schedules a 1 MB broadcast with every
+heuristic, and records the makespans.  The reported quantity is the average
+completion time per heuristic and cluster count — the y-axis of Figures 1, 2
+and 3 — together with enough raw material (per-iteration minima and hit
+counts) for the Figure 4 hit-rate analysis to reuse the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.registry import instantiate
+from repro.experiments.config import SimulationStudyConfig
+from repro.topology.generators import RandomGridGenerator
+from repro.utils.rng import RandomStream
+
+#: Two schedules within this relative tolerance of each other are considered
+#: equally good when computing hits against the per-iteration global minimum.
+HIT_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass
+class SimulationStudyResult:
+    """Results of one Monte-Carlo study.
+
+    Attributes
+    ----------
+    config:
+        The configuration that produced the result.
+    heuristic_names:
+        Display names, in the order of ``config.heuristics``.
+    cluster_counts:
+        The swept cluster counts.
+    makespans:
+        Array of shape ``(len(cluster_counts), len(heuristics), iterations)``
+        holding every observed makespan in seconds.
+    """
+
+    config: SimulationStudyConfig
+    heuristic_names: list[str]
+    cluster_counts: list[int]
+    makespans: np.ndarray
+
+    # -- derived statistics -----------------------------------------------------------
+
+    def mean_completion_times(self) -> np.ndarray:
+        """Mean makespan per (cluster count, heuristic) — the paper's curves."""
+        return self.makespans.mean(axis=2)
+
+    def std_completion_times(self) -> np.ndarray:
+        """Standard deviation of the makespan per (cluster count, heuristic)."""
+        return self.makespans.std(axis=2)
+
+    def global_minima(self) -> np.ndarray:
+        """Per-iteration global minimum over the evaluated heuristics.
+
+        Shape ``(len(cluster_counts), iterations)``.  This is the reference
+        the paper calls the "global minimum" when the true optimum is too
+        expensive to compute.
+        """
+        return self.makespans.min(axis=1)
+
+    def hit_counts(self) -> np.ndarray:
+        """Number of iterations where each heuristic matches the global minimum.
+
+        Shape ``(len(cluster_counts), len(heuristics))`` — the quantity
+        plotted in Figure 4 (out of ``iterations``).
+        """
+        minima = self.global_minima()[:, None, :]
+        tolerance = HIT_RELATIVE_TOLERANCE * np.maximum(minima, 1e-300)
+        hits = self.makespans <= minima + tolerance
+        return hits.sum(axis=2)
+
+    def hit_rates(self) -> np.ndarray:
+        """Hit counts normalised by the number of iterations."""
+        return self.hit_counts() / self.config.iterations
+
+    def series(self, heuristic_name: str) -> list[float]:
+        """The mean-completion-time series of one heuristic (by display name)."""
+        try:
+            index = self.heuristic_names.index(heuristic_name)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown heuristic {heuristic_name!r}; available: {self.heuristic_names}"
+            ) from exc
+        return self.mean_completion_times()[:, index].tolist()
+
+    def as_table(self) -> list[dict[str, float]]:
+        """One dict per cluster count mapping heuristic names to mean times."""
+        means = self.mean_completion_times()
+        rows: list[dict[str, float]] = []
+        for row_index, count in enumerate(self.cluster_counts):
+            row: dict[str, float] = {"clusters": float(count)}
+            for column_index, name in enumerate(self.heuristic_names):
+                row[name] = float(means[row_index, column_index])
+            rows.append(row)
+        return rows
+
+
+def run_simulation_study(config: SimulationStudyConfig) -> SimulationStudyResult:
+    """Run the Monte-Carlo study described by ``config``.
+
+    Every (cluster count, iteration) pair gets its own deterministic child
+    random stream, so results are independent of execution order and
+    reproducible for a fixed seed.
+    """
+    heuristics = instantiate(config.heuristics)
+    generator = RandomGridGenerator(config.ranges)
+    parent_stream = RandomStream(seed=config.seed)
+    counts = list(config.cluster_counts)
+    makespans = np.empty(
+        (len(counts), len(heuristics), config.iterations), dtype=float
+    )
+    for count_index, num_clusters in enumerate(counts):
+        for iteration in range(config.iterations):
+            stream = parent_stream.spawn()
+            grid = generator.generate(num_clusters, stream)
+            for heuristic_index, heuristic in enumerate(heuristics):
+                schedule = heuristic.schedule(
+                    grid, config.message_size, root=config.root_cluster
+                )
+                makespans[count_index, heuristic_index, iteration] = schedule.makespan
+    return SimulationStudyResult(
+        config=config,
+        heuristic_names=[h.name for h in heuristics],
+        cluster_counts=counts,
+        makespans=makespans,
+    )

@@ -1,0 +1,56 @@
+"""The pLogP performance model.
+
+The paper predicts every communication cost with the *parameterised LogP*
+model (pLogP, Kielmann et al. 2001):
+
+* ``L`` -- end-to-end latency of a link,
+* ``g(m)`` -- the *gap*, i.e. the minimum time between two consecutive message
+  transmissions of size ``m`` (it captures the sender occupancy and the
+  bandwidth term), and
+* ``P`` -- the number of processes.
+
+This sub-package provides:
+
+* :class:`~repro.model.plogp.GapFunction` -- a piecewise-linear, monotone
+  model of ``g(m)`` built either from measured points or from a simple
+  ``overhead + size / bandwidth`` law,
+* :class:`~repro.model.plogp.PLogPParameters` -- the (L, g, P) bundle for one
+  link or one cluster interconnect,
+* :mod:`~repro.model.prediction` -- completion-time prediction of
+  intra-cluster broadcast algorithms under pLogP (the ``T_i`` values fed to
+  the grid-aware heuristics), and
+* :mod:`~repro.model.measurement` -- a simulated version of Kielmann's
+  parameter-acquisition procedure (ping-pong for L, message-train saturation
+  for g(m)) that runs against any point-to-point timing oracle, in particular
+  against the discrete-event simulator of :mod:`repro.simulator`.
+"""
+
+from repro.model.plogp import GapFunction, PLogPParameters, point_to_point_time
+from repro.model.prediction import (
+    predict_binomial_broadcast,
+    predict_broadcast_time,
+    predict_chain_broadcast,
+    predict_flat_broadcast,
+    predict_pipeline_broadcast,
+)
+from repro.model.measurement import (
+    MeasurementProcedure,
+    MeasuredParameters,
+    fit_gap_function,
+    fit_latency,
+)
+
+__all__ = [
+    "GapFunction",
+    "PLogPParameters",
+    "point_to_point_time",
+    "predict_binomial_broadcast",
+    "predict_broadcast_time",
+    "predict_chain_broadcast",
+    "predict_flat_broadcast",
+    "predict_pipeline_broadcast",
+    "MeasurementProcedure",
+    "MeasuredParameters",
+    "fit_gap_function",
+    "fit_latency",
+]

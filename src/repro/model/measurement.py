@@ -1,0 +1,188 @@
+"""Simulated pLogP parameter acquisition.
+
+The paper feeds its models with pLogP parameters "obtained with the method
+described in [Kielmann et al. 2000]": a short ping-pong exchange estimates the
+latency ``L`` while message trains of increasing size estimate the gap
+``g(m)``.  We obviously cannot run that tool against GRID5000, so this module
+re-implements the *procedure* against any point-to-point timing oracle — in
+practice either an analytic :class:`~repro.model.plogp.PLogPParameters`
+instance (for testing the fitting code against a known ground truth) or the
+discrete-event simulator of :mod:`repro.simulator` (the stand-in for the real
+testbed).
+
+The oracle contract is a single callable::
+
+    round_trip_time(message_size: float) -> float
+
+returning the time for a message of ``message_size`` bytes to go from the
+probing node to its peer and for a zero-byte acknowledgement to come back,
+exactly like the ping-pong used by the original logp_mpi tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.model.plogp import GapFunction, PLogPParameters
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Message sizes (bytes) probed by default, mimicking logp_mpi's geometric sweep.
+DEFAULT_PROBE_SIZES: tuple[int, ...] = (
+    0,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+)
+
+RoundTripOracle = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class MeasuredParameters:
+    """Result of one measurement campaign on a single link.
+
+    Attributes
+    ----------
+    latency:
+        Estimated one-way latency ``L`` in seconds.
+    gap:
+        Fitted gap function ``g(m)``.
+    probe_sizes:
+        Message sizes that were probed (bytes).
+    raw_round_trips:
+        Raw round-trip times observed for each probe size (seconds).
+    """
+
+    latency: float
+    gap: GapFunction
+    probe_sizes: tuple[float, ...]
+    raw_round_trips: tuple[float, ...]
+
+    def as_plogp(self, num_procs: int = 2) -> PLogPParameters:
+        """Package the fit as a :class:`PLogPParameters` bundle."""
+        return PLogPParameters(latency=self.latency, gap=self.gap, num_procs=num_procs)
+
+
+def fit_latency(zero_byte_round_trip: float) -> float:
+    """Estimate the one-way latency from a zero-byte ping-pong.
+
+    Following the LogP convention the one-way latency is half the zero-byte
+    round trip (the zero-byte gap is folded into it; for WAN links the gap of
+    an empty message is negligible compared to the propagation delay, which is
+    the regime the paper's Table 3 latencies describe).
+    """
+    check_non_negative(zero_byte_round_trip, "zero_byte_round_trip")
+    return zero_byte_round_trip / 2.0
+
+
+def fit_gap_function(
+    probe_sizes: Sequence[float],
+    round_trips: Sequence[float],
+    latency: float,
+) -> GapFunction:
+    """Fit ``g(m)`` from round-trip measurements.
+
+    For each probed size ``m`` the ping carried ``m`` bytes and the pong was
+    empty, so ``rtt(m) = g(m) + L  +  g(0) + L``.  With ``g(0) + 2 L``
+    estimated by the zero-byte round trip, the per-size gap is::
+
+        g(m) = rtt(m) - rtt(0) + g(0)
+
+    and we conservatively approximate ``g(0)`` by the residual of the zero
+    byte exchange after removing two latencies.  Gaps are clamped to be
+    non-negative and non-decreasing so that the result is always a valid
+    :class:`GapFunction`, even in the presence of measurement noise.
+    """
+    if len(probe_sizes) != len(round_trips):
+        raise ValueError("probe_sizes and round_trips must have the same length")
+    if len(probe_sizes) == 0:
+        raise ValueError("need at least one probe")
+    check_non_negative(latency, "latency")
+    pairs = sorted(zip((float(s) for s in probe_sizes), (float(r) for r in round_trips)))
+    base_rtt = pairs[0][1]
+    gap_zero = max(0.0, base_rtt - 2.0 * latency)
+    points: list[tuple[float, float]] = []
+    previous_gap = 0.0
+    for size, rtt in pairs:
+        gap = max(0.0, rtt - base_rtt + gap_zero)
+        gap = max(gap, previous_gap)  # enforce monotonicity against noise
+        points.append((size, gap))
+        previous_gap = gap
+    return GapFunction.from_points(points)
+
+
+@dataclass
+class MeasurementProcedure:
+    """Kielmann-style pLogP measurement against a round-trip oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Callable returning the round-trip time of a ping of ``m`` bytes
+        followed by an empty pong.
+    probe_sizes:
+        Message sizes to probe.  Must contain 0 (needed for the latency
+        estimate); it is added automatically if missing.
+    repetitions:
+        Number of times each probe is repeated; the minimum observation is
+        kept, like the original tool, to filter out transient noise.
+    """
+
+    oracle: RoundTripOracle
+    probe_sizes: Sequence[float] = field(default=DEFAULT_PROBE_SIZES)
+    repetitions: int = 3
+
+    def __post_init__(self) -> None:
+        if not callable(self.oracle):
+            raise TypeError("oracle must be callable")
+        check_positive(self.repetitions, "repetitions")
+        sizes = sorted({float(s) for s in self.probe_sizes})
+        if not sizes or sizes[0] != 0.0:
+            sizes = [0.0] + [s for s in sizes if s != 0.0]
+        for size in sizes:
+            check_non_negative(size, "probe size")
+        self.probe_sizes = tuple(sizes)
+
+    def run(self) -> MeasuredParameters:
+        """Execute the measurement campaign and fit (L, g(m))."""
+        observations: list[float] = []
+        for size in self.probe_sizes:
+            best = float("inf")
+            for _ in range(int(self.repetitions)):
+                rtt = float(self.oracle(size))
+                if rtt < 0:
+                    raise ValueError(f"oracle returned a negative round trip for size {size}")
+                best = min(best, rtt)
+            observations.append(best)
+        latency = fit_latency(observations[0])
+        gap = fit_gap_function(self.probe_sizes, observations, latency)
+        return MeasuredParameters(
+            latency=latency,
+            gap=gap,
+            probe_sizes=tuple(self.probe_sizes),
+            raw_round_trips=tuple(observations),
+        )
+
+
+def analytic_round_trip_oracle(params: PLogPParameters) -> RoundTripOracle:
+    """Build a noise-free oracle from known pLogP parameters.
+
+    The returned callable reports ``g(m) + L + g(0) + L`` for a ping of size
+    ``m``, which is the round trip an ideal pLogP link would exhibit.  Used to
+    validate that :class:`MeasurementProcedure` recovers the ground truth.
+    """
+
+    def oracle(message_size: float) -> float:
+        return (
+            params.gap(message_size)
+            + params.latency
+            + params.gap(0.0)
+            + params.latency
+        )
+
+    return oracle

@@ -1,0 +1,247 @@
+"""Core pLogP data structures.
+
+The parameterised LogP model (Kielmann et al., *Network performance-aware
+collective communication for clustered wide area systems*, Parallel
+Computing 2001) describes a point-to-point link with
+
+* ``L``   -- the end-to-end latency,
+* ``g(m)`` -- the *gap* of a message of size ``m``: the minimum interval
+  between the starts of two consecutive transmissions, which folds together
+  the send overhead and the bandwidth term, and
+* ``P``   -- the number of processes attached to the interconnect.
+
+Throughout the library all times are **seconds** and all sizes **bytes**.
+
+Two rules of thumb used by the paper (and implemented here):
+
+* the time for a single message of size ``m`` to travel a link is
+  ``L + g(m)`` (:func:`point_to_point_time`);
+* a sender that just transmitted a message of size ``m`` may start its next
+  transmission ``g(m)`` later (this is how the scheduling heuristics update
+  the ready time ``RT_i`` of a sender).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class GapFunction:
+    """Piecewise-linear model of the pLogP gap ``g(m)``.
+
+    The function is defined by a sorted sequence of ``(size, gap)`` control
+    points.  Between control points the gap is interpolated linearly; beyond
+    the largest control point it is extrapolated using the slope of the last
+    segment (i.e. the asymptotic bandwidth); below the smallest control point
+    the gap of the smallest point is used (the fixed per-message overhead
+    dominates for tiny messages).
+
+    Control points must have non-negative sizes, non-negative gaps, strictly
+    increasing sizes and non-decreasing gaps (a larger message can never be
+    cheaper to inject than a smaller one).
+
+    Examples
+    --------
+    >>> g = GapFunction.from_points([(0, 0.001), (1_000_000, 0.011)])
+    >>> round(g(500_000), 4)
+    0.006
+    >>> g = GapFunction.from_bandwidth(overhead=0.002, bandwidth=125e6)
+    >>> round(g(1_250_000), 3)   # 1.25 MB over 125 MB/s + 2 ms overhead
+    0.012
+    """
+
+    sizes: tuple[float, ...]
+    gaps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.gaps):
+            raise ValueError("sizes and gaps must have the same length")
+        if len(self.sizes) == 0:
+            raise ValueError("GapFunction needs at least one control point")
+        previous_size = -1.0
+        previous_gap = -1.0
+        for size, gap in zip(self.sizes, self.gaps):
+            check_non_negative(size, "control point size")
+            check_non_negative(gap, "control point gap")
+            if size <= previous_size:
+                raise ValueError("control point sizes must be strictly increasing")
+            if gap < previous_gap:
+                raise ValueError("gap must be non-decreasing with message size")
+            previous_size = size
+            previous_gap = gap
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> "GapFunction":
+        """Build a gap function from an iterable of ``(size, gap)`` pairs."""
+        pts = sorted((float(s), float(g)) for s, g in points)
+        return cls(sizes=tuple(p[0] for p in pts), gaps=tuple(p[1] for p in pts))
+
+    @classmethod
+    def from_bandwidth(
+        cls,
+        *,
+        overhead: float,
+        bandwidth: float,
+        reference_size: float = 1_048_576.0,
+    ) -> "GapFunction":
+        """Build the affine gap ``g(m) = overhead + m / bandwidth``.
+
+        Parameters
+        ----------
+        overhead:
+            Fixed per-message cost in seconds (software overhead of the
+            send/receive path).
+        bandwidth:
+            Asymptotic bandwidth in bytes per second.
+        reference_size:
+            Size of the second control point; only affects the internal
+            representation, not the modelled values, because the function is
+            affine.
+        """
+        check_non_negative(overhead, "overhead")
+        check_positive(bandwidth, "bandwidth")
+        check_positive(reference_size, "reference_size")
+        return cls.from_points(
+            [(0.0, overhead), (reference_size, overhead + reference_size / bandwidth)]
+        )
+
+    @classmethod
+    def constant(cls, gap: float) -> "GapFunction":
+        """Build a gap function that ignores the message size.
+
+        This is how the Monte-Carlo study of the paper models ``g``: Table 2
+        draws a single per-pair value for the 1 MB broadcast.
+        """
+        check_non_negative(gap, "gap")
+        return cls(sizes=(0.0,), gaps=(float(gap),))
+
+    # -- evaluation ------------------------------------------------------------
+
+    def __call__(self, message_size: float) -> float:
+        """Evaluate the gap for a message of ``message_size`` bytes."""
+        check_non_negative(message_size, "message_size")
+        sizes = self.sizes
+        gaps = self.gaps
+        if len(sizes) == 1:
+            return gaps[0]
+        if message_size <= sizes[0]:
+            return gaps[0]
+        if message_size >= sizes[-1]:
+            # extrapolate with the slope of the last segment
+            slope = (gaps[-1] - gaps[-2]) / (sizes[-1] - sizes[-2])
+            return gaps[-1] + slope * (message_size - sizes[-1])
+        index = bisect_left(sizes, message_size)
+        s0, s1 = sizes[index - 1], sizes[index]
+        g0, g1 = gaps[index - 1], gaps[index]
+        fraction = (message_size - s0) / (s1 - s0)
+        return g0 + fraction * (g1 - g0)
+
+    # -- derived quantities ----------------------------------------------------
+
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth (bytes/second) implied by the last segment.
+
+        Returns ``float('inf')`` for constant gap functions.
+        """
+        if len(self.sizes) == 1:
+            return float("inf")
+        slope = (self.gaps[-1] - self.gaps[-2]) / (self.sizes[-1] - self.sizes[-2])
+        if slope <= 0:
+            return float("inf")
+        return 1.0 / slope
+
+    def scaled(self, factor: float) -> "GapFunction":
+        """Return a new gap function with all gaps multiplied by ``factor``."""
+        check_positive(factor, "factor")
+        return GapFunction(sizes=self.sizes, gaps=tuple(g * factor for g in self.gaps))
+
+
+@dataclass(frozen=True)
+class PLogPParameters:
+    """The pLogP parameter bundle for one link (or one cluster interconnect).
+
+    Attributes
+    ----------
+    latency:
+        End-to-end latency ``L`` in seconds.
+    gap:
+        The gap function ``g(m)``.
+    num_procs:
+        Number of processes ``P`` attached to this interconnect.  Only
+        meaningful for intra-cluster parameter sets; inter-cluster links keep
+        the default of 2 (one endpoint on each side).
+    """
+
+    latency: float
+    gap: GapFunction
+    num_procs: int = 2
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency, "latency")
+        if not isinstance(self.gap, GapFunction):
+            raise TypeError("gap must be a GapFunction")
+        if isinstance(self.num_procs, bool) or not isinstance(self.num_procs, int):
+            raise TypeError("num_procs must be an int")
+        if self.num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
+
+    def point_to_point_time(self, message_size: float) -> float:
+        """Time for one message of ``message_size`` bytes to cross the link."""
+        return self.latency + self.gap(message_size)
+
+    def sender_occupancy(self, message_size: float) -> float:
+        """Time during which the sender is busy injecting the message."""
+        return self.gap(message_size)
+
+    @classmethod
+    def from_values(
+        cls,
+        *,
+        latency: float,
+        gap: float,
+        num_procs: int = 2,
+    ) -> "PLogPParameters":
+        """Convenience constructor with a size-independent gap value."""
+        return cls(latency=check_non_negative(latency, "latency"),
+                   gap=GapFunction.constant(gap),
+                   num_procs=num_procs)
+
+
+def point_to_point_time(latency: float, gap: float) -> float:
+    """The pLogP cost of a single point-to-point transfer: ``L + g(m)``.
+
+    Tiny free function used in the heuristics' hot loops, where both the
+    latency and the already-evaluated gap are plain floats.
+    """
+    check_finite(latency, "latency")
+    check_finite(gap, "gap")
+    return latency + gap
+
+
+def merge_gap_functions(
+    functions: Sequence[GapFunction],
+    *,
+    reducer=max,
+) -> GapFunction:
+    """Combine several gap functions point-wise.
+
+    Used by the topology layer to derive an *effective* gap for a logical
+    cluster whose members sit behind slightly different NICs: the conservative
+    choice (default) takes the slowest member at every control size.
+    """
+    if len(functions) == 0:
+        raise ValueError("need at least one gap function to merge")
+    all_sizes = sorted({s for f in functions for s in f.sizes})
+    merged = [(size, float(reducer(f(size) for f in functions))) for size in all_sizes]
+    return GapFunction.from_points(merged)

@@ -1,0 +1,193 @@
+"""Completion-time prediction of intra-cluster broadcasts under pLogP.
+
+The grid-aware heuristics of the paper need, for every cluster ``i``, the
+time ``T_i`` its coordinator will take to broadcast the message to the other
+local processes.  The companion papers of the authors (Barchet-Estefanel &
+Mounié, Euro PVM/MPI 2004) predict this time by walking the broadcast tree
+with the pLogP cost model; this module implements those predictions for the
+classic tree shapes.
+
+All predictions share the same timing rules:
+
+* a node that starts sending a message of size ``m`` at time ``t`` is busy
+  until ``t + g(m)`` and may then start its next send;
+* the destination holds the message at ``t + g(m) + L``;
+* the root holds the message at time 0.
+
+The returned value is the time at which the **last** process holds the
+message, i.e. the broadcast makespan inside the cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.model.plogp import PLogPParameters
+from repro.utils.validation import check_non_negative
+
+
+def predict_flat_broadcast(params: PLogPParameters, message_size: float) -> float:
+    """Flat-tree broadcast: the root sends to the ``P - 1`` others in turn.
+
+    The ``k``-th destination (1-based) receives at ``k * g(m) + L``, so the
+    makespan is ``(P - 1) * g(m) + L``.
+    """
+    check_non_negative(message_size, "message_size")
+    p = params.num_procs
+    if p <= 1:
+        return 0.0
+    g = params.gap(message_size)
+    return (p - 1) * g + params.latency
+
+
+def predict_chain_broadcast(params: PLogPParameters, message_size: float) -> float:
+    """Chain (linear pipeline without segmentation) broadcast.
+
+    Each process forwards the full message to the next one, so the makespan is
+    ``(P - 1) * (g(m) + L)``.
+    """
+    check_non_negative(message_size, "message_size")
+    p = params.num_procs
+    if p <= 1:
+        return 0.0
+    return (p - 1) * (params.gap(message_size) + params.latency)
+
+
+def predict_binomial_broadcast(params: PLogPParameters, message_size: float) -> float:
+    """Binomial-tree broadcast makespan under pLogP.
+
+    The prediction walks the binomial tree explicitly: in round ``r`` every
+    process that already holds the message sends it to a new partner.  A
+    process that received the message at time ``t`` performs its own sends
+    back-to-back, each occupying it for ``g(m)`` and delivering ``L`` later.
+    For ``P`` processes there are ``ceil(log2 P)`` rounds and the makespan is
+    the largest delivery time over all processes.
+    """
+    check_non_negative(message_size, "message_size")
+    p = params.num_procs
+    if p <= 1:
+        return 0.0
+    g = params.gap(message_size)
+    latency = params.latency
+
+    # ready_times[k] is the time at which the k-th informed process (in the
+    # order they join the broadcast) holds the message and can start sending.
+    ready_times = [0.0]
+    # next_send_at[k] tracks when process k may inject its next message.
+    next_send_at = [0.0]
+    informed = 1
+    while informed < p:
+        # In a binomial tree every informed process sends to one new process
+        # per round, doubling the informed set (bounded by p).
+        new_ready: list[float] = []
+        for sender in range(informed):
+            if informed + len(new_ready) >= p:
+                break
+            send_start = max(ready_times[sender], next_send_at[sender])
+            next_send_at[sender] = send_start + g
+            new_ready.append(send_start + g + latency)
+        ready_times.extend(new_ready)
+        next_send_at.extend(new_ready)
+        informed = len(ready_times)
+    return max(ready_times)
+
+
+def predict_pipeline_broadcast(
+    params: PLogPParameters,
+    message_size: float,
+    *,
+    segment_size: float = 65_536.0,
+) -> float:
+    """Segmented-pipeline (chain of segments) broadcast makespan.
+
+    The message is cut into ``ceil(m / segment_size)`` segments that flow down
+    a chain of ``P - 1`` hops.  Under pLogP the first segment reaches the last
+    process after ``(P - 1) * (g(s) + L)`` and every additional segment adds
+    one more gap, giving::
+
+        (P - 1) * (g(s) + L) + (S - 1) * g(s)
+
+    where ``s`` is the segment size and ``S`` the number of segments.
+    """
+    check_non_negative(message_size, "message_size")
+    if segment_size <= 0:
+        raise ValueError(f"segment_size must be positive, got {segment_size}")
+    p = params.num_procs
+    if p <= 1:
+        return 0.0
+    if message_size == 0:
+        return (p - 1) * (params.gap(0.0) + params.latency)
+    segments = max(1, math.ceil(message_size / segment_size))
+    actual_segment = message_size / segments
+    g = params.gap(actual_segment)
+    return (p - 1) * (g + params.latency) + (segments - 1) * g
+
+
+#: Registry mapping algorithm names to their prediction function.
+PREDICTORS: dict[str, Callable[..., float]] = {
+    "flat": predict_flat_broadcast,
+    "chain": predict_chain_broadcast,
+    "binomial": predict_binomial_broadcast,
+    "pipeline": predict_pipeline_broadcast,
+}
+
+
+def predict_broadcast_time(
+    params: PLogPParameters,
+    message_size: float,
+    *,
+    algorithm: str = "binomial",
+    **kwargs,
+) -> float:
+    """Predict the intra-cluster broadcast time with a named algorithm.
+
+    Parameters
+    ----------
+    params:
+        The cluster's pLogP parameters (``num_procs`` is the cluster size).
+    message_size:
+        Message size in bytes.
+    algorithm:
+        One of ``"flat"``, ``"chain"``, ``"binomial"`` (default, the shape
+        used by MagPIe and by the paper) or ``"pipeline"``.
+    kwargs:
+        Extra keyword arguments forwarded to the specific predictor (e.g.
+        ``segment_size`` for the pipeline).
+    """
+    try:
+        predictor = PREDICTORS[algorithm]
+    except KeyError as exc:
+        known = ", ".join(sorted(PREDICTORS))
+        raise ValueError(f"unknown broadcast algorithm {algorithm!r}; known: {known}") from exc
+    return predictor(params, message_size, **kwargs)
+
+
+def best_broadcast_algorithm(
+    params: PLogPParameters,
+    message_size: float,
+    *,
+    candidates: tuple[str, ...] = ("flat", "chain", "binomial", "pipeline"),
+) -> tuple[str, float]:
+    """Pick the cheapest intra-cluster broadcast algorithm for a cluster.
+
+    This mirrors the "fast tuning of intra-cluster collective communications"
+    step of the authors' framework: each cluster independently selects the
+    tree shape that minimises its predicted completion time.
+
+    Returns
+    -------
+    (name, predicted_time):
+        The winning algorithm name and its predicted makespan in seconds.
+    """
+    if not candidates:
+        raise ValueError("candidates must not be empty")
+    best_name = None
+    best_time = float("inf")
+    for name in candidates:
+        time = predict_broadcast_time(params, message_size, algorithm=name)
+        if time < best_time:
+            best_name = name
+            best_time = time
+    assert best_name is not None
+    return best_name, best_time

@@ -1,0 +1,115 @@
+"""Personalised all-to-all programs (the second "future work" pattern, paper §8).
+
+In a personalised all-to-all every rank holds one distinct block of
+``chunk_size`` bytes for every other rank.  Two strategies:
+
+* :func:`direct_alltoall_program` — every rank sends its block to every other
+  rank directly; the wide area carries ``n_i * n_j`` messages for every pair
+  of clusters ``(i, j)``.
+* :func:`grid_aware_alltoall_program` — blocks headed for a remote cluster are
+  first gathered at the local coordinator, shipped as a single aggregated
+  message to the remote coordinator, and redistributed locally.  The wide
+  area carries exactly one (large) message per ordered cluster pair.
+
+Both builders produce programs in which *every* rank is initially active
+(every rank owns data from the start); the executor is told so through its
+``initially_active`` parameter.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.program import CommunicationProgram
+from repro.topology.grid import Grid
+from repro.utils.validation import check_non_negative
+
+
+def direct_alltoall_program(grid: Grid, chunk_size: float) -> CommunicationProgram:
+    """Every rank sends its private block to every other rank directly."""
+    check_non_negative(chunk_size, "chunk_size")
+    program = CommunicationProgram(
+        num_ranks=grid.num_nodes, root=0, name="direct-alltoall"
+    )
+    for source in range(grid.num_nodes):
+        for destination in range(grid.num_nodes):
+            if source == destination:
+                continue
+            program.add_send(source, destination, chunk_size, tag="a2a-direct")
+    return program
+
+
+def grid_aware_alltoall_program(grid: Grid, chunk_size: float) -> CommunicationProgram:
+    """Hierarchical all-to-all: aggregate at coordinators, one WAN message per cluster pair.
+
+    Phase 1 (local gather): every non-coordinator rank sends, for each remote
+    cluster, the concatenation of its blocks destined to that cluster to its
+    own coordinator (one message of ``remote_cluster_size * chunk_size``
+    bytes per remote cluster).
+
+    Phase 2 (inter-cluster exchange): each coordinator sends to every remote
+    coordinator one aggregated message containing all blocks from its cluster
+    to the remote cluster (``local_size * remote_size * chunk_size`` bytes).
+
+    Phase 3 (local redistribute): each coordinator delivers to every local
+    rank the blocks it received on that rank's behalf
+    (``(total_ranks - local_size) * chunk_size`` bytes per local rank), plus
+    the purely local exchange between ranks of the same cluster, done
+    directly (one ``chunk_size`` message per local pair).
+
+    The program encodes the phases through the per-rank send order; the
+    executor's dependency rule (a rank may send once activated, and every rank
+    is initially active here) keeps the phases causally consistent because
+    coordinators simply queue their phase-2/3 sends after their phase-1 sends
+    on their own NIC.
+    """
+    check_non_negative(chunk_size, "chunk_size")
+    program = CommunicationProgram(
+        num_ranks=grid.num_nodes, root=0, name="grid-aware-alltoall"
+    )
+    num_clusters = grid.num_clusters
+    total_ranks = grid.num_nodes
+
+    # Phase 1: local gather towards coordinators.
+    for cluster in grid.clusters:
+        coordinator = grid.coordinator_rank(cluster.cluster_id)
+        remote_total = total_ranks - cluster.size
+        if remote_total <= 0:
+            continue
+        for node in cluster.nodes:
+            if node.rank == coordinator:
+                continue
+            program.add_send(
+                node.rank, coordinator, remote_total * chunk_size, tag="a2a-gather"
+            )
+
+    # Phase 2: coordinator-to-coordinator aggregated exchange.
+    for source_cluster in range(num_clusters):
+        source_size = grid.cluster(source_cluster).size
+        source_coord = grid.coordinator_rank(source_cluster)
+        for target_cluster in range(num_clusters):
+            if source_cluster == target_cluster:
+                continue
+            target_size = grid.cluster(target_cluster).size
+            program.add_send(
+                source_coord,
+                grid.coordinator_rank(target_cluster),
+                source_size * target_size * chunk_size,
+                tag="a2a-exchange",
+            )
+
+    # Phase 3: local redistribution + purely local exchanges.
+    for cluster in grid.clusters:
+        coordinator = grid.coordinator_rank(cluster.cluster_id)
+        remote_total = total_ranks - cluster.size
+        for node in cluster.nodes:
+            if node.rank != coordinator and remote_total > 0:
+                program.add_send(
+                    coordinator, node.rank, remote_total * chunk_size, tag="a2a-scatter"
+                )
+        for source in cluster.nodes:
+            for destination in cluster.nodes:
+                if source.rank == destination.rank:
+                    continue
+                program.add_send(
+                    source.rank, destination.rank, chunk_size, tag="a2a-local"
+                )
+    return program

@@ -1,0 +1,156 @@
+"""Broadcast programs: grid-aware (scheduled) and grid-unaware (binomial).
+
+Two program builders live here:
+
+* :func:`grid_aware_bcast_program` converts an inter-cluster
+  :class:`~repro.core.schedule.BroadcastSchedule` into a node-level
+  :class:`~repro.simulator.program.CommunicationProgram`: each coordinator
+  performs its scheduled wide-area sends in order and then broadcasts locally
+  along a tree (binomial by default), which is exactly the MagPIe execution
+  structure the paper modified.
+* :func:`binomial_bcast_program` builds the topology-oblivious binomial tree
+  over **all** ranks, i.e. the "Default LAM" / "pure MPI_Bcast" baseline the
+  paper compares against in Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.trees import make_tree
+from repro.core.schedule import BroadcastSchedule
+from repro.simulator.program import CommunicationProgram
+from repro.topology.grid import Grid
+from repro.utils.validation import check_non_negative
+
+
+def grid_aware_bcast_program(
+    grid: Grid,
+    schedule: BroadcastSchedule,
+    message_size: float,
+    *,
+    local_tree: str = "binomial",
+    local_first: bool = False,
+) -> CommunicationProgram:
+    """Build the node-level program implementing a scheduled hierarchical bcast.
+
+    Parameters
+    ----------
+    grid:
+        The topology the schedule was computed for.
+    schedule:
+        The inter-cluster schedule (its ``num_clusters`` must match the grid).
+    message_size:
+        Payload size in bytes.
+    local_tree:
+        Tree shape used inside every cluster ("binomial" by default).
+    local_first:
+        When ``True`` each coordinator performs its *local* sends before its
+        remaining inter-cluster sends — the "eager local broadcast" variant
+        discussed in DESIGN.md §7.3.  The paper's semantics (local broadcast
+        only once the coordinator no longer participates in inter-cluster
+        traffic) correspond to the default ``False``.
+
+    Returns
+    -------
+    CommunicationProgram
+        A validated broadcast program rooted at the root cluster's coordinator.
+    """
+    check_non_negative(message_size, "message_size")
+    if schedule.num_clusters != grid.num_clusters:
+        raise ValueError(
+            f"schedule covers {schedule.num_clusters} clusters but the grid has "
+            f"{grid.num_clusters}"
+        )
+    root_rank = grid.coordinator_rank(schedule.root)
+    program = CommunicationProgram(
+        num_ranks=grid.num_nodes,
+        root=root_rank,
+        name=f"grid-aware-bcast[{schedule.heuristic_name or 'schedule'}]",
+    )
+
+    # Inter-cluster phase: coordinators follow the schedule order.
+    inter_sends: dict[int, list[int]] = {}
+    for transfer in schedule.transfers:
+        sender_rank = grid.coordinator_rank(transfer.sender)
+        receiver_rank = grid.coordinator_rank(transfer.receiver)
+        inter_sends.setdefault(sender_rank, []).append(receiver_rank)
+
+    # Local phase: each cluster broadcasts along its own tree, coordinator first.
+    local_sends: dict[int, list[tuple[int, int]]] = {}
+    for cluster in grid.clusters:
+        if cluster.size <= 1:
+            continue
+        tree = make_tree(local_tree, cluster.size)
+        base_rank = cluster.coordinator.rank
+        for local_parent, kids in enumerate(tree.children):
+            parent_rank = base_rank + local_parent
+            for local_child in kids:
+                local_sends.setdefault(parent_rank, []).append(
+                    (base_rank + local_child, cluster.cluster_id)
+                )
+
+    for rank in range(grid.num_nodes):
+        phases = (
+            (("local", local_sends.get(rank, [])), ("inter", inter_sends.get(rank, [])))
+            if local_first
+            else (("inter", inter_sends.get(rank, [])), ("local", local_sends.get(rank, [])))
+        )
+        for phase_name, sends in phases:
+            if phase_name == "inter":
+                for destination in sends:
+                    program.add_send(rank, destination, message_size, tag="inter-cluster")
+            else:
+                for destination, cluster_id in sends:
+                    program.add_send(
+                        rank, destination, message_size, tag=f"local-c{cluster_id}"
+                    )
+
+    program.validate_broadcast()
+    return program
+
+
+def binomial_bcast_program(
+    grid: Grid,
+    message_size: float,
+    *,
+    root_rank: int = 0,
+) -> CommunicationProgram:
+    """The grid-unaware binomial broadcast over all ranks ("Default LAM").
+
+    The binomial tree is laid over the global rank order with the root mapped
+    to position 0 (ranks are renumbered relative to the root, exactly like the
+    classic MPI implementations).  Because the rank order interleaves clusters
+    only by construction of the topology, wide-area links end up used many
+    times — which is precisely why the paper's Figure 6 shows this baseline
+    losing to every grid-aware heuristic except the Flat Tree.
+    """
+    check_non_negative(message_size, "message_size")
+    num_ranks = grid.num_nodes
+    if not 0 <= root_rank < num_ranks:
+        raise ValueError(f"root_rank must be a valid rank, got {root_rank}")
+    tree = make_tree("binomial", num_ranks)
+    program = CommunicationProgram(
+        num_ranks=num_ranks, root=root_rank, name="binomial-bcast"
+    )
+    for virtual_parent, kids in enumerate(tree.children):
+        parent_rank = (virtual_parent + root_rank) % num_ranks
+        for virtual_child in kids:
+            child_rank = (virtual_child + root_rank) % num_ranks
+            program.add_send(parent_rank, child_rank, message_size, tag="binomial")
+    program.validate_broadcast()
+    return program
+
+
+def predict_bcast_makespan(
+    grid: Grid,
+    schedule: BroadcastSchedule,
+) -> float:
+    """The model-predicted completion time of a scheduled hierarchical bcast.
+
+    This is simply the schedule's makespan (inter-cluster phase timed by the
+    shared cost model plus the per-cluster ``T_i``); it is what Figure 5 plots
+    and what :mod:`repro.experiments.practical_study` compares against the
+    simulator-measured times of Figure 6.
+    """
+    if schedule.num_clusters != grid.num_clusters:
+        raise ValueError("schedule and grid disagree on the number of clusters")
+    return schedule.makespan

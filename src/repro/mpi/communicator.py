@@ -1,0 +1,175 @@
+"""The user-facing simulated communicator.
+
+:class:`GridCommunicator` is the highest-level entry point of the library: it
+binds a :class:`~repro.topology.grid.Grid` to a
+:class:`~repro.simulator.network.SimulatedNetwork` and exposes MPI-flavoured
+collective calls whose results are simulated executions rather than real
+message exchanges.  It is what the examples and the practical-evaluation
+benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import SchedulingHeuristic
+from repro.core.registry import get_heuristic
+from repro.core.schedule import BroadcastSchedule
+from repro.mpi.alltoall import direct_alltoall_program, grid_aware_alltoall_program
+from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
+from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
+from repro.simulator.execution import ExecutionResult, execute_program
+from repro.simulator.network import NetworkConfig, SimulatedNetwork
+from repro.topology.grid import Grid
+
+
+@dataclass(frozen=True)
+class CollectiveOutcome:
+    """The result of one simulated collective call.
+
+    Attributes
+    ----------
+    schedule:
+        The inter-cluster schedule used (``None`` for grid-unaware baselines
+        and for patterns that do not schedule at the cluster level).
+    predicted_time:
+        Model-predicted completion time in seconds (``None`` when no
+        prediction applies).
+    execution:
+        The simulated execution (per-rank times, trace, makespan).
+    """
+
+    schedule: BroadcastSchedule | None
+    predicted_time: float | None
+    execution: ExecutionResult
+
+    @property
+    def measured_time(self) -> float:
+        """The simulated ("measured") completion time in seconds."""
+        return self.execution.makespan
+
+
+class GridCommunicator:
+    """MPI-style collectives over a simulated grid.
+
+    Parameters
+    ----------
+    grid:
+        The grid topology.
+    network_config:
+        Optional simulator configuration (noise, receive overhead).
+    """
+
+    def __init__(self, grid: Grid, *, network_config: NetworkConfig | None = None) -> None:
+        if not isinstance(grid, Grid):
+            raise TypeError("grid must be a Grid")
+        self.grid = grid
+        self.network = SimulatedNetwork(grid, network_config)
+
+    # -- rank bookkeeping -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks (machines)."""
+        return self.grid.num_nodes
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters."""
+        return self.grid.num_clusters
+
+    def cluster_of(self, rank: int) -> int:
+        """Cluster index owning ``rank``."""
+        return self.grid.cluster_of_rank(rank)
+
+    def coordinator_ranks(self) -> list[int]:
+        """Global rank of every cluster coordinator, in cluster order."""
+        return [self.grid.coordinator_rank(c) for c in range(self.grid.num_clusters)]
+
+    def _resolve_heuristic(self, heuristic: "SchedulingHeuristic | str") -> SchedulingHeuristic:
+        if isinstance(heuristic, str):
+            return get_heuristic(heuristic)
+        if not isinstance(heuristic, SchedulingHeuristic):
+            raise TypeError("heuristic must be a SchedulingHeuristic or a registry key")
+        return heuristic
+
+    # -- collectives ----------------------------------------------------------------
+
+    def bcast(
+        self,
+        message_size: float,
+        *,
+        heuristic: "SchedulingHeuristic | str" = "ecef_la",
+        root_cluster: int = 0,
+        local_tree: str = "binomial",
+        local_first: bool = False,
+    ) -> CollectiveOutcome:
+        """Simulate a grid-aware ``MPI_Bcast``.
+
+        The inter-cluster phase follows the schedule produced by ``heuristic``
+        for ``root_cluster``; each cluster then broadcasts locally along
+        ``local_tree``.
+        """
+        resolved = self._resolve_heuristic(heuristic)
+        schedule = resolved.schedule(self.grid, message_size, root=root_cluster)
+        program = grid_aware_bcast_program(
+            self.grid,
+            schedule,
+            message_size,
+            local_tree=local_tree,
+            local_first=local_first,
+        )
+        execution = execute_program(self.network, program)
+        return CollectiveOutcome(
+            schedule=schedule, predicted_time=schedule.makespan, execution=execution
+        )
+
+    def bcast_binomial(
+        self, message_size: float, *, root_rank: int = 0
+    ) -> CollectiveOutcome:
+        """Simulate the grid-unaware binomial broadcast (the "Default LAM" curve)."""
+        program = binomial_bcast_program(self.grid, message_size, root_rank=root_rank)
+        execution = execute_program(self.network, program)
+        return CollectiveOutcome(schedule=None, predicted_time=None, execution=execution)
+
+    def scatter(
+        self,
+        chunk_size: float,
+        *,
+        heuristic: "SchedulingHeuristic | str" = "ecef_la",
+        root_cluster: int = 0,
+        grid_aware: bool = True,
+    ) -> CollectiveOutcome:
+        """Simulate a personalised scatter (one ``chunk_size`` block per rank)."""
+        if grid_aware:
+            resolved = self._resolve_heuristic(heuristic)
+            program, schedule = grid_aware_scatter_program(
+                self.grid, chunk_size, heuristic=resolved, root_cluster=root_cluster
+            )
+        else:
+            program = flat_scatter_program(
+                self.grid, chunk_size, root_rank=self.grid.coordinator_rank(root_cluster)
+            )
+            schedule = None
+        execution = execute_program(self.network, program)
+        return CollectiveOutcome(
+            schedule=schedule,
+            predicted_time=schedule.makespan if schedule is not None else None,
+            execution=execution,
+        )
+
+    def alltoall(
+        self,
+        chunk_size: float,
+        *,
+        grid_aware: bool = True,
+    ) -> CollectiveOutcome:
+        """Simulate a personalised all-to-all (every rank sends a chunk to every rank)."""
+        if grid_aware:
+            program = grid_aware_alltoall_program(self.grid, chunk_size)
+        else:
+            program = direct_alltoall_program(self.grid, chunk_size)
+        execution = execute_program(
+            self.network, program, initially_active=range(self.grid.num_nodes)
+        )
+        return CollectiveOutcome(schedule=None, predicted_time=None, execution=execution)

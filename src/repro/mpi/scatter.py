@@ -1,0 +1,117 @@
+"""Scatter programs (the first "future work" pattern of paper §8).
+
+A personalised scatter distributes a distinct block of ``chunk_size`` bytes
+from the root to every rank.  Two strategies are provided:
+
+* :func:`flat_scatter_program` — the naive strategy: the root sends every
+  rank its block directly, crossing the wide area once per remote rank.
+* :func:`grid_aware_scatter_program` — the hierarchical strategy: the root
+  coordinator forwards to each remote cluster's coordinator a single
+  aggregated message containing all of that cluster's blocks (ordered by an
+  inter-cluster schedule produced by any of the broadcast heuristics, with
+  per-destination message sizes proportional to the cluster size), and each
+  coordinator then scatters the blocks locally.
+
+The aggregation is what makes the hierarchical strategy win: the wide area is
+crossed once per *cluster* instead of once per *rank*.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SchedulingHeuristic
+from repro.core.schedule import BroadcastSchedule, evaluate_order
+from repro.simulator.program import CommunicationProgram
+from repro.topology.grid import Grid
+from repro.utils.validation import check_non_negative
+
+
+def flat_scatter_program(
+    grid: Grid,
+    chunk_size: float,
+    *,
+    root_rank: int = 0,
+) -> CommunicationProgram:
+    """The root sends each rank its private block directly."""
+    check_non_negative(chunk_size, "chunk_size")
+    program = CommunicationProgram(
+        num_ranks=grid.num_nodes, root=root_rank, name="flat-scatter"
+    )
+    for rank in range(grid.num_nodes):
+        if rank == root_rank:
+            continue
+        program.add_send(root_rank, rank, chunk_size, tag="scatter-direct")
+    return program
+
+
+def grid_aware_scatter_program(
+    grid: Grid,
+    chunk_size: float,
+    *,
+    heuristic: SchedulingHeuristic,
+    root_cluster: int = 0,
+) -> tuple[CommunicationProgram, BroadcastSchedule]:
+    """Hierarchical scatter driven by an inter-cluster schedule.
+
+    The inter-cluster *order* is taken from the broadcast heuristic (it
+    already balances latency, gap and local completion); message sizes are
+    then adjusted per destination: a coordinator receives
+    ``cluster_size * chunk_size`` bytes, because it carries every block of its
+    cluster.  Each coordinator finally performs a local flat scatter of the
+    individual blocks.
+
+    Note that unlike a broadcast, a scatter cannot re-aggregate across
+    clusters: intermediate coordinators would need to hold other clusters'
+    blocks.  We therefore restrict the schedule to sends emitted by the root
+    cluster (a "scheduled flat tree" at the cluster level), which is the
+    standard MagPIe-style structure for personalised operations, ordered by
+    the heuristic's priorities.
+
+    Returns
+    -------
+    (program, schedule):
+        The node-level program and the cluster-level schedule whose order was
+        used (with per-cluster aggregated sizes in the recorded transfers).
+    """
+    check_non_negative(chunk_size, "chunk_size")
+    schedule = heuristic.schedule(
+        grid, chunk_size * max(c.size for c in grid.clusters), root=root_cluster
+    )
+    # Keep only the ordering information: rank remote clusters by the arrival
+    # times the heuristic produced, then have the root contact them in that
+    # order (personalised data cannot be relayed through other clusters).
+    remote_clusters = sorted(
+        (c for c in range(grid.num_clusters) if c != root_cluster),
+        key=lambda c: schedule.arrival_times[c],
+    )
+    order = [(root_cluster, cluster) for cluster in remote_clusters]
+    aggregated_sizes = [grid.cluster(c).size * chunk_size for c in range(grid.num_clusters)]
+    cluster_schedule = evaluate_order(
+        grid,
+        chunk_size,
+        root_cluster,
+        order,
+        heuristic_name=f"scatter[{heuristic.name}]",
+        broadcast_times=[0.0] * grid.num_clusters,
+    )
+
+    root_rank = grid.coordinator_rank(root_cluster)
+    program = CommunicationProgram(
+        num_ranks=grid.num_nodes, root=root_rank, name=f"grid-aware-scatter[{heuristic.name}]"
+    )
+    # Inter-cluster phase: aggregated block per remote cluster.
+    for _, cluster in order:
+        program.add_send(
+            root_rank,
+            grid.coordinator_rank(cluster),
+            aggregated_sizes[cluster],
+            tag="scatter-aggregate",
+        )
+    # Local phase: every coordinator (including the root's own cluster) hands
+    # each local rank its private block.
+    for cluster in grid.clusters:
+        coordinator = grid.coordinator_rank(cluster.cluster_id)
+        for node in cluster.nodes:
+            if node.rank == coordinator:
+                continue
+            program.add_send(coordinator, node.rank, chunk_size, tag="scatter-local")
+    return program, cluster_schedule

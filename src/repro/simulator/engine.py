@@ -1,0 +1,98 @@
+"""A minimal, deterministic discrete-event engine.
+
+The engine keeps a priority queue of ``(time, sequence, callback)`` events.
+The sequence number makes the ordering of simultaneous events deterministic
+(FIFO in scheduling order), which keeps simulated "measurements" reproducible
+across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.utils.validation import check_non_negative
+
+EventCallback = Callable[[], None]
+
+
+class SimulationEngine:
+    """Event-queue simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, EventCallback]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed since construction."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run at absolute simulation time ``time``."""
+        check_non_negative(time, "time")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before the current time {self._now}"
+            )
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        check_non_negative(delay, "delay")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the queue drains (or a limit is reached).
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events scheduled strictly after it stay queued.
+        max_events:
+            Optional safety valve against runaway callback loops.
+
+        Returns
+        -------
+        float
+            The simulation time after the last processed event.
+        """
+        if until is not None:
+            check_non_negative(until, "until")
+        executed = 0
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and not self._queue:
+            self._now = max(self._now, until) if executed == 0 else self._now
+        return self._now
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._sequence = 0
+        self._processed = 0

@@ -1,0 +1,161 @@
+"""Communication programs: per-rank ordered send lists.
+
+All the simulated collectives (grid-aware broadcast, grid-unaware binomial,
+scatter, all-to-all) reduce to the same execution pattern: *once a machine
+holds the payload it needs, it sends messages to a fixed list of destinations,
+in a fixed order*.  A :class:`CommunicationProgram` captures exactly that —
+the "what", leaving the "when" to the executor and the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class SendInstruction:
+    """One send a machine must perform once it is activated.
+
+    Attributes
+    ----------
+    destination:
+        Global rank of the receiving machine.
+    message_size:
+        Payload size in bytes.
+    tag:
+        Free-form label recorded in the trace (e.g. ``"inter-cluster"`` or
+        ``"local"``); has no effect on timing.
+    """
+
+    destination: int
+    message_size: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.destination, bool) or not isinstance(self.destination, int):
+            raise TypeError("destination must be an int")
+        if self.destination < 0:
+            raise ValueError(f"destination must be non-negative, got {self.destination}")
+        check_non_negative(self.message_size, "message_size")
+
+
+@dataclass
+class CommunicationProgram:
+    """A dissemination program over ``num_ranks`` machines.
+
+    Attributes
+    ----------
+    num_ranks:
+        Total number of machines.
+    root:
+        Rank that is active from time zero (it initially holds the payload).
+    sends:
+        ``sends[rank]`` is the ordered list of :class:`SendInstruction` the
+        rank performs once activated.  Ranks that never receive anything and
+        are not the root simply stay idle.
+    name:
+        Label of the collective that produced the program.
+    """
+
+    num_ranks: int
+    root: int
+    sends: dict[int, list[SendInstruction]] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.num_ranks, bool) or not isinstance(self.num_ranks, int):
+            raise TypeError("num_ranks must be an int")
+        if self.num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {self.num_ranks}")
+        if not 0 <= self.root < self.num_ranks:
+            raise ValueError(f"root must be a valid rank, got {self.root}")
+        for rank, instructions in self.sends.items():
+            if not 0 <= rank < self.num_ranks:
+                raise ValueError(f"sender rank {rank} out of range")
+            for instruction in instructions:
+                if not isinstance(instruction, SendInstruction):
+                    raise TypeError("sends must contain SendInstruction values")
+                if instruction.destination >= self.num_ranks:
+                    raise ValueError(
+                        f"destination {instruction.destination} out of range"
+                    )
+                if instruction.destination == rank:
+                    raise ValueError(f"rank {rank} sends to itself")
+
+    def add_send(
+        self, sender: int, destination: int, message_size: float, *, tag: str = ""
+    ) -> None:
+        """Append one send to ``sender``'s instruction list."""
+        instruction = SendInstruction(
+            destination=destination, message_size=message_size, tag=tag
+        )
+        if not 0 <= sender < self.num_ranks:
+            raise ValueError(f"sender rank {sender} out of range")
+        if destination == sender:
+            raise ValueError(f"rank {sender} cannot send to itself")
+        if destination >= self.num_ranks:
+            raise ValueError(f"destination {destination} out of range")
+        self.sends.setdefault(sender, []).append(instruction)
+
+    def sends_of(self, rank: int) -> list[SendInstruction]:
+        """The (possibly empty) instruction list of ``rank``."""
+        return list(self.sends.get(rank, []))
+
+    def total_messages(self) -> int:
+        """Total number of point-to-point messages in the program."""
+        return sum(len(instructions) for instructions in self.sends.values())
+
+    def total_bytes(self) -> float:
+        """Total payload volume injected into the network (bytes)."""
+        return sum(
+            instruction.message_size
+            for instructions in self.sends.values()
+            for instruction in instructions
+        )
+
+    def receivers(self) -> set[int]:
+        """All ranks that appear as a destination at least once."""
+        return {
+            instruction.destination
+            for instructions in self.sends.values()
+            for instruction in instructions
+        }
+
+    def validate_broadcast(self) -> None:
+        """Check that the program is a well-formed broadcast dissemination.
+
+        Every non-root rank must receive exactly one message, and every sender
+        must be reachable from the root through earlier sends (the executor
+        would deadlock otherwise).
+        """
+        incoming: dict[int, int] = {}
+        for instructions in self.sends.values():
+            for instruction in instructions:
+                incoming[instruction.destination] = (
+                    incoming.get(instruction.destination, 0) + 1
+                )
+        if self.root in incoming:
+            raise ValueError("the root must not receive the broadcast payload")
+        duplicates = {rank for rank, count in incoming.items() if count > 1}
+        if duplicates:
+            raise ValueError(f"ranks {sorted(duplicates)} receive more than once")
+        missing = set(range(self.num_ranks)) - {self.root} - set(incoming)
+        if missing:
+            raise ValueError(f"ranks {sorted(missing)} never receive the payload")
+        # reachability: senders must receive before they send
+        informed = {self.root}
+        frontier = [self.root]
+        while frontier:
+            sender = frontier.pop()
+            for instruction in self.sends.get(sender, []):
+                if instruction.destination not in informed:
+                    informed.add(instruction.destination)
+                    frontier.append(instruction.destination)
+        idle_senders = set(self.sends) - informed
+        idle_senders = {rank for rank in idle_senders if self.sends.get(rank)}
+        if idle_senders:
+            raise ValueError(
+                f"ranks {sorted(idle_senders)} have sends but never receive the payload"
+            )

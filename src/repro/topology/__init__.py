@@ -1,0 +1,65 @@
+"""Grid topology modelling.
+
+A *grid* in the sense of the paper is a two-level hierarchy:
+
+* a set of **clusters** (each a group of machines behind a fast local
+  interconnect, represented by :class:`~repro.topology.cluster.Cluster`),
+* connected pairwise by **inter-cluster links** whose pLogP parameters
+  (latency ``L_{i,j}`` and gap ``g_{i,j}(m)``) are stored in a
+  :class:`~repro.topology.grid.Grid`.
+
+The sub-package also provides:
+
+* :mod:`~repro.topology.links` -- the communication-level taxonomy of the
+  paper's Table 1 and per-level default link parameters,
+* :mod:`~repro.topology.generators` -- random grid generators implementing the
+  Monte-Carlo parameter ranges of Table 2,
+* :mod:`~repro.topology.grid5000` -- the 88-machine, 6-cluster GRID5000
+  excerpt of Table 3 used by the practical evaluation, and
+* :mod:`~repro.topology.clustering` -- Lowekamp-style identification of
+  logical homogeneous clusters from a full node-to-node latency matrix.
+"""
+
+from repro.topology.node import Node
+from repro.topology.cluster import Cluster
+from repro.topology.grid import Grid, InterClusterLink
+from repro.topology.links import (
+    CommunicationLevel,
+    LinkParameters,
+    classify_latency,
+    default_link_parameters,
+)
+from repro.topology.generators import (
+    ParameterRanges,
+    RandomGridGenerator,
+    make_uniform_grid,
+)
+from repro.topology.grid5000 import (
+    GRID5000_CLUSTER_NAMES,
+    GRID5000_CLUSTER_SIZES,
+    GRID5000_LATENCY_US,
+    build_grid5000_topology,
+    build_node_latency_matrix,
+)
+from repro.topology.clustering import LogicalCluster, identify_logical_clusters
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "Grid",
+    "InterClusterLink",
+    "CommunicationLevel",
+    "LinkParameters",
+    "classify_latency",
+    "default_link_parameters",
+    "ParameterRanges",
+    "RandomGridGenerator",
+    "make_uniform_grid",
+    "GRID5000_CLUSTER_NAMES",
+    "GRID5000_CLUSTER_SIZES",
+    "GRID5000_LATENCY_US",
+    "build_grid5000_topology",
+    "build_node_latency_matrix",
+    "LogicalCluster",
+    "identify_logical_clusters",
+]

@@ -1,0 +1,157 @@
+"""A cluster: a group of machines behind a homogeneous local interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.plogp import PLogPParameters
+from repro.model.prediction import predict_broadcast_time
+from repro.topology.node import Node
+from repro.utils.validation import check_non_negative
+
+
+@dataclass
+class Cluster:
+    """One (logical) homogeneous cluster of the grid.
+
+    A cluster owns its machines and knows how expensive a *local* broadcast
+    is.  The paper uses that local broadcast time, noted ``T_i``, as a first
+    class scheduling input of the grid-aware heuristics.  Two ways of defining
+    ``T_i`` are supported:
+
+    * give the intra-cluster pLogP parameters (``intra_params``) and an
+      algorithm name, in which case ``T_i`` is *predicted* with
+      :func:`repro.model.prediction.predict_broadcast_time` — this is what the
+      practical evaluation (Figures 5/6) does; or
+    * give a ``fixed_broadcast_time``, in which case that value is returned
+      for every message size — this is what the Monte-Carlo study of Table 2
+      does, where ``T`` is drawn uniformly from [20 ms, 3000 ms].
+
+    Attributes
+    ----------
+    cluster_id:
+        Zero-based index of the cluster inside its grid.
+    name:
+        Human-readable name (e.g. ``"Orsay"``).
+    size:
+        Number of machines (>= 1).
+    intra_params:
+        Optional intra-cluster pLogP parameters.  When provided its
+        ``num_procs`` is forced to ``size``.
+    broadcast_algorithm:
+        Tree shape used for the local broadcast ("binomial" by default, like
+        MagPIe and the paper).
+    fixed_broadcast_time:
+        Optional size-independent local broadcast time in seconds.
+    """
+
+    cluster_id: int
+    name: str = ""
+    size: int = 1
+    intra_params: Optional[PLogPParameters] = None
+    broadcast_algorithm: str = "binomial"
+    fixed_broadcast_time: Optional[float] = None
+    _nodes: list[Node] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.cluster_id, bool) or not isinstance(self.cluster_id, int):
+            raise TypeError("cluster_id must be an int")
+        if self.cluster_id < 0:
+            raise ValueError(f"cluster_id must be non-negative, got {self.cluster_id}")
+        if isinstance(self.size, bool) or not isinstance(self.size, int):
+            raise TypeError("size must be an int")
+        if self.size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {self.size}")
+        if not self.name:
+            self.name = f"cluster{self.cluster_id}"
+        if self.fixed_broadcast_time is not None:
+            check_non_negative(self.fixed_broadcast_time, "fixed_broadcast_time")
+        if self.intra_params is not None and self.intra_params.num_procs != self.size:
+            self.intra_params = PLogPParameters(
+                latency=self.intra_params.latency,
+                gap=self.intra_params.gap,
+                num_procs=self.size,
+            )
+        if self.fixed_broadcast_time is None and self.intra_params is None and self.size > 1:
+            raise ValueError(
+                f"cluster {self.name!r} has {self.size} nodes but neither "
+                "intra_params nor fixed_broadcast_time was provided"
+            )
+
+    # -- nodes -----------------------------------------------------------------
+
+    def build_nodes(self, first_rank: int) -> list[Node]:
+        """Materialise the cluster's :class:`Node` objects.
+
+        Called by :class:`repro.topology.grid.Grid` when the grid is
+        assembled; ranks are assigned contiguously starting at ``first_rank``
+        and the first node becomes the coordinator.
+        """
+        if first_rank < 0:
+            raise ValueError(f"first_rank must be non-negative, got {first_rank}")
+        self._nodes = [
+            Node(
+                rank=first_rank + index,
+                cluster_id=self.cluster_id,
+                local_index=index,
+                hostname=f"{self.name}-{index}" if self.name else "",
+            )
+            for index in range(self.size)
+        ]
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """The cluster's nodes (empty until :meth:`build_nodes` is called)."""
+        return list(self._nodes)
+
+    @property
+    def coordinator(self) -> Node:
+        """The cluster coordinator (the node holding rank ``first_rank``)."""
+        if not self._nodes:
+            raise RuntimeError(
+                f"cluster {self.name!r} has no materialised nodes; "
+                "add it to a Grid (or call build_nodes) first"
+            )
+        return self._nodes[0]
+
+    # -- local broadcast cost ---------------------------------------------------
+
+    def broadcast_time(self, message_size: float) -> float:
+        """Local broadcast time ``T_i`` for a message of ``message_size`` bytes.
+
+        Returns 0 for single-node clusters: there is nobody to forward the
+        message to once the coordinator holds it.
+        """
+        check_non_negative(message_size, "message_size")
+        if self.size <= 1:
+            return 0.0
+        if self.fixed_broadcast_time is not None:
+            return self.fixed_broadcast_time
+        assert self.intra_params is not None  # enforced in __post_init__
+        return predict_broadcast_time(
+            self.intra_params, message_size, algorithm=self.broadcast_algorithm
+        )
+
+    def with_fixed_broadcast_time(self, value: float) -> "Cluster":
+        """Return a copy of this cluster with an overridden ``T_i``.
+
+        Useful for sensitivity analyses where the intra-cluster cost is swept
+        independently of the cluster's physical description.
+        """
+        check_non_negative(value, "value")
+        return Cluster(
+            cluster_id=self.cluster_id,
+            name=self.name,
+            size=self.size,
+            intra_params=self.intra_params,
+            broadcast_algorithm=self.broadcast_algorithm,
+            fixed_broadcast_time=value,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(id={self.cluster_id}, name={self.name!r}, size={self.size}, "
+            f"algorithm={self.broadcast_algorithm!r})"
+        )

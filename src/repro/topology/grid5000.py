@@ -1,0 +1,194 @@
+"""The 88-machine, 6-cluster GRID5000 excerpt of the paper's Table 3.
+
+Section 7 of the paper runs the heuristics on 88 GRID5000 machines split into
+six *logical* clusters by Lowekamp's algorithm (tolerance ρ = 30 %)::
+
+    Cluster 0:  31 x Orsay
+    Cluster 1:  29 x Orsay
+    Cluster 2:   6 x IDPOT
+    Cluster 3:   1 x IDPOT
+    Cluster 4:   1 x IDPOT
+    Cluster 5:  20 x Toulouse
+
+Table 3 publishes the latency (in microseconds) between every pair of
+clusters and, on the diagonal, between two machines of the same cluster.  The
+paper does **not** publish the corresponding gap/bandwidth figures, so we
+derive them from the communication level of each link (WAN for inter-site,
+LAN for intra-site / intra-cluster), as documented in DESIGN.md §4.  The
+absolute completion times therefore will not match the paper's to the
+millisecond, but the curve shapes and the heuristic ranking of Figures 5/6 do
+not depend on that calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.plogp import GapFunction, PLogPParameters
+from repro.topology.cluster import Cluster
+from repro.topology.grid import Grid, InterClusterLink
+from repro.topology.links import CommunicationLevel, classify_latency, default_link_parameters
+from repro.utils.units import us_to_s
+
+#: Cluster composition of Table 3 (name, number of machines).
+GRID5000_CLUSTER_NAMES: tuple[str, ...] = (
+    "Orsay-A",
+    "Orsay-B",
+    "IDPOT-A",
+    "IDPOT-B",
+    "IDPOT-C",
+    "Toulouse",
+)
+
+GRID5000_CLUSTER_SIZES: tuple[int, ...] = (31, 29, 6, 1, 1, 20)
+
+#: Table 3 verbatim: latency in microseconds between clusters (off-diagonal)
+#: and between two machines of the same cluster (diagonal).  The paper leaves
+#: the diagonal of the single-machine clusters empty ("-"); we keep a nominal
+#: localhost value there, it is never used (a one-machine cluster performs no
+#: local broadcast).
+GRID5000_LATENCY_US: tuple[tuple[float, ...], ...] = (
+    (47.56, 62.10, 12181.52, 12187.24, 12197.49, 5210.99),
+    (62.10, 47.92, 12181.52, 12198.03, 12195.22, 5211.47),
+    (12181.52, 12181.52, 35.52, 60.08, 60.08, 5388.49),
+    (12187.24, 12198.03, 60.08, 20.0, 242.47, 5393.98),
+    (12197.49, 12195.22, 60.08, 242.47, 20.0, 5394.10),
+    (5210.99, 5211.47, 5388.49, 5393.98, 5394.10, 27.53),
+)
+
+#: Nominal NIC bandwidth (bytes/second) attributed to each communication
+#: level when deriving gap functions for the Table 3 links; see DESIGN.md §4.
+DEFAULT_BANDWIDTHS: dict[CommunicationLevel, float] = {
+    CommunicationLevel.WAN: 40e6,
+    CommunicationLevel.LAN: 110e6,
+    CommunicationLevel.LOCALHOST: 400e6,
+    CommunicationLevel.SHARED_MEMORY: 1.5e9,
+}
+
+#: Single-stream TCP window assumed for the 2005-era wide-area links (bytes).
+#: Long-haul throughput in the paper's measurements is window-limited, which
+#: is what makes a single 4 MB wide-area transfer cost on the order of a
+#: second and the Flat Tree several times slower than the ECEF family.
+DEFAULT_TCP_WINDOW = 64 * 1024
+
+
+def effective_bandwidth(
+    latency_seconds: float,
+    *,
+    tcp_window: float = DEFAULT_TCP_WINDOW,
+) -> float:
+    """Window-limited single-stream throughput of a link.
+
+    A single TCP stream cannot exceed ``window / RTT``; the effective
+    bandwidth of a link is the minimum of that limit and the nominal NIC
+    bandwidth of its communication level.  On local-area links the window
+    limit is far above the NIC rate, so only wide-area links are affected.
+    """
+    level = classify_latency(latency_seconds)
+    nominal = DEFAULT_BANDWIDTHS[level]
+    round_trip = 2.0 * latency_seconds
+    if round_trip <= 0.0:
+        return nominal
+    return min(nominal, tcp_window / round_trip)
+
+
+def _gap_for_latency(latency_seconds: float) -> GapFunction:
+    """Derive a gap function for a link, given only its latency.
+
+    The latency fixes the communication level (Table 1); the level fixes the
+    per-message overhead, and the bandwidth is the window-limited effective
+    throughput of :func:`effective_bandwidth`.
+    """
+    level = classify_latency(latency_seconds)
+    defaults = default_link_parameters(level)
+    return GapFunction.from_bandwidth(
+        overhead=defaults.overhead, bandwidth=effective_bandwidth(latency_seconds)
+    )
+
+
+def build_grid5000_topology(*, broadcast_algorithm: str = "binomial") -> Grid:
+    """Build the Table 3 grid as a :class:`~repro.topology.grid.Grid`.
+
+    Parameters
+    ----------
+    broadcast_algorithm:
+        Intra-cluster broadcast tree used to predict the ``T_i`` values
+        ("binomial" by default, as in MagPIe and the paper).
+    """
+    latencies_us = np.asarray(GRID5000_LATENCY_US, dtype=float)
+    clusters: list[Cluster] = []
+    for index, (name, size) in enumerate(zip(GRID5000_CLUSTER_NAMES, GRID5000_CLUSTER_SIZES)):
+        intra_latency = us_to_s(latencies_us[index, index])
+        intra_params = PLogPParameters(
+            latency=intra_latency,
+            gap=_gap_for_latency(intra_latency),
+            num_procs=size,
+        )
+        clusters.append(
+            Cluster(
+                cluster_id=index,
+                name=name,
+                size=size,
+                intra_params=intra_params,
+                broadcast_algorithm=broadcast_algorithm,
+            )
+        )
+    links: dict[tuple[int, int], InterClusterLink] = {}
+    count = len(clusters)
+    for i in range(count):
+        for j in range(i + 1, count):
+            latency = us_to_s(latencies_us[i, j])
+            links[(i, j)] = InterClusterLink(latency=latency, gap=_gap_for_latency(latency))
+    return Grid(clusters, links, name="grid5000-88-machines")
+
+
+def build_node_latency_matrix(
+    *,
+    jitter: float = 0.0,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Synthesise a full 88x88 node-to-node latency matrix from Table 3.
+
+    Two machines of the same cluster are separated by the cluster's diagonal
+    latency; machines of different clusters by the corresponding off-diagonal
+    entry.  An optional multiplicative ``jitter`` (relative standard
+    deviation) perturbs each pair independently, which is how the clustering
+    tests exercise Lowekamp's tolerance parameter ρ.
+
+    Returns
+    -------
+    numpy.ndarray
+        Symmetric matrix of one-way latencies in seconds, with a zero
+        diagonal.
+    """
+    if jitter < 0:
+        raise ValueError(f"jitter must be non-negative, got {jitter}")
+    sizes = GRID5000_CLUSTER_SIZES
+    total = sum(sizes)
+    cluster_of = np.empty(total, dtype=int)
+    position = 0
+    for cluster_index, size in enumerate(sizes):
+        cluster_of[position : position + size] = cluster_index
+        position += size
+    base_us = np.asarray(GRID5000_LATENCY_US, dtype=float)
+    matrix = base_us[np.ix_(cluster_of, cluster_of)] * 1e-6
+    np.fill_diagonal(matrix, 0.0)
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(loc=1.0, scale=jitter, size=matrix.shape)
+        noise = np.clip(noise, 0.5, 1.5)
+        noise = np.triu(noise, k=1)
+        noise = noise + noise.T + np.eye(total)
+        matrix = matrix * noise
+        np.fill_diagonal(matrix, 0.0)
+    # enforce exact symmetry (floating point hygiene for downstream tools)
+    matrix = (matrix + matrix.T) / 2.0
+    return matrix
+
+
+def cluster_membership() -> list[int]:
+    """Ground-truth cluster index of each of the 88 machines, in rank order."""
+    membership: list[int] = []
+    for cluster_index, size in enumerate(GRID5000_CLUSTER_SIZES):
+        membership.extend([cluster_index] * size)
+    return membership

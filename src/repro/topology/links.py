@@ -1,0 +1,123 @@
+"""Communication levels and per-level default link parameters.
+
+Table 1 of the paper (after Lacour, Karonis & Foster) orders interconnects by
+latency::
+
+    Level 0      >  Level 1   >  Level 2        >  Level 3, 4, ...
+    WAN-TCP         LAN-TCP      localhost-TCP     shared memory / Myrinet / vendor MPI
+
+We keep that taxonomy as :class:`CommunicationLevel` and attach to each level
+a set of default pLogP link parameters (latency and bandwidth) that are used
+whenever a topology only specifies *which kind* of link connects two entities
+(for instance when synthesising node-level detail for the Table 3 grid, whose
+paper source only publishes latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.model.plogp import GapFunction, PLogPParameters
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CommunicationLevel(IntEnum):
+    """The four-level hierarchy of Table 1 (lower level = higher latency)."""
+
+    WAN = 0
+    LAN = 1
+    LOCALHOST = 2
+    SHARED_MEMORY = 3
+
+    def describe(self) -> str:
+        """Human-readable description matching the paper's Table 1."""
+        return {
+            CommunicationLevel.WAN: "level 0: WAN-TCP (wide-area links between sites)",
+            CommunicationLevel.LAN: "level 1: LAN-TCP (links inside a site)",
+            CommunicationLevel.LOCALHOST: "level 2: localhost-TCP (processes on one machine)",
+            CommunicationLevel.SHARED_MEMORY: "level 3+: shared memory / Myrinet / vendor MPI",
+        }[self]
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """pLogP description of one class of link.
+
+    Attributes
+    ----------
+    latency:
+        One-way latency in seconds.
+    bandwidth:
+        Asymptotic bandwidth in bytes per second.
+    overhead:
+        Fixed per-message software overhead in seconds (added to the gap).
+    level:
+        The communication level this link belongs to.
+    """
+
+    latency: float
+    bandwidth: float
+    overhead: float
+    level: CommunicationLevel
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency, "latency")
+        check_positive(self.bandwidth, "bandwidth")
+        check_non_negative(self.overhead, "overhead")
+
+    def gap_function(self) -> GapFunction:
+        """The affine gap function implied by bandwidth and overhead."""
+        return GapFunction.from_bandwidth(overhead=self.overhead, bandwidth=self.bandwidth)
+
+    def plogp(self, num_procs: int = 2) -> PLogPParameters:
+        """Bundle this link class as pLogP parameters."""
+        return PLogPParameters(
+            latency=self.latency, gap=self.gap_function(), num_procs=num_procs
+        )
+
+
+#: Default link classes.  Latencies follow the orders of magnitude of the
+#: paper's Table 3 (tens of microseconds inside a cluster, ~5 ms between
+#: nearby sites, ~12 ms on the long WAN path); bandwidths follow the GRID5000
+#: hardware of the era (Gigabit Ethernet locally, a few hundred Mbit/s across
+#: the wide area, see DESIGN.md §4 for the substitution note).
+DEFAULT_LINK_CLASSES: dict[CommunicationLevel, LinkParameters] = {
+    CommunicationLevel.WAN: LinkParameters(
+        latency=10e-3, bandwidth=40e6, overhead=1e-3, level=CommunicationLevel.WAN
+    ),
+    CommunicationLevel.LAN: LinkParameters(
+        latency=100e-6, bandwidth=110e6, overhead=50e-6, level=CommunicationLevel.LAN
+    ),
+    CommunicationLevel.LOCALHOST: LinkParameters(
+        latency=20e-6, bandwidth=400e6, overhead=10e-6, level=CommunicationLevel.LOCALHOST
+    ),
+    CommunicationLevel.SHARED_MEMORY: LinkParameters(
+        latency=2e-6, bandwidth=1.5e9, overhead=1e-6, level=CommunicationLevel.SHARED_MEMORY
+    ),
+}
+
+
+def default_link_parameters(level: CommunicationLevel) -> LinkParameters:
+    """Return the default :class:`LinkParameters` for a communication level."""
+    if not isinstance(level, CommunicationLevel):
+        raise TypeError("level must be a CommunicationLevel")
+    return DEFAULT_LINK_CLASSES[level]
+
+
+def classify_latency(latency_seconds: float) -> CommunicationLevel:
+    """Classify a measured latency into a communication level.
+
+    The thresholds reflect Table 1's ordering: anything above one millisecond
+    is treated as a wide-area link, sub-millisecond TCP as LAN, tens of
+    microseconds as localhost loopback, and single-digit microseconds as a
+    shared-memory class interconnect.
+    """
+    check_non_negative(latency_seconds, "latency_seconds")
+    if latency_seconds >= 1e-3:
+        return CommunicationLevel.WAN
+    if latency_seconds >= 50e-6:
+        return CommunicationLevel.LAN
+    if latency_seconds >= 5e-6:
+        return CommunicationLevel.LOCALHOST
+    return CommunicationLevel.SHARED_MEMORY

@@ -1,0 +1,52 @@
+"""A single machine (MPI process host) in the grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Node:
+    """One machine of the grid.
+
+    The paper treats machines and MPI processes interchangeably (one process
+    per machine), so a :class:`Node` doubles as the identity of an MPI rank in
+    the simulated layer of :mod:`repro.mpi`.
+
+    Attributes
+    ----------
+    rank:
+        Global, zero-based rank of the node across the whole grid.  Ranks are
+        unique and stable; they are what appears in schedules and traces.
+    cluster_id:
+        Index of the cluster this node belongs to.
+    local_index:
+        Zero-based index of the node inside its cluster; the node with
+        ``local_index == 0`` is the cluster *coordinator* by convention.
+    hostname:
+        Optional human-readable name (e.g. ``"orsay-12"``); purely cosmetic.
+    """
+
+    rank: int
+    cluster_id: int
+    local_index: int
+    hostname: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("rank", "cluster_id", "local_index"):
+            value = getattr(self, field_name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"{field_name} must be an int, got {type(value).__name__}")
+            if value < 0:
+                raise ValueError(f"{field_name} must be non-negative, got {value}")
+
+    @property
+    def is_coordinator(self) -> bool:
+        """Whether this node is its cluster's coordinator (local index 0)."""
+        return self.local_index == 0
+
+    def label(self) -> str:
+        """A short display label, preferring the hostname when available."""
+        if self.hostname:
+            return self.hostname
+        return f"c{self.cluster_id}n{self.local_index}"

@@ -1,0 +1,59 @@
+"""Unit conversions.
+
+Internally the whole library works in **seconds** and **bytes**.  The paper,
+however, quotes latencies in milliseconds (Table 2) and microseconds
+(Table 3), gaps in milliseconds, and message sizes in megabytes.  These tiny
+helpers keep the conversions explicit and greppable instead of sprinkling
+magic ``* 1e-3`` factors across the code base.
+"""
+
+from __future__ import annotations
+
+BYTES_PER_KIB = 1024
+"""Number of bytes in one kibibyte."""
+
+BYTES_PER_MIB = 1024 * 1024
+"""Number of bytes in one mebibyte (the paper's "1 MB" broadcast)."""
+
+BYTES_PER_MB = 1_000_000
+"""Number of bytes in one (decimal) megabyte, used on figure axes."""
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * 1e-3
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def us_to_s(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds * 1e-6
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def mib_to_bytes(mebibytes: float) -> int:
+    """Convert mebibytes to bytes (rounded to an integer byte count)."""
+    return int(round(mebibytes * BYTES_PER_MIB))
+
+
+def bytes_to_mib(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / BYTES_PER_MIB
+
+
+def mb_to_bytes(megabytes: float) -> int:
+    """Convert decimal megabytes to bytes."""
+    return int(round(megabytes * BYTES_PER_MB))
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert bytes to decimal megabytes."""
+    return num_bytes / BYTES_PER_MB

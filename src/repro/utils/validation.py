@@ -1,0 +1,135 @@
+"""Argument-validation helpers.
+
+The public API of the library is intentionally strict: invalid inputs fail
+fast with a descriptive :class:`ValueError` or :class:`TypeError` rather than
+propagating NaNs or silently producing nonsensical schedules.  All checks are
+centralised here so that error messages stay consistent across sub-packages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Type
+
+
+def check_type(value: Any, types: Type | tuple[Type, ...], name: str) -> Any:
+    """Ensure ``value`` is an instance of ``types``.
+
+    Parameters
+    ----------
+    value:
+        The value to check.
+    types:
+        A type or tuple of acceptable types.
+    name:
+        Parameter name used in the error message.
+
+    Returns
+    -------
+    The value itself, unchanged, so the helper can be used inline.
+
+    Raises
+    ------
+    TypeError
+        If ``value`` is not an instance of ``types``.
+    """
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(
+            f"{name} must be of type {expected}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite real number.
+
+    Booleans are rejected even though they are ``int`` subclasses, because a
+    boolean latency or gap is almost always a bug at the call site.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite number ``>= 0``."""
+    value = check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite number ``> 0``."""
+    value = check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    value = check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Ensure ``value`` lies within ``[low, high]`` (or ``(low, high)``).
+
+    Parameters
+    ----------
+    value:
+        Value to check.
+    low, high:
+        Interval bounds.
+    name:
+        Parameter name used in the error message.
+    inclusive:
+        When ``True`` (default) the bounds are allowed; otherwise the interval
+        is open.
+    """
+    value = check_finite(value, name)
+    if inclusive:
+        ok = low <= value <= high
+        interval = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        interval = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must lie in {interval}, got {value!r}")
+    return value
+
+
+def check_index(value: int, size: int, name: str) -> int:
+    """Ensure ``value`` is a valid index into a collection of ``size`` items."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise ValueError(f"{name} must lie in [0, {size}), got {value}")
+    return value
+
+
+def check_unique(values: Iterable[Any], name: str) -> list[Any]:
+    """Ensure an iterable contains no duplicates; return it as a list."""
+    values = list(values)
+    seen: set[Any] = set()
+    for item in values:
+        if item in seen:
+            raise ValueError(f"{name} contains duplicate entry {item!r}")
+        seen.add(item)
+    return values

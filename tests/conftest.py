@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.cluster import Cluster
+from repro.topology.generators import RandomGridGenerator, make_uniform_grid
+from repro.topology.grid import Grid, InterClusterLink
+from repro.topology.grid5000 import build_grid5000_topology
+from repro.utils.rng import RandomStream
+
+
+@pytest.fixture
+def uniform_grid() -> Grid:
+    """A 4-cluster homogeneous grid (every link and cluster identical)."""
+    return make_uniform_grid(4, cluster_size=8)
+
+
+@pytest.fixture
+def heterogeneous_grid() -> Grid:
+    """A small hand-built heterogeneous grid with known parameters.
+
+    Three clusters:
+
+    * cluster 0 (root): T = 0.1 s
+    * cluster 1: close to the root (cheap link), slow local broadcast (T = 2.0 s)
+    * cluster 2: far from the root (expensive link), fast local broadcast (T = 0.05 s)
+    """
+    clusters = [
+        Cluster(cluster_id=0, name="root", size=4, fixed_broadcast_time=0.1),
+        Cluster(cluster_id=1, name="slow-local", size=4, fixed_broadcast_time=2.0),
+        Cluster(cluster_id=2, name="far", size=4, fixed_broadcast_time=0.05),
+    ]
+    links = {
+        (0, 1): InterClusterLink.from_values(latency=0.001, gap=0.10),
+        (0, 2): InterClusterLink.from_values(latency=0.010, gap=0.50),
+        (1, 2): InterClusterLink.from_values(latency=0.005, gap=0.30),
+    }
+    return Grid(clusters, links, name="heterogeneous-3")
+
+
+@pytest.fixture
+def random_grid() -> Grid:
+    """A reproducible 6-cluster random grid drawn from the Table 2 ranges."""
+    generator = RandomGridGenerator(cluster_size=4)
+    return generator.generate(6, RandomStream(seed=42))
+
+
+@pytest.fixture(scope="session")
+def grid5000() -> Grid:
+    """The Table 3 GRID5000 topology (session-scoped, it is immutable)."""
+    return build_grid5000_topology()

@@ -1,0 +1,110 @@
+"""Tests for repro.analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import crossover_points, pairwise_speedup, rank_heuristics
+from repro.analysis.statistics import confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+
+    def test_percentile_95(self):
+        stats = summarize(list(range(1, 101)))
+        assert stats.percentile_95 == pytest.approx(95.05)
+
+    def test_coefficient_of_variation(self):
+        stats = summarize([2.0, 2.0, 2.0])
+        assert stats.coefficient_of_variation() == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert low < 3.0 < high
+
+    def test_wider_for_higher_confidence(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = confidence_interval(sample, confidence=0.68)
+        wide = confidence_interval(sample, confidence=0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_single_observation_degenerate(self):
+        assert confidence_interval([2.0]) == (2.0, 2.0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+
+class TestRanking:
+    def test_best_first(self):
+        ranking = rank_heuristics({"Flat Tree": 5.0, "ECEF": 3.0, "FEF": 4.0})
+        assert [name for name, _ in ranking] == ["ECEF", "FEF", "Flat Tree"]
+
+    def test_ties_broken_alphabetically(self):
+        ranking = rank_heuristics({"b": 1.0, "a": 1.0})
+        assert [name for name, _ in ranking] == ["a", "b"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rank_heuristics({})
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            rank_heuristics({"x": -1.0})
+
+
+class TestSpeedupAndCrossovers:
+    def test_speedup_values(self):
+        assert pairwise_speedup([2.0, 4.0], [1.0, 2.0]) == [2.0, 2.0]
+
+    def test_speedup_zero_candidate(self):
+        assert pairwise_speedup([2.0], [0.0]) == [float("inf")]
+        assert pairwise_speedup([0.0], [0.0]) == [1.0]
+
+    def test_speedup_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_speedup([1.0], [1.0, 2.0])
+
+    def test_crossover_detection(self):
+        x = [0, 1, 2, 3]
+        a = [0.0, 1.0, 2.0, 3.0]
+        b = [1.5, 1.5, 1.5, 1.5]
+        points = crossover_points(x, a, b)
+        assert len(points) == 1
+        assert points[0] == pytest.approx(1.5)
+
+    def test_no_crossover(self):
+        assert crossover_points([0, 1], [1.0, 2.0], [3.0, 4.0]) == []
+
+    def test_touching_counts_as_crossover(self):
+        points = crossover_points([0, 1, 2], [1.0, 2.0, 3.0], [1.0, 5.0, 0.0])
+        assert points[0] == 0.0
+
+    def test_short_series(self):
+        assert crossover_points([0], [1.0], [2.0]) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_points([0, 1], [1.0], [2.0, 3.0])

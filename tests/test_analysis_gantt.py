@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.gantt (ASCII Gantt charts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.gantt import (
+    IDLE_CHAR,
+    LOCAL_CHAR,
+    SEND_CHAR,
+    WAIT_CHAR,
+    render_execution_gantt,
+    render_schedule_gantt,
+)
+from repro.core.ecef import ECEF
+from repro.mpi.bcast import grid_aware_bcast_program
+from repro.simulator.execution import execute_program
+from repro.simulator.network import SimulatedNetwork
+
+
+@pytest.fixture
+def schedule(heterogeneous_grid):
+    return ECEF().schedule(heterogeneous_grid, 1_000)
+
+
+class TestScheduleGantt:
+    def test_one_row_per_cluster_plus_header_and_legend(self, schedule):
+        chart = render_schedule_gantt(schedule)
+        lines = chart.splitlines()
+        assert len(lines) == schedule.num_clusters + 2
+        assert "makespan" in lines[0]
+        assert "legend" in lines[-1]
+
+    def test_root_row_has_sends_and_no_waiting(self, schedule):
+        chart = render_schedule_gantt(schedule, width=40)
+        root_row = chart.splitlines()[1 + schedule.root]
+        assert SEND_CHAR in root_row
+        assert WAIT_CHAR not in root_row
+
+    def test_leaf_cluster_waits_then_broadcasts(self, schedule):
+        # Cluster 2 in the fixture receives late and has a tiny T.
+        chart = render_schedule_gantt(schedule, width=40)
+        row = chart.splitlines()[1 + 2]
+        assert WAIT_CHAR in row
+        assert "|" in row
+
+    def test_slow_cluster_shows_local_broadcast(self, schedule):
+        # Cluster 1 has T = 2.0 s, which dominates the makespan.
+        chart = render_schedule_gantt(schedule, width=40)
+        row = chart.splitlines()[1 + 1]
+        assert row.count(LOCAL_CHAR) > 10
+
+    def test_custom_labels(self, schedule):
+        chart = render_schedule_gantt(schedule, labels=["rootsite", "slowsite", "farsite"])
+        assert "slowsite" in chart
+
+    def test_label_count_mismatch(self, schedule):
+        with pytest.raises(ValueError):
+            render_schedule_gantt(schedule, labels=["only-one"])
+
+    def test_width_must_be_positive(self, schedule):
+        with pytest.raises(ValueError):
+            render_schedule_gantt(schedule, width=0)
+
+    def test_rows_respect_width(self, schedule):
+        chart = render_schedule_gantt(schedule, width=30)
+        # every row (label + space + bar of width+1 cells) stays bounded
+        label_width = max(len(f"cluster {i}") for i in range(schedule.num_clusters))
+        for line in chart.splitlines()[1:-1]:
+            assert len(line) <= label_width + 1 + 31
+
+
+class TestExecutionGantt:
+    def test_chart_over_real_execution(self, heterogeneous_grid, schedule):
+        program = grid_aware_bcast_program(heterogeneous_grid, schedule, 1_000)
+        result = execute_program(SimulatedNetwork(heterogeneous_grid), program)
+        chart = render_execution_gantt(result, width=40, max_rows=6)
+        lines = chart.splitlines()
+        assert len(lines) == 1 + 6
+        assert "makespan" in lines[0]
+        assert any(SEND_CHAR in line for line in lines[1:])
+
+    def test_truncates_to_busiest_ranks(self, heterogeneous_grid, schedule):
+        program = grid_aware_bcast_program(heterogeneous_grid, schedule, 1_000)
+        result = execute_program(SimulatedNetwork(heterogeneous_grid), program)
+        chart = render_execution_gantt(result, max_rows=3)
+        assert "3/12 ranks shown" in chart.splitlines()[0]
+
+    def test_invalid_parameters(self, heterogeneous_grid, schedule):
+        program = grid_aware_bcast_program(heterogeneous_grid, schedule, 1_000)
+        result = execute_program(SimulatedNetwork(heterogeneous_grid), program)
+        with pytest.raises(ValueError):
+            render_execution_gantt(result, width=-1)
+        with pytest.raises(ValueError):
+            render_execution_gantt(result, max_rows=0)

@@ -1,0 +1,67 @@
+"""Tests for the repro-bcast command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScheduleCommand:
+    def test_schedule_on_grid5000(self, capsys):
+        assert main(["schedule", "--heuristic", "ecef", "--message-size", "1048576"]) == 0
+        output = capsys.readouterr().out
+        assert "makespan" in output
+        assert "cluster 0 ->" in output
+
+    def test_schedule_on_random_grid(self, capsys):
+        assert main(["schedule", "--clusters", "4", "--seed", "3"]) == 0
+        assert "schedule produced by" in capsys.readouterr().out
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--heuristic", "wishful"])
+
+
+class TestCompareCommand:
+    def test_compare_lists_all_paper_heuristics(self, capsys):
+        assert main(["compare", "--clusters", "5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        for name in ("Flat Tree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAT", "BottomUp"):
+            assert name in output
+
+
+class TestSimulateCommand:
+    def test_small_simulation_table(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--iterations",
+                    "5",
+                    "--min-clusters",
+                    "2",
+                    "--max-clusters",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Mean completion time" in output
+        assert "clusters" in output
+
+
+class TestPracticalCommand:
+    def test_practical_tables(self, capsys):
+        assert main(["practical", "--points", "2", "--max-size", "1048576"]) == 0
+        output = capsys.readouterr().out
+        assert "Predicted completion time" in output
+        assert "Measured completion time" in output
+        assert "Default LAM" in output
+
+
+class TestParser:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])

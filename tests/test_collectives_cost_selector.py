@@ -1,0 +1,93 @@
+"""Tests for repro.collectives.cost and repro.collectives.selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.cost import per_node_arrival_times, predict_tree_time
+from repro.collectives.selector import DEFAULT_CANDIDATES, select_best_tree
+from repro.collectives.trees import binomial_tree, chain_tree, flat_tree, make_tree
+from repro.model.plogp import GapFunction, PLogPParameters
+from repro.model.prediction import (
+    predict_binomial_broadcast,
+    predict_chain_broadcast,
+    predict_flat_broadcast,
+)
+
+
+def params(procs: int, latency: float = 0.001, gap: float = 0.01) -> PLogPParameters:
+    return PLogPParameters.from_values(latency=latency, gap=gap, num_procs=procs)
+
+
+class TestTreeCostCrossValidation:
+    """The edge-by-edge tree cost must agree with the closed-form predictions."""
+
+    @pytest.mark.parametrize("size", [2, 3, 8, 13, 31])
+    def test_flat_tree_matches_closed_form(self, size):
+        p = params(size)
+        assert predict_tree_time(flat_tree(size), p, 1000) == pytest.approx(
+            predict_flat_broadcast(p, 1000)
+        )
+
+    @pytest.mark.parametrize("size", [2, 3, 8, 13, 31])
+    def test_chain_matches_closed_form(self, size):
+        p = params(size)
+        assert predict_tree_time(chain_tree(size), p, 1000) == pytest.approx(
+            predict_chain_broadcast(p, 1000)
+        )
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16, 32])
+    def test_binomial_matches_closed_form(self, size):
+        p = params(size)
+        assert predict_tree_time(binomial_tree(size), p, 1000) == pytest.approx(
+            predict_binomial_broadcast(p, 1000)
+        )
+
+    def test_arrival_times_root_zero_and_sorted_reachability(self):
+        arrivals = per_node_arrival_times(binomial_tree(8), params(8), 1000)
+        assert arrivals[0] == 0.0
+        assert all(a > 0 for a in arrivals[1:])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="num_procs"):
+            predict_tree_time(binomial_tree(4), params(8), 1000)
+
+    def test_single_node_tree_is_free(self):
+        assert predict_tree_time(binomial_tree(1), params(1), 1000) == 0.0
+
+
+class TestSelector:
+    def test_binomial_wins_for_latency_bound_clusters(self):
+        tuned = select_best_tree(params(32, latency=0.001, gap=0.001), 1000)
+        assert tuned.tree.name == "binomial"
+
+    def test_alternatives_reported_for_all_candidates(self):
+        tuned = select_best_tree(params(8), 1000)
+        assert set(tuned.alternatives) == set(DEFAULT_CANDIDATES)
+        assert tuned.predicted_time == pytest.approx(min(tuned.alternatives.values()))
+
+    def test_flat_wins_for_two_processes(self):
+        tuned = select_best_tree(params(2), 1000)
+        assert tuned.predicted_time == pytest.approx(0.011)
+
+    def test_custom_candidates(self):
+        tuned = select_best_tree(params(16), 1000, candidates=("chain", "flat"))
+        assert tuned.tree.name in {"chain", "flat"}
+
+    def test_rejects_unknown_candidate(self):
+        with pytest.raises(ValueError, match="unknown tree"):
+            select_best_tree(params(4), 1000, candidates=("flat", "magic"))
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            select_best_tree(params(4), 1000, candidates=())
+
+    def test_pipelined_segmentation_not_needed_for_tiny_messages(self):
+        """For tiny messages the binomial tree beats deep chains."""
+        p = PLogPParameters(
+            latency=1e-4,
+            gap=GapFunction.from_bandwidth(overhead=1e-4, bandwidth=1e8),
+            num_procs=32,
+        )
+        tuned = select_best_tree(p, 64)
+        assert tuned.tree.name == "binomial"

@@ -1,0 +1,220 @@
+"""Behavioural tests for every scheduling heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bottomup import BottomUp
+from repro.core.ecef import ECEF, ECEFLookahead
+from repro.core.fef import FastestEdgeFirst
+from repro.core.flat_tree import FlatTreeHeuristic
+from repro.core.mixed import MixedStrategy
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic
+from repro.topology.generators import RandomGridGenerator, make_uniform_grid
+from repro.utils.rng import RandomStream
+
+ALL_HEURISTICS = [get_heuristic(key) for key in PAPER_HEURISTICS] + [MixedStrategy()]
+
+
+class TestAllHeuristicsProduceValidSchedules:
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS, ids=lambda h: h.name)
+    def test_valid_on_random_grids(self, heuristic):
+        generator = RandomGridGenerator(cluster_size=2)
+        for seed in range(5):
+            grid = generator.generate(6, RandomStream(seed=seed))
+            schedule = heuristic.schedule(grid, 1_048_576)
+            schedule.validate()
+            assert len(schedule.transfers) == 5
+
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS, ids=lambda h: h.name)
+    def test_valid_for_every_root(self, heuristic, heterogeneous_grid):
+        for root in range(heterogeneous_grid.num_clusters):
+            schedule = heuristic.schedule(heterogeneous_grid, 1_000, root=root)
+            schedule.validate()
+            assert schedule.root == root
+
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS, ids=lambda h: h.name)
+    def test_two_cluster_grid(self, heuristic):
+        grid = make_uniform_grid(2)
+        schedule = heuristic.schedule(grid, 1_000)
+        assert schedule.order == [(0, 1)]
+
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS, ids=lambda h: h.name)
+    def test_grid5000(self, heuristic, grid5000):
+        schedule = heuristic.schedule(grid5000, 4_194_304)
+        schedule.validate()
+        assert schedule.makespan > 0
+
+
+class TestFlatTree:
+    def test_all_sends_from_root(self, random_grid):
+        schedule = FlatTreeHeuristic().schedule(random_grid, 1_000, root=2)
+        assert all(t.sender == 2 for t in schedule.transfers)
+
+    def test_default_order_wraps_around_root(self, uniform_grid):
+        schedule = FlatTreeHeuristic().schedule(uniform_grid, 1_000, root=2)
+        assert [t.receiver for t in schedule.transfers] == [3, 0, 1]
+
+    def test_explicit_cluster_order(self, uniform_grid):
+        heuristic = FlatTreeHeuristic(cluster_order=[3, 1, 2])
+        schedule = heuristic.schedule(uniform_grid, 1_000, root=0)
+        assert [t.receiver for t in schedule.transfers] == [3, 1, 2]
+
+    def test_explicit_order_must_cover_all(self, uniform_grid):
+        heuristic = FlatTreeHeuristic(cluster_order=[3, 1])
+        with pytest.raises(ValueError):
+            heuristic.schedule(uniform_grid, 1_000, root=0)
+
+    def test_makespan_grows_linearly(self):
+        makespans = [
+            FlatTreeHeuristic().makespan(make_uniform_grid(n, broadcast_time=0.0), 1_000)
+            for n in (2, 4, 8)
+        ]
+        # root gap accumulation: (n-1) * g + L
+        assert makespans[1] - makespans[0] == pytest.approx(2 * 0.3, rel=1e-6)
+        assert makespans[2] - makespans[1] == pytest.approx(4 * 0.3, rel=1e-6)
+
+
+class TestFEF:
+    def test_default_weight_is_latency(self):
+        assert FastestEdgeFirst().weight == "latency"
+
+    def test_rejects_unknown_weight(self):
+        with pytest.raises(ValueError):
+            FastestEdgeFirst(weight="bandwidth")
+
+    def test_latency_weight_follows_cheapest_latency_first(self, heterogeneous_grid):
+        schedule = FastestEdgeFirst().schedule(heterogeneous_grid, 1_000)
+        # L(0,1)=1ms < L(0,2)=10ms, so cluster 1 is served first.
+        assert schedule.order[0] == (0, 1)
+
+    def test_transfer_time_weight_can_differ(self, random_grid):
+        latency_based = FastestEdgeFirst(weight="latency").schedule(random_grid, 1_048_576)
+        cost_based = FastestEdgeFirst(weight="transfer_time").schedule(random_grid, 1_048_576)
+        assert cost_based.makespan <= latency_based.makespan + 1e-9
+
+
+class TestECEF:
+    def test_prefers_cheap_edges(self, heterogeneous_grid):
+        schedule = ECEF().schedule(heterogeneous_grid, 1_000)
+        assert schedule.order[0] == (0, 1)
+
+    def test_uses_new_sources(self):
+        """With one expensive root link and cheap peer links, ECEF relays."""
+        from repro.topology.cluster import Cluster
+        from repro.topology.grid import Grid, InterClusterLink
+
+        clusters = [Cluster(cluster_id=i, size=1) for i in range(3)]
+        links = {
+            (0, 1): InterClusterLink.from_values(latency=0.001, gap=0.1),
+            (0, 2): InterClusterLink.from_values(latency=0.001, gap=1.0),
+            (1, 2): InterClusterLink.from_values(latency=0.001, gap=0.1),
+        }
+        grid = Grid(clusters, links)
+        schedule = ECEF().schedule(grid, 1_000)
+        assert (1, 2) in schedule.order
+
+    def test_never_blocks(self, random_grid):
+        """ECEF transfers always start exactly when the sender is ready."""
+        schedule = ECEF().schedule(random_grid, 1_048_576)
+        ready = {schedule.root: 0.0}
+        for transfer in schedule.transfers:
+            assert transfer.start_time == pytest.approx(ready.get(transfer.sender))
+            ready[transfer.sender] = transfer.sender_release_time
+            ready[transfer.receiver] = transfer.arrival_time
+
+
+class TestECEFLookahead:
+    def test_accepts_lookahead_by_name(self):
+        heuristic = ECEFLookahead("min_edge")
+        assert heuristic.key == "ecef_la"
+
+    def test_rejects_unknown_lookahead_name(self):
+        with pytest.raises(ValueError):
+            ECEFLookahead("does_not_exist")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            ECEFLookahead(42)  # type: ignore[arg-type]
+
+    def test_named_constructors_have_paper_labels(self):
+        assert ECEFLookahead.bhat().display_name == "ECEF-LA"
+        assert ECEFLookahead.grid_aware_min().display_name == "ECEF-LAt"
+        assert ECEFLookahead.grid_aware_max().display_name == "ECEF-LAT"
+
+    def test_no_lookahead_equals_ecef(self, random_grid):
+        plain = ECEF().schedule(random_grid, 1_048_576)
+        degenerate = ECEFLookahead("none").schedule(random_grid, 1_048_576)
+        assert degenerate.order == plain.order
+
+    def test_lat_serves_slow_cluster_earlier_than_ecef(self, heterogeneous_grid):
+        """On the hand-built grid, ECEF-LAT must not serve the slow cluster last."""
+        lat = ECEFLookahead.grid_aware_max().schedule(heterogeneous_grid, 1_000)
+        receivers = [t.receiver for t in lat.transfers]
+        assert receivers.index(1) == 0  # cluster 1 has T = 2.0 s
+
+
+class TestBottomUp:
+    def test_serves_hardest_cluster_first(self, heterogeneous_grid):
+        schedule = BottomUp().schedule(heterogeneous_grid, 1_000)
+        # Cluster 1: min incoming cost 0.101, T = 2.0 -> 2.101
+        # Cluster 2: min incoming cost 0.305, T = 0.05 -> 0.355
+        assert schedule.order[0] == (0, 1)
+
+    def test_ready_time_variant_is_valid(self, random_grid):
+        schedule = BottomUp(use_ready_time=True).schedule(random_grid, 1_048_576)
+        schedule.validate()
+
+    def test_not_worse_than_flat_tree_on_average(self):
+        generator = RandomGridGenerator(cluster_size=2)
+        flat_total = 0.0
+        bottomup_total = 0.0
+        for seed in range(20):
+            grid = generator.generate(8, RandomStream(seed=seed))
+            flat_total += FlatTreeHeuristic().makespan(grid, 1_048_576)
+            bottomup_total += BottomUp().makespan(grid, 1_048_576)
+        assert bottomup_total < flat_total
+
+
+class TestMixedStrategy:
+    def test_threshold_switches_delegate(self):
+        mixed = MixedStrategy(threshold=4)
+        assert mixed.choose(3).name == "ECEF-LA"
+        assert mixed.choose(4).name == "ECEF-LA"
+        assert mixed.choose(5).name == "ECEF-LAT"
+
+    def test_matches_delegate_schedules(self, random_grid):
+        mixed = MixedStrategy(threshold=10)
+        delegate = ECEFLookahead.bhat()
+        assert (
+            mixed.schedule(random_grid, 1_048_576).order
+            == delegate.schedule(random_grid, 1_048_576).order
+        )
+
+    def test_custom_delegates(self, random_grid):
+        mixed = MixedStrategy(threshold=1, large_grid=FlatTreeHeuristic())
+        schedule = mixed.schedule(random_grid, 1_048_576)
+        assert all(t.sender == 0 for t in schedule.transfers)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MixedStrategy(threshold=0)
+
+
+class TestCrossHeuristicProperties:
+    def test_homogeneous_grid_all_heuristics_close(self):
+        """On a perfectly homogeneous grid no heuristic should beat another by
+        more than the flat-tree-vs-binomial structural difference."""
+        grid = make_uniform_grid(6, broadcast_time=0.0)
+        makespans = {
+            h.name: h.makespan(grid, 1_000) for h in ALL_HEURISTICS if h.name != "Flat Tree"
+        }
+        assert max(makespans.values()) <= min(makespans.values()) * 1.8
+
+    def test_ecef_family_beats_flat_tree_on_random_grids(self):
+        generator = RandomGridGenerator(cluster_size=2)
+        for seed in range(10):
+            grid = generator.generate(8, RandomStream(seed=seed + 100))
+            flat = FlatTreeHeuristic().makespan(grid, 1_048_576)
+            ecef = ECEF().makespan(grid, 1_048_576)
+            assert ecef <= flat + 1e-9

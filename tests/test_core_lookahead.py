@@ -1,0 +1,65 @@
+"""Tests for repro.core.lookahead."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import SchedulingState
+from repro.core.lookahead import (
+    LOOKAHEAD_FUNCTIONS,
+    average_informed_lookahead,
+    average_latency_lookahead,
+    get_lookahead,
+    grid_aware_max_lookahead,
+    grid_aware_min_lookahead,
+    min_edge_lookahead,
+    no_lookahead,
+)
+
+
+@pytest.fixture
+def state(heterogeneous_grid):
+    return SchedulingState(grid=heterogeneous_grid, message_size=1_000, root=0)
+
+
+class TestLookaheadValues:
+    def test_no_lookahead_is_zero(self, state):
+        assert no_lookahead(state, 1) == 0.0
+
+    def test_min_edge_uses_cheapest_outgoing(self, state):
+        # From cluster 1, the only other waiting cluster is 2: g=0.3, L=0.005.
+        assert min_edge_lookahead(state, 1) == pytest.approx(0.305)
+
+    def test_average_latency_over_waiting_set(self, state):
+        assert average_latency_lookahead(state, 1) == pytest.approx(0.305)
+
+    def test_grid_aware_min_adds_t(self, state):
+        # Reaches cluster 2 whose T = 0.05.
+        assert grid_aware_min_lookahead(state, 1) == pytest.approx(0.305 + 0.05)
+
+    def test_grid_aware_max_adds_t(self, state):
+        # From cluster 2 the only other waiting cluster is 1 (T = 2.0).
+        assert grid_aware_max_lookahead(state, 2) == pytest.approx(0.305 + 2.0)
+
+    def test_last_waiting_cluster_has_zero_lookahead(self, state):
+        state.commit(0, 1)
+        for function in LOOKAHEAD_FUNCTIONS.values():
+            assert function(state, 2) == 0.0
+
+    def test_average_informed_includes_candidate_promotion(self, state):
+        value = average_informed_lookahead(state, 1)
+        # Sources {0, 1} towards target {2}: mean of (0.51, 0.305).
+        assert value == pytest.approx((0.51 + 0.305) / 2)
+
+
+class TestRegistry:
+    def test_all_registered_names_resolve(self):
+        for name in LOOKAHEAD_FUNCTIONS:
+            assert callable(get_lookahead(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown lookahead"):
+            get_lookahead("nope")
+
+    def test_expected_names_present(self):
+        assert {"min_edge", "grid_aware_min", "grid_aware_max"} <= set(LOOKAHEAD_FUNCTIONS)

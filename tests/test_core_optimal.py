@@ -1,0 +1,80 @@
+"""Tests for repro.core.optimal (exhaustive branch-and-bound)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecef import ECEF, ECEFLookahead
+from repro.core.flat_tree import FlatTreeHeuristic
+from repro.core.optimal import OptimalSearch
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic
+from repro.topology.generators import RandomGridGenerator, make_uniform_grid
+from repro.utils.rng import RandomStream
+
+
+class TestOptimalSearch:
+    def test_two_clusters_single_choice(self, heterogeneous_grid):
+        optimal = OptimalSearch().schedule(make_uniform_grid(2), 1_000)
+        assert optimal.order == [(0, 1)]
+
+    def test_never_worse_than_any_heuristic(self):
+        generator = RandomGridGenerator(cluster_size=2)
+        optimal = OptimalSearch()
+        for seed in range(8):
+            grid = generator.generate(5, RandomStream(seed=seed))
+            best = optimal.schedule(grid, 1_048_576)
+            best.validate()
+            for key in PAPER_HEURISTICS:
+                heuristic = get_heuristic(key)
+                assert best.makespan <= heuristic.makespan(grid, 1_048_576) + 1e-9
+
+    def test_matches_ecef_on_homogeneous_grid(self):
+        grid = make_uniform_grid(4, broadcast_time=0.0)
+        assert OptimalSearch().schedule(grid, 1_000).makespan == pytest.approx(
+            ECEF().schedule(grid, 1_000).makespan
+        )
+
+    def test_heterogeneous_fixture_known_optimum(self, heterogeneous_grid):
+        """On the hand-built grid the optimum is to serve the slow cluster first."""
+        best = OptimalSearch().schedule(heterogeneous_grid, 1_000)
+        assert best.order[0] == (0, 1)
+        assert best.makespan == pytest.approx(0.101 + 2.0)
+
+    def test_refuses_large_grids_by_default(self):
+        grid = make_uniform_grid(9)
+        with pytest.raises(ValueError, match="limited to"):
+            OptimalSearch().schedule(grid, 1_000)
+
+    def test_limit_can_be_raised(self):
+        grid = make_uniform_grid(8, broadcast_time=0.0)
+        schedule = OptimalSearch(max_clusters=8).schedule(grid, 1_000)
+        schedule.validate()
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            OptimalSearch(max_clusters=0)
+
+    def test_build_order_interface(self, heterogeneous_grid):
+        """OptimalSearch also works through the generic build_order flow."""
+        from repro.core.base import SchedulingState
+
+        state = SchedulingState(grid=heterogeneous_grid, message_size=1_000, root=0)
+        OptimalSearch().build_order(state)
+        assert state.done
+
+    def test_hit_rate_reference_for_small_grids(self):
+        """At 4 clusters the heuristics' global minimum frequently equals the
+        true optimum, validating the paper's 'global minimum' proxy."""
+        generator = RandomGridGenerator(cluster_size=2)
+        optimal = OptimalSearch()
+        matches = 0
+        trials = 15
+        for seed in range(trials):
+            grid = generator.generate(4, RandomStream(seed=seed + 1000))
+            best_heuristic = min(
+                get_heuristic(key).makespan(grid, 1_048_576) for key in PAPER_HEURISTICS
+            )
+            true_best = optimal.schedule(grid, 1_048_576).makespan
+            if best_heuristic <= true_best + 1e-9:
+                matches += 1
+        assert matches >= trials // 2

@@ -1,0 +1,152 @@
+"""Tests for repro.core.schedule (schedule structure and timing model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import BroadcastSchedule, ScheduledTransfer, evaluate_order
+from repro.topology.generators import make_uniform_grid
+
+
+class TestScheduledTransfer:
+    def test_rejects_self_transfer(self):
+        with pytest.raises(ValueError):
+            ScheduledTransfer(
+                sender=1, receiver=1, start_time=0, sender_release_time=1,
+                arrival_time=2, gap=1, latency=1,
+            )
+
+    def test_rejects_inconsistent_times(self):
+        with pytest.raises(ValueError):
+            ScheduledTransfer(
+                sender=0, receiver=1, start_time=1.0, sender_release_time=0.5,
+                arrival_time=2.0, gap=1, latency=1,
+            )
+        with pytest.raises(ValueError):
+            ScheduledTransfer(
+                sender=0, receiver=1, start_time=0.0, sender_release_time=1.0,
+                arrival_time=0.5, gap=1, latency=1,
+            )
+
+
+class TestEvaluateOrderTiming:
+    def test_single_transfer_times(self, heterogeneous_grid):
+        schedule = evaluate_order(
+            heterogeneous_grid, 1_000, 0, [(0, 1), (0, 2)], heuristic_name="t"
+        )
+        transfer = schedule.transfers[0]
+        assert transfer.start_time == 0.0
+        assert transfer.sender_release_time == pytest.approx(0.10)
+        assert transfer.arrival_time == pytest.approx(0.101)
+        assert schedule.arrival_times[1] == pytest.approx(0.101)
+
+    def test_sender_serialisation_through_gap(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 0, [(0, 1), (0, 2)])
+        second = schedule.transfers[1]
+        # The root's second send starts only after the first send's gap.
+        assert second.start_time == pytest.approx(0.10)
+        assert second.arrival_time == pytest.approx(0.10 + 0.50 + 0.010)
+
+    def test_relay_waits_for_arrival(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 0, [(0, 1), (1, 2)])
+        relay = schedule.transfers[1]
+        assert relay.start_time == pytest.approx(0.101)  # cluster 1's arrival
+        assert relay.arrival_time == pytest.approx(0.101 + 0.30 + 0.005)
+
+    def test_completion_includes_local_broadcast(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 0, [(0, 1), (0, 2)])
+        # Cluster 1 (T = 2.0) received at 0.101 and never sends.
+        assert schedule.completion_times[1] == pytest.approx(0.101 + 2.0)
+        # The root (T = 0.1) finishes its sends at 0.6.
+        assert schedule.completion_times[0] == pytest.approx(0.10 + 0.50 + 0.1)
+
+    def test_sender_local_broadcast_delayed_by_its_sends(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 0, [(0, 1), (1, 2)])
+        # Cluster 1 relays before broadcasting locally: local start is after its gap.
+        assert schedule.local_start_times[1] == pytest.approx(0.101 + 0.30)
+        assert schedule.completion_times[1] == pytest.approx(0.101 + 0.30 + 2.0)
+
+    def test_makespan_is_max_completion(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 0, [(0, 1), (0, 2)])
+        assert schedule.makespan == pytest.approx(max(schedule.completion_times))
+
+    def test_explicit_broadcast_times_override_grid(self, heterogeneous_grid):
+        schedule = evaluate_order(
+            heterogeneous_grid, 1_000, 0, [(0, 1), (0, 2)], broadcast_times=[0, 0, 0]
+        )
+        assert schedule.makespan == pytest.approx(schedule.inter_cluster_makespan)
+
+    def test_non_zero_root(self, heterogeneous_grid):
+        schedule = evaluate_order(heterogeneous_grid, 1_000, 2, [(2, 0), (0, 1)])
+        schedule.validate()
+        assert schedule.root == 2
+        assert schedule.arrival_times[2] == 0.0
+
+
+class TestEvaluateOrderValidation:
+    def test_rejects_wrong_root(self, uniform_grid):
+        with pytest.raises(ValueError):
+            evaluate_order(uniform_grid, 1_000, 99, [])
+
+    def test_rejects_uninformed_sender(self, uniform_grid):
+        with pytest.raises(ValueError, match="before being informed"):
+            evaluate_order(uniform_grid, 1_000, 0, [(1, 2), (0, 1), (0, 3)])
+
+    def test_rejects_double_receive(self, uniform_grid):
+        with pytest.raises(ValueError, match="already informed"):
+            evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (0, 1), (0, 2), (0, 3)])
+
+    def test_rejects_missing_cluster(self, uniform_grid):
+        with pytest.raises(ValueError, match="never receive"):
+            evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (0, 2)])
+
+    def test_rejects_self_send(self, uniform_grid):
+        with pytest.raises(ValueError, match="itself"):
+            evaluate_order(uniform_grid, 1_000, 0, [(0, 0), (0, 1), (0, 2), (0, 3)])
+
+    def test_rejects_bad_broadcast_times_length(self, uniform_grid):
+        with pytest.raises(ValueError, match="entries"):
+            evaluate_order(
+                uniform_grid, 1_000, 0, [(0, 1), (0, 2), (0, 3)], broadcast_times=[0.0]
+            )
+
+    def test_rejects_negative_message(self, uniform_grid):
+        with pytest.raises(ValueError):
+            evaluate_order(uniform_grid, -1, 0, [(0, 1), (0, 2), (0, 3)])
+
+
+class TestBroadcastScheduleQueries:
+    def test_order_round_trip(self, uniform_grid):
+        order = [(0, 2), (2, 1), (0, 3)]
+        schedule = evaluate_order(uniform_grid, 1_000, 0, order)
+        assert schedule.order == order
+
+    def test_sends_and_receive_of(self, uniform_grid):
+        schedule = evaluate_order(uniform_grid, 1_000, 0, [(0, 2), (2, 1), (0, 3)])
+        assert [t.receiver for t in schedule.sends_of(0)] == [2, 3]
+        assert schedule.receive_of(1).sender == 2
+        assert schedule.receive_of(0) is None
+
+    def test_validate_passes_for_well_formed(self, uniform_grid):
+        schedule = evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (1, 2), (0, 3)])
+        schedule.validate()
+
+    def test_validate_detects_tampered_schedule(self, uniform_grid):
+        schedule = evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (1, 2), (0, 3)])
+        schedule.completion_times[2] = schedule.local_start_times[2] - 1.0
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+    def test_summary_mentions_heuristic_and_transfers(self, uniform_grid):
+        schedule = evaluate_order(
+            uniform_grid, 1_000, 0, [(0, 1), (0, 2), (0, 3)], heuristic_name="Demo"
+        )
+        text = schedule.summary()
+        assert "Demo" in text
+        assert "cluster 0 -> cluster 3" in text
+
+    def test_single_cluster_schedule(self):
+        grid = make_uniform_grid(1)
+        schedule = evaluate_order(grid, 1_000, 0, [])
+        assert schedule.makespan == pytest.approx(grid.broadcast_time(0, 1_000))
+        schedule.validate()

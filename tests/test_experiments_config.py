@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import ECEF_FAMILY, PAPER_HEURISTICS
+from repro.experiments.config import (
+    FIGURE1_CLUSTER_COUNTS,
+    FIGURE2_CLUSTER_COUNTS,
+    PAPER_ITERATIONS,
+    PAPER_MESSAGE_SIZE,
+    PRACTICAL_MESSAGE_SIZES,
+    PracticalStudyConfig,
+    SimulationStudyConfig,
+)
+
+
+class TestPaperConstants:
+    def test_one_mebibyte_message(self):
+        assert PAPER_MESSAGE_SIZE == 1_048_576
+
+    def test_figure1_sweeps_2_to_10(self):
+        assert FIGURE1_CLUSTER_COUNTS == tuple(range(2, 11))
+
+    def test_figure2_sweeps_5_to_50_step_5(self):
+        assert FIGURE2_CLUSTER_COUNTS == (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+    def test_paper_iteration_count(self):
+        assert PAPER_ITERATIONS == 10_000
+
+    def test_practical_sizes_reach_4_5_mb(self):
+        assert PRACTICAL_MESSAGE_SIZES[0] == 0
+        assert PRACTICAL_MESSAGE_SIZES[-1] == pytest.approx(4.5 * 1024 * 1024)
+
+
+class TestSimulationStudyConfig:
+    def test_defaults_use_paper_heuristics(self):
+        config = SimulationStudyConfig()
+        assert config.heuristics == PAPER_HEURISTICS
+        assert config.message_size == PAPER_MESSAGE_SIZE
+
+    def test_figure_presets(self):
+        assert SimulationStudyConfig.figure1().cluster_counts == FIGURE1_CLUSTER_COUNTS
+        assert SimulationStudyConfig.figure2().cluster_counts == FIGURE2_CLUSTER_COUNTS
+        assert SimulationStudyConfig.figure3().heuristics == ECEF_FAMILY
+        assert SimulationStudyConfig.figure4().heuristics == ECEF_FAMILY
+
+    def test_rejects_empty_cluster_counts(self):
+        with pytest.raises(ValueError):
+            SimulationStudyConfig(cluster_counts=())
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            SimulationStudyConfig(iterations=0)
+
+    def test_rejects_empty_heuristics(self):
+        with pytest.raises(ValueError):
+            SimulationStudyConfig(heuristics=())
+
+    def test_rejects_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            SimulationStudyConfig(cluster_counts=(0, 2))
+
+
+class TestPracticalStudyConfig:
+    def test_defaults(self):
+        config = PracticalStudyConfig()
+        assert config.include_binomial_baseline
+        assert config.local_tree == "binomial"
+        assert config.message_sizes == PRACTICAL_MESSAGE_SIZES
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            PracticalStudyConfig(message_sizes=())
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            PracticalStudyConfig(noise_sigma=-0.5)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            PracticalStudyConfig(message_sizes=(-1,))

@@ -1,0 +1,80 @@
+"""Tests for repro.experiments.hit_rate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.hit_rate import hit_rate_from_study, run_hit_rate_study
+from repro.experiments.simulation_study import run_simulation_study
+
+
+@pytest.fixture(scope="module")
+def hit_rate_result():
+    config = SimulationStudyConfig(
+        cluster_counts=(4, 8),
+        iterations=30,
+        heuristics=("ecef", "ecef_la", "ecef_lat_max", "ecef_lat_min"),
+        seed=99,
+    )
+    return run_hit_rate_study(config)
+
+
+class TestHitRateResult:
+    def test_shapes(self, hit_rate_result):
+        assert hit_rate_result.hit_counts.shape == (2, 4)
+        assert hit_rate_result.iterations == 30
+
+    def test_counts_bounded_by_iterations(self, hit_rate_result):
+        assert np.all(hit_rate_result.hit_counts >= 0)
+        assert np.all(hit_rate_result.hit_counts <= 30)
+
+    def test_rates_are_normalised_counts(self, hit_rate_result):
+        assert np.allclose(
+            hit_rate_result.hit_rates(), hit_rate_result.hit_counts / 30.0
+        )
+
+    def test_every_iteration_has_a_winner(self, hit_rate_result):
+        assert np.all(hit_rate_result.hit_counts.sum(axis=1) >= 30)
+
+    def test_series_lookup(self, hit_rate_result):
+        series = hit_rate_result.series("ECEF")
+        assert len(series) == 2
+        assert all(isinstance(v, int) for v in series)
+        with pytest.raises(ValueError):
+            hit_rate_result.series("nope")
+
+    def test_trend_slope_is_finite(self, hit_rate_result):
+        for name in hit_rate_result.heuristic_names:
+            assert np.isfinite(hit_rate_result.trend_slope(name))
+
+    def test_as_table(self, hit_rate_result):
+        rows = hit_rate_result.as_table()
+        assert len(rows) == 2
+        assert rows[0]["clusters"] == 4.0
+
+    def test_from_existing_study_matches(self):
+        config = SimulationStudyConfig(
+            cluster_counts=(4,), iterations=10, heuristics=("ecef", "ecef_la"), seed=5
+        )
+        study = run_simulation_study(config)
+        direct = run_hit_rate_study(config)
+        derived = hit_rate_from_study(study)
+        assert np.array_equal(direct.hit_counts, derived.hit_counts)
+
+
+class TestDegenerateCases:
+    def test_single_heuristic_always_hits(self):
+        config = SimulationStudyConfig(
+            cluster_counts=(5,), iterations=10, heuristics=("ecef",), seed=1
+        )
+        result = run_hit_rate_study(config)
+        assert np.all(result.hit_counts == 10)
+
+    def test_identical_heuristics_tie_everywhere(self):
+        config = SimulationStudyConfig(
+            cluster_counts=(5,), iterations=10, heuristics=("ecef", "ecef"), seed=1
+        )
+        result = run_hit_rate_study(config)
+        assert np.all(result.hit_counts == 10)

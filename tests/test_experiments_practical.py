@@ -1,0 +1,115 @@
+"""Tests for repro.experiments.practical_study (Figures 5 and 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PracticalStudyConfig
+from repro.experiments.practical_study import (
+    BINOMIAL_BASELINE_NAME,
+    run_practical_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = PracticalStudyConfig(
+        message_sizes=(65_536, 1_048_576, 4_194_304),
+        noise_sigma=0.0,
+        heuristics=("flat_tree", "fef", "ecef", "ecef_la", "ecef_lat_max"),
+    )
+    return run_practical_study(config)
+
+
+class TestStructure:
+    def test_shapes(self, study):
+        assert study.predicted.shape == (3, 5)
+        assert study.measured.shape == (3, 5)
+        assert study.baseline_measured.shape == (3,)
+
+    def test_all_times_positive(self, study):
+        assert np.all(study.predicted > 0)
+        assert np.all(study.measured > 0)
+        assert np.all(study.baseline_measured > 0)
+
+    def test_series_lookup(self, study):
+        assert len(study.predicted_series("ECEF")) == 3
+        assert len(study.measured_series("Flat Tree")) == 3
+        with pytest.raises(ValueError):
+            study.predicted_series("nope")
+
+    def test_as_table_contains_baseline_only_for_measured(self, study):
+        measured_rows = study.as_table(which="measured")
+        predicted_rows = study.as_table(which="predicted")
+        assert BINOMIAL_BASELINE_NAME in measured_rows[0]
+        assert BINOMIAL_BASELINE_NAME not in predicted_rows[0]
+        with pytest.raises(ValueError):
+            study.as_table(which="other")
+
+
+class TestPaperClaims:
+    def test_predictions_match_measurements(self, study):
+        """Paper §7: 'performance predictions fit with a good precision the
+        practical results'."""
+        error = study.prediction_error()
+        assert np.nanmean(error) < 0.10
+
+    def test_times_grow_with_message_size(self, study):
+        for column in range(study.measured.shape[1]):
+            series = study.measured[:, column]
+            assert series[0] < series[-1]
+
+    def test_flat_tree_is_worst_heuristic_at_4mb(self, study):
+        last_row = study.measured[-1]
+        flat = last_row[study.heuristic_names.index("Flat Tree")]
+        assert flat == pytest.approx(last_row.max())
+        # "almost six times more time" than the ECEF family in the paper; our
+        # simulator substitution preserves a factor of at least 3.
+        ecef = last_row[study.heuristic_names.index("ECEF")]
+        assert flat > 3.0 * ecef
+
+    def test_flat_tree_worse_than_grid_unaware_binomial(self, study):
+        """Figure 6: the Flat Tree is 'even worse than the grid-unaware
+        binomial tree algorithm traditionally used by MPI'."""
+        flat = study.measured[-1, study.heuristic_names.index("Flat Tree")]
+        assert flat > study.baseline_measured[-1]
+
+    def test_grid_unaware_binomial_worse_than_ecef(self, study):
+        ecef = study.measured[-1, study.heuristic_names.index("ECEF")]
+        assert study.baseline_measured[-1] > ecef
+
+    def test_ecef_family_fastest_overall(self, study):
+        last_row = study.measured[-1]
+        ecef_like = [
+            last_row[study.heuristic_names.index(name)]
+            for name in ("ECEF", "ECEF-LA", "ECEF-LAT")
+        ]
+        assert min(ecef_like) == pytest.approx(last_row.min())
+
+
+class TestOptions:
+    def test_baseline_can_be_disabled(self):
+        config = PracticalStudyConfig(
+            message_sizes=(65_536,),
+            include_binomial_baseline=False,
+            heuristics=("ecef",),
+        )
+        result = run_practical_study(config)
+        assert result.baseline_measured is None
+        assert BINOMIAL_BASELINE_NAME not in result.as_table()[0]
+
+    def test_noise_perturbs_measured_only(self):
+        clean = run_practical_study(
+            PracticalStudyConfig(message_sizes=(1_048_576,), heuristics=("ecef",), noise_sigma=0.0)
+        )
+        noisy = run_practical_study(
+            PracticalStudyConfig(message_sizes=(1_048_576,), heuristics=("ecef",), noise_sigma=0.1)
+        )
+        assert clean.predicted[0, 0] == pytest.approx(noisy.predicted[0, 0])
+        assert clean.measured[0, 0] != noisy.measured[0, 0]
+
+    def test_custom_grid(self, heterogeneous_grid):
+        config = PracticalStudyConfig(message_sizes=(1_000,), heuristics=("ecef",))
+        result = run_practical_study(config, grid=heterogeneous_grid)
+        assert result.measured.shape == (1, 1)

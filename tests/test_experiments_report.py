@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import (
+    render_hit_rate_table,
+    render_series_table,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [{"clusters": 2.0, "ECEF": 1.234}, {"clusters": 10.0, "ECEF": 2.345}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "clusters" in lines[1] and "ECEF" in lines[1]
+        assert len(lines) == 5
+
+    def test_integer_like_values_render_without_decimals(self):
+        text = render_table([{"n": 4.0, "x": 1.5}])
+        assert "4.000" not in text
+        assert "1.500" in text
+
+    def test_empty_rows_returns_title(self):
+        assert render_table([], title="nothing") == "nothing"
+
+    def test_rejects_inconsistent_rows(self):
+        with pytest.raises(ValueError):
+            render_table([{"a": 1.0}, {"b": 2.0}])
+
+
+class TestRenderSeriesTable:
+    def test_series_columns(self):
+        text = render_series_table(
+            "clusters", [2, 3], {"ECEF": [1.0, 2.0], "FEF": [1.5, 2.5]}
+        )
+        assert "ECEF" in text and "FEF" in text
+        assert len(text.splitlines()) == 4
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series_table("x", [1, 2], {"a": [1.0]})
+
+
+class TestRenderHitRateTable:
+    def test_mentions_iteration_count(self):
+        text = render_hit_rate_table(
+            [5, 10], {"ECEF": [40, 30], "ECEF-LAT": [45, 46]}, iterations=100
+        )
+        assert "100 iterations" in text
+        assert "ECEF-LAT" in text

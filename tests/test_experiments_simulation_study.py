@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.simulation_study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationStudyConfig
+from repro.experiments.simulation_study import run_simulation_study
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    """A small but statistically meaningful study reused by several tests."""
+    config = SimulationStudyConfig(
+        cluster_counts=(2, 4, 8), iterations=40, seed=123
+    )
+    return run_simulation_study(config)
+
+
+class TestStructure:
+    def test_result_shapes(self, small_study):
+        assert small_study.makespans.shape == (3, 7, 40)
+        assert len(small_study.heuristic_names) == 7
+        assert small_study.cluster_counts == [2, 4, 8]
+
+    def test_all_makespans_positive_and_finite(self, small_study):
+        assert np.all(small_study.makespans > 0)
+        assert np.all(np.isfinite(small_study.makespans))
+
+    def test_mean_and_std_shapes(self, small_study):
+        assert small_study.mean_completion_times().shape == (3, 7)
+        assert small_study.std_completion_times().shape == (3, 7)
+
+    def test_series_lookup(self, small_study):
+        series = small_study.series("Flat Tree")
+        assert len(series) == 3
+        with pytest.raises(ValueError):
+            small_study.series("Unknown")
+
+    def test_as_table_rows(self, small_study):
+        rows = small_study.as_table()
+        assert len(rows) == 3
+        assert rows[0]["clusters"] == 2.0
+        assert set(rows[0]) == {"clusters", *small_study.heuristic_names}
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self):
+        config = SimulationStudyConfig(cluster_counts=(3,), iterations=10, seed=7)
+        a = run_simulation_study(config)
+        b = run_simulation_study(config)
+        assert np.array_equal(a.makespans, b.makespans)
+
+    def test_different_seed_different_results(self):
+        base = SimulationStudyConfig(cluster_counts=(3,), iterations=10, seed=7)
+        other = SimulationStudyConfig(cluster_counts=(3,), iterations=10, seed=8)
+        assert not np.array_equal(
+            run_simulation_study(base).makespans, run_simulation_study(other).makespans
+        )
+
+
+class TestPaperShapes:
+    """Statistical checks of the Figure 1 / Figure 2 qualitative claims."""
+
+    def test_flat_tree_is_worst_for_larger_grids(self, small_study):
+        """The Flat Tree falls behind once the cluster count grows (Figure 1);
+        for very small grids it can still be competitive, so only the largest
+        swept count is checked."""
+        means = small_study.mean_completion_times()
+        flat_index = small_study.heuristic_names.index("Flat Tree")
+        assert means[-1, flat_index] == pytest.approx(means[-1].max())
+
+    def test_flat_tree_grows_fastest_with_cluster_count(self, small_study):
+        flat = np.array(small_study.series("Flat Tree"))
+        ecef = np.array(small_study.series("ECEF"))
+        assert (flat[-1] - flat[0]) > (ecef[-1] - ecef[0])
+
+    def test_ecef_beats_fef_on_average(self, small_study):
+        means = small_study.mean_completion_times()
+        fef = small_study.heuristic_names.index("FEF")
+        ecef = small_study.heuristic_names.index("ECEF")
+        assert means[-1, ecef] < means[-1, fef]
+
+    def test_global_minimum_is_lower_bound(self, small_study):
+        minima = small_study.global_minima()
+        assert np.all(minima[:, None, :] <= small_study.makespans + 1e-12)
+
+    def test_hit_counts_sum_at_least_iterations(self, small_study):
+        """Every iteration has at least one hit (the minimum itself)."""
+        hits = small_study.hit_counts()
+        assert np.all(hits.sum(axis=1) >= small_study.config.iterations)
+
+    def test_hit_rates_between_zero_and_one(self, small_study):
+        rates = small_study.hit_rates()
+        assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+
+    def test_two_cluster_grids_all_heuristics_tie(self, small_study):
+        """With 2 clusters there is only one possible schedule."""
+        row = small_study.cluster_counts.index(2)
+        spread = small_study.makespans[row].max(axis=0) - small_study.makespans[row].min(axis=0)
+        assert np.all(spread < 1e-12)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests tying every layer together.
+
+These tests retrace the paper's pipeline from raw latency measurements to the
+final figures: identify logical clusters, build the grid, measure pLogP
+parameters on the simulator, schedule the broadcast with every heuristic,
+execute the schedules node-by-node and compare predicted with measured times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic
+from repro.experiments.config import PracticalStudyConfig, SimulationStudyConfig
+from repro.experiments.hit_rate import hit_rate_from_study
+from repro.experiments.practical_study import run_practical_study
+from repro.experiments.simulation_study import run_simulation_study
+from repro.model.measurement import MeasurementProcedure
+from repro.mpi.communicator import GridCommunicator
+from repro.simulator.network import SimulatedNetwork
+from repro.topology.clustering import identify_logical_clusters, membership_vector
+from repro.topology.grid5000 import build_grid5000_topology, build_node_latency_matrix
+
+
+class TestFullPipelineOnGrid5000:
+    def test_cluster_identification_to_broadcast(self):
+        """Latency matrix -> logical clusters -> grid -> schedule -> execution."""
+        # 1. identify the logical clusters from the synthetic measurements
+        matrix = build_node_latency_matrix(jitter=0.02, seed=11)
+        clusters = identify_logical_clusters(matrix, tolerance=0.30)
+        membership = membership_vector(clusters, matrix.shape[0])
+        assert len(set(membership)) == len(clusters)
+
+        # 2. the canonical Table 3 grid and a simulated MPI communicator
+        grid = build_grid5000_topology()
+        comm = GridCommunicator(grid)
+
+        # 3. every heuristic produces an executable broadcast whose simulated
+        #    time is positive and finite
+        for key in PAPER_HEURISTICS:
+            outcome = comm.bcast(1_048_576, heuristic=key)
+            assert np.isfinite(outcome.measured_time)
+            assert outcome.measured_time > 0
+            assert outcome.execution.activation_times.count(None) == 0
+
+    def test_plogp_measurement_feeds_scheduling(self):
+        """Measure a wide-area link on the simulator, rebuild a grid with the
+        measured parameters and check the schedule still behaves sanely."""
+        grid = build_grid5000_topology()
+        network = SimulatedNetwork(grid)
+        oracle = network.round_trip_oracle(
+            grid.coordinator_rank(0), grid.coordinator_rank(5)
+        )
+        measured = MeasurementProcedure(oracle).run()
+        assert measured.latency == pytest.approx(grid.latency(0, 5), rel=0.2)
+        predicted_transfer = measured.latency + measured.gap(1_048_576)
+        actual_transfer = grid.transfer_time(0, 5, 1_048_576)
+        assert predicted_transfer == pytest.approx(actual_transfer, rel=0.2)
+
+
+class TestPaperHeadlineClaims:
+    """The qualitative findings of the paper, asserted end to end."""
+
+    @pytest.fixture(scope="class")
+    def monte_carlo(self):
+        return run_simulation_study(
+            SimulationStudyConfig(cluster_counts=(5, 10, 20), iterations=60, seed=2006)
+        )
+
+    def test_flat_tree_scales_worst(self, monte_carlo):
+        flat = monte_carlo.series("Flat Tree")
+        ecef = monte_carlo.series("ECEF")
+        # Flat tree grows roughly linearly with the cluster count.
+        assert flat[-1] > 2.5 * ecef[-1]
+        assert flat[-1] > flat[0] * 2
+
+    def test_fef_worse_than_ecef_family(self, monte_carlo):
+        fef = monte_carlo.series("FEF")
+        for name in ("ECEF", "ECEF-LA", "ECEF-LAT", "ECEF-LAt"):
+            assert fef[-1] > monte_carlo.series(name)[-1]
+
+    def test_bottomup_between_fef_and_ecef(self, monte_carlo):
+        bottomup = monte_carlo.series("BottomUp")[-1]
+        assert monte_carlo.series("ECEF")[-1] < bottomup < monte_carlo.series("FEF")[-1]
+
+    def test_ecef_family_nearly_flat_in_cluster_count(self, monte_carlo):
+        ecef = monte_carlo.series("ECEF")
+        assert ecef[-1] < ecef[0] * 1.35
+
+    def test_hit_rate_analysis_runs_on_same_study(self, monte_carlo):
+        hit_rate = hit_rate_from_study(monte_carlo)
+        rates = hit_rate.hit_rates()
+        assert rates.shape == (3, 7)
+        # The ECEF family collectively dominates the global minimum.
+        ecef_columns = [
+            hit_rate.heuristic_names.index(name)
+            for name in ("ECEF", "ECEF-LA", "ECEF-LAT", "ECEF-LAt")
+        ]
+        assert rates[:, ecef_columns].sum(axis=1).min() > 0.5
+
+    def test_practical_study_prediction_accuracy_and_ranking(self):
+        result = run_practical_study(
+            PracticalStudyConfig(
+                message_sizes=(1_048_576, 4_194_304), noise_sigma=0.02, seed=7
+            )
+        )
+        # predictions within ~10 % of the (noisy) measurements on average
+        assert np.nanmean(result.prediction_error()) < 0.15
+        # ECEF-family below Flat Tree and below the grid-unaware binomial
+        last = result.measured[-1]
+        flat = last[result.heuristic_names.index("Flat Tree")]
+        ecef = last[result.heuristic_names.index("ECEF")]
+        assert flat > 3 * ecef
+        assert result.baseline_measured[-1] > ecef
+        assert flat > result.baseline_measured[-1]
+
+
+class TestScatterAndAlltoallExtensions:
+    def test_grid_aware_scatter_wins_for_latency_bound_chunks(self, grid5000):
+        comm = GridCommunicator(grid5000)
+        aware = comm.scatter(2_048, heuristic="ecef_la")
+        flat = comm.scatter(2_048, grid_aware=False)
+        assert aware.measured_time < flat.measured_time
+
+    def test_alltoall_has_fewer_wan_messages_when_grid_aware(self, grid5000):
+        comm = GridCommunicator(grid5000)
+        cluster_of = [grid5000.cluster_of_rank(r) for r in range(grid5000.num_nodes)]
+        aware = comm.alltoall(1_024)
+        direct = comm.alltoall(1_024, grid_aware=False)
+        assert (
+            aware.execution.messages_between_clusters(cluster_of)
+            < direct.execution.messages_between_clusters(cluster_of)
+        )

@@ -1,0 +1,109 @@
+"""Tests for repro.model.measurement (simulated pLogP acquisition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.measurement import (
+    MeasurementProcedure,
+    analytic_round_trip_oracle,
+    fit_gap_function,
+    fit_latency,
+)
+from repro.model.plogp import GapFunction, PLogPParameters
+
+
+class TestFitLatency:
+    def test_half_round_trip(self):
+        assert fit_latency(0.020) == pytest.approx(0.010)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fit_latency(-1.0)
+
+
+class TestFitGapFunction:
+    def test_recovers_affine_gap(self):
+        true = PLogPParameters(
+            latency=0.005,
+            gap=GapFunction.from_bandwidth(overhead=0.001, bandwidth=1e7),
+            num_procs=2,
+        )
+        sizes = [0, 1_000, 100_000, 1_000_000]
+        rtts = [true.gap(s) + true.latency + true.gap(0) + true.latency for s in sizes]
+        fitted = fit_gap_function(sizes, rtts, true.latency)
+        for size in (10_000, 500_000, 2_000_000):
+            assert fitted(size) == pytest.approx(true.gap(size), rel=0.05, abs=2e-3)
+
+    def test_monotonicity_enforced_under_noise(self):
+        sizes = [0, 1_000, 2_000]
+        rtts = [0.010, 0.013, 0.012]  # noisy dip at the last point
+        fitted = fit_gap_function(sizes, rtts, 0.004)
+        assert fitted(2_000) >= fitted(1_000)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_gap_function([0, 1], [0.1], 0.01)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            fit_gap_function([], [], 0.01)
+
+
+class TestMeasurementProcedure:
+    def test_recovers_ground_truth(self):
+        true = PLogPParameters(
+            latency=0.002,
+            gap=GapFunction.from_bandwidth(overhead=0.0005, bandwidth=5e7),
+            num_procs=2,
+        )
+        procedure = MeasurementProcedure(analytic_round_trip_oracle(true))
+        measured = procedure.run()
+        assert measured.latency == pytest.approx(true.latency, rel=0.3)
+        assert measured.gap(1_048_576) == pytest.approx(true.gap(1_048_576), rel=0.1)
+
+    def test_zero_probe_added_automatically(self):
+        true = PLogPParameters.from_values(latency=0.001, gap=0.01)
+        procedure = MeasurementProcedure(
+            analytic_round_trip_oracle(true), probe_sizes=(1024, 4096)
+        )
+        assert procedure.probe_sizes[0] == 0.0
+
+    def test_as_plogp_carries_num_procs(self):
+        true = PLogPParameters.from_values(latency=0.001, gap=0.01)
+        measured = MeasurementProcedure(analytic_round_trip_oracle(true)).run()
+        assert measured.as_plogp(num_procs=12).num_procs == 12
+
+    def test_rejects_non_callable_oracle(self):
+        with pytest.raises(TypeError):
+            MeasurementProcedure(oracle=42)  # type: ignore[arg-type]
+
+    def test_rejects_negative_oracle_output(self):
+        procedure = MeasurementProcedure(lambda size: -1.0)
+        with pytest.raises(ValueError):
+            procedure.run()
+
+    def test_repetitions_take_minimum(self):
+        calls = {"count": 0}
+
+        def noisy_oracle(size: float) -> float:
+            calls["count"] += 1
+            return 0.01 if calls["count"] % 3 == 0 else 0.02
+
+        measured = MeasurementProcedure(noisy_oracle, probe_sizes=(0,), repetitions=3).run()
+        assert measured.raw_round_trips[0] == pytest.approx(0.01)
+
+
+class TestSimulatorIntegration:
+    def test_measurement_against_simulated_network(self, grid5000):
+        """The measurement procedure run against the simulator recovers the
+        Table 3 wide-area latency within a few percent."""
+        from repro.simulator.network import SimulatedNetwork
+
+        network = SimulatedNetwork(grid5000)
+        source = grid5000.coordinator_rank(0)
+        destination = grid5000.coordinator_rank(2)
+        oracle = network.round_trip_oracle(source, destination)
+        measured = MeasurementProcedure(oracle).run()
+        true_latency = grid5000.latency(0, 2)
+        assert measured.latency == pytest.approx(true_latency, rel=0.15)

@@ -1,0 +1,143 @@
+"""Tests for repro.model.plogp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.plogp import (
+    GapFunction,
+    PLogPParameters,
+    merge_gap_functions,
+    point_to_point_time,
+)
+
+
+class TestGapFunctionConstruction:
+    def test_constant(self):
+        g = GapFunction.constant(0.25)
+        assert g(0) == 0.25
+        assert g(10_000_000) == 0.25
+
+    def test_from_points_sorts(self):
+        g = GapFunction.from_points([(1000, 0.2), (0, 0.1)])
+        assert g.sizes == (0.0, 1000.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GapFunction(sizes=(), gaps=())
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GapFunction(sizes=(0.0, 1.0), gaps=(0.1,))
+
+    def test_rejects_duplicate_sizes(self):
+        with pytest.raises(ValueError):
+            GapFunction.from_points([(0, 0.1), (0, 0.2)])
+
+    def test_rejects_decreasing_gap(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            GapFunction.from_points([(0, 0.2), (1000, 0.1)])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            GapFunction.from_points([(-1, 0.1)])
+        with pytest.raises(ValueError):
+            GapFunction.from_points([(0, -0.1)])
+
+    def test_from_bandwidth(self):
+        g = GapFunction.from_bandwidth(overhead=0.001, bandwidth=1e6)
+        assert g(0) == pytest.approx(0.001)
+        assert g(1e6) == pytest.approx(1.001)
+
+    def test_from_bandwidth_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            GapFunction.from_bandwidth(overhead=0.0, bandwidth=0.0)
+
+
+class TestGapFunctionEvaluation:
+    def test_interpolation_is_linear(self):
+        g = GapFunction.from_points([(0, 0.0), (100, 1.0)])
+        assert g(25) == pytest.approx(0.25)
+        assert g(50) == pytest.approx(0.5)
+
+    def test_extrapolation_uses_last_slope(self):
+        g = GapFunction.from_points([(0, 0.0), (100, 1.0)])
+        assert g(200) == pytest.approx(2.0)
+
+    def test_below_first_point_is_clamped(self):
+        g = GapFunction.from_points([(100, 1.0), (200, 2.0)])
+        assert g(10) == pytest.approx(1.0)
+
+    def test_rejects_negative_size(self):
+        g = GapFunction.constant(0.1)
+        with pytest.raises(ValueError):
+            g(-1)
+
+    def test_monotone_non_decreasing(self):
+        g = GapFunction.from_points([(0, 0.1), (1000, 0.2), (10_000, 1.0)])
+        sizes = [0, 10, 500, 1000, 5000, 10_000, 50_000]
+        values = [g(s) for s in sizes]
+        assert values == sorted(values)
+
+
+class TestGapFunctionDerived:
+    def test_bandwidth_of_affine(self):
+        g = GapFunction.from_bandwidth(overhead=0.0, bandwidth=2e6)
+        assert g.bandwidth() == pytest.approx(2e6)
+
+    def test_bandwidth_of_constant_is_infinite(self):
+        assert GapFunction.constant(0.1).bandwidth() == float("inf")
+
+    def test_scaled(self):
+        g = GapFunction.constant(0.1).scaled(3.0)
+        assert g(123) == pytest.approx(0.3)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GapFunction.constant(0.1).scaled(0.0)
+
+    def test_merge_takes_max_by_default(self):
+        a = GapFunction.constant(0.1)
+        b = GapFunction.from_points([(0, 0.05), (100, 0.5)])
+        merged = merge_gap_functions([a, b])
+        assert merged(0) == pytest.approx(0.1)
+        assert merged(100) == pytest.approx(0.5)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_gap_functions([])
+
+
+class TestPLogPParameters:
+    def test_point_to_point_time(self):
+        params = PLogPParameters.from_values(latency=0.01, gap=0.2)
+        assert params.point_to_point_time(123) == pytest.approx(0.21)
+
+    def test_sender_occupancy_is_gap(self):
+        params = PLogPParameters.from_values(latency=0.01, gap=0.2)
+        assert params.sender_occupancy(123) == pytest.approx(0.2)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            PLogPParameters.from_values(latency=-0.01, gap=0.2)
+
+    def test_rejects_bad_gap_type(self):
+        with pytest.raises(TypeError):
+            PLogPParameters(latency=0.0, gap=0.5)  # type: ignore[arg-type]
+
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ValueError):
+            PLogPParameters(latency=0.0, gap=GapFunction.constant(0.1), num_procs=0)
+
+    def test_rejects_bool_procs(self):
+        with pytest.raises(TypeError):
+            PLogPParameters(latency=0.0, gap=GapFunction.constant(0.1), num_procs=True)
+
+
+class TestFreeFunction:
+    def test_point_to_point_sum(self):
+        assert point_to_point_time(0.01, 0.3) == pytest.approx(0.31)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            point_to_point_time(float("nan"), 0.3)

@@ -1,0 +1,132 @@
+"""Tests for repro.model.prediction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model.plogp import PLogPParameters
+from repro.model.prediction import (
+    best_broadcast_algorithm,
+    predict_binomial_broadcast,
+    predict_broadcast_time,
+    predict_chain_broadcast,
+    predict_flat_broadcast,
+    predict_pipeline_broadcast,
+)
+
+
+def params(procs: int, latency: float = 0.001, gap: float = 0.01) -> PLogPParameters:
+    return PLogPParameters.from_values(latency=latency, gap=gap, num_procs=procs)
+
+
+class TestSingleProcess:
+    @pytest.mark.parametrize(
+        "predictor",
+        [
+            predict_flat_broadcast,
+            predict_chain_broadcast,
+            predict_binomial_broadcast,
+            predict_pipeline_broadcast,
+        ],
+    )
+    def test_single_process_is_free(self, predictor):
+        assert predictor(params(1), 1_000_000) == 0.0
+
+
+class TestFlatTree:
+    def test_two_processes(self):
+        assert predict_flat_broadcast(params(2), 0) == pytest.approx(0.01 + 0.001)
+
+    def test_formula(self):
+        # (P-1) * g + L
+        assert predict_flat_broadcast(params(5), 0) == pytest.approx(4 * 0.01 + 0.001)
+
+    def test_scales_linearly_with_size(self):
+        small = predict_flat_broadcast(params(10), 0)
+        assert small == pytest.approx(9 * 0.01 + 0.001)
+
+
+class TestChain:
+    def test_formula(self):
+        assert predict_chain_broadcast(params(5), 0) == pytest.approx(4 * (0.01 + 0.001))
+
+    def test_chain_slower_than_flat_for_large_p(self):
+        p = params(20)
+        assert predict_chain_broadcast(p, 0) > predict_flat_broadcast(p, 0)
+
+
+class TestBinomial:
+    def test_two_processes_single_send(self):
+        assert predict_binomial_broadcast(params(2), 0) == pytest.approx(0.011)
+
+    def test_power_of_two_rounds(self):
+        # With negligible latency the makespan is ceil(log2 P) * g for P a power of 2.
+        p = PLogPParameters.from_values(latency=0.0, gap=0.01, num_procs=8)
+        assert predict_binomial_broadcast(p, 0) == pytest.approx(3 * 0.01)
+
+    def test_beats_flat_for_many_processes(self):
+        p = params(32)
+        assert predict_binomial_broadcast(p, 0) < predict_flat_broadcast(p, 0)
+
+    def test_beats_chain_for_many_processes(self):
+        p = params(32)
+        assert predict_binomial_broadcast(p, 0) < predict_chain_broadcast(p, 0)
+
+    def test_monotone_in_cluster_size(self):
+        times = [predict_binomial_broadcast(params(n), 1000) for n in range(2, 40)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestPipeline:
+    def test_reduces_to_chain_for_single_segment(self):
+        p = params(5)
+        chain = predict_chain_broadcast(p, 1000)
+        pipeline = predict_pipeline_broadcast(p, 1000, segment_size=10_000)
+        assert pipeline == pytest.approx(chain)
+
+    def test_segmentation_helps_long_chains_with_affine_gap(self):
+        from repro.model.plogp import GapFunction
+
+        p = PLogPParameters(
+            latency=1e-5,
+            gap=GapFunction.from_bandwidth(overhead=1e-5, bandwidth=1e8),
+            num_procs=16,
+        )
+        whole = predict_chain_broadcast(p, 4_000_000)
+        segmented = predict_pipeline_broadcast(p, 4_000_000, segment_size=65_536)
+        assert segmented < whole
+
+    def test_rejects_non_positive_segment(self):
+        with pytest.raises(ValueError):
+            predict_pipeline_broadcast(params(4), 1000, segment_size=0)
+
+    def test_zero_message(self):
+        assert predict_pipeline_broadcast(params(4), 0) == pytest.approx(3 * 0.011)
+
+
+class TestDispatcher:
+    def test_named_dispatch_matches_direct_call(self):
+        p = params(8)
+        assert predict_broadcast_time(p, 1000, algorithm="binomial") == pytest.approx(
+            predict_binomial_broadcast(p, 1000)
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown broadcast algorithm"):
+            predict_broadcast_time(params(4), 1000, algorithm="mystery")
+
+    def test_best_algorithm_returns_minimum(self):
+        p = params(32)
+        name, time = best_broadcast_algorithm(p, 1000)
+        all_times = {
+            algorithm: predict_broadcast_time(p, 1000, algorithm=algorithm)
+            for algorithm in ("flat", "chain", "binomial", "pipeline")
+        }
+        assert time == pytest.approx(min(all_times.values()))
+        assert math.isclose(all_times[name], time)
+
+    def test_best_algorithm_empty_candidates(self):
+        with pytest.raises(ValueError):
+            best_broadcast_algorithm(params(4), 1000, candidates=())

@@ -1,0 +1,85 @@
+"""Tests for repro.mpi.communicator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecef import ECEF
+from repro.mpi.communicator import GridCommunicator
+from repro.simulator.network import NetworkConfig
+
+
+@pytest.fixture
+def comm(heterogeneous_grid):
+    return GridCommunicator(heterogeneous_grid)
+
+
+class TestBookkeeping:
+    def test_size_and_clusters(self, comm, heterogeneous_grid):
+        assert comm.size == heterogeneous_grid.num_nodes
+        assert comm.num_clusters == 3
+
+    def test_coordinator_ranks(self, comm):
+        assert comm.coordinator_ranks() == [0, 4, 8]
+
+    def test_cluster_of(self, comm):
+        assert comm.cluster_of(0) == 0
+        assert comm.cluster_of(5) == 1
+
+    def test_rejects_non_grid(self):
+        with pytest.raises(TypeError):
+            GridCommunicator(grid="nope")  # type: ignore[arg-type]
+
+
+class TestBcast:
+    def test_bcast_by_key_and_instance_agree(self, comm):
+        by_key = comm.bcast(1_000, heuristic="ecef")
+        by_instance = comm.bcast(1_000, heuristic=ECEF())
+        assert by_key.measured_time == pytest.approx(by_instance.measured_time)
+
+    def test_outcome_contains_schedule_and_prediction(self, comm):
+        outcome = comm.bcast(1_000, heuristic="ecef_la")
+        assert outcome.schedule is not None
+        assert outcome.predicted_time == pytest.approx(outcome.schedule.makespan)
+        assert outcome.measured_time > 0
+
+    def test_measured_matches_predicted_without_noise(self, comm):
+        outcome = comm.bcast(1_000, heuristic="ecef")
+        assert outcome.measured_time == pytest.approx(outcome.predicted_time, rel=0.05)
+
+    def test_root_cluster_selects_root_rank(self, comm):
+        outcome = comm.bcast(1_000, heuristic="ecef", root_cluster=1)
+        assert outcome.execution.activation_times[4] == 0.0
+
+    def test_binomial_baseline_has_no_schedule(self, comm):
+        outcome = comm.bcast_binomial(1_000)
+        assert outcome.schedule is None
+        assert outcome.predicted_time is None
+        assert outcome.measured_time > 0
+
+    def test_invalid_heuristic_type(self, comm):
+        with pytest.raises(TypeError):
+            comm.bcast(1_000, heuristic=42)  # type: ignore[arg-type]
+
+    def test_noise_config_propagates(self, heterogeneous_grid):
+        noisy = GridCommunicator(
+            heterogeneous_grid, network_config=NetworkConfig(noise_sigma=0.1, seed=2)
+        )
+        clean = GridCommunicator(heterogeneous_grid)
+        assert noisy.bcast(1_000).measured_time != clean.bcast(1_000).measured_time
+
+
+class TestOtherCollectives:
+    def test_scatter_grid_aware_and_flat(self, comm):
+        aware = comm.scatter(1_000)
+        flat = comm.scatter(1_000, grid_aware=False)
+        assert aware.measured_time > 0
+        assert flat.measured_time > 0
+        assert aware.schedule is not None
+        assert flat.schedule is None
+
+    def test_alltoall_both_variants(self, comm):
+        aware = comm.alltoall(100)
+        direct = comm.alltoall(100, grid_aware=False)
+        assert aware.measured_time > 0
+        assert direct.measured_time > 0

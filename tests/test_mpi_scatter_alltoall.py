@@ -1,0 +1,99 @@
+"""Tests for repro.mpi.scatter and repro.mpi.alltoall."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecef import ECEFLookahead
+from repro.mpi.alltoall import direct_alltoall_program, grid_aware_alltoall_program
+from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
+from repro.simulator.execution import execute_program
+from repro.simulator.network import SimulatedNetwork
+
+
+class TestScatterPrograms:
+    def test_flat_scatter_one_message_per_rank(self, heterogeneous_grid):
+        program = flat_scatter_program(heterogeneous_grid, 1_000, root_rank=0)
+        assert program.total_messages() == heterogeneous_grid.num_nodes - 1
+        assert program.receivers() == set(range(1, heterogeneous_grid.num_nodes))
+
+    def test_grid_aware_scatter_aggregates_per_cluster(self, heterogeneous_grid):
+        program, schedule = grid_aware_scatter_program(
+            heterogeneous_grid, 1_000, heuristic=ECEFLookahead.bhat()
+        )
+        root_rank = heterogeneous_grid.coordinator_rank(0)
+        inter = [i for i in program.sends_of(root_rank) if i.tag == "scatter-aggregate"]
+        assert len(inter) == heterogeneous_grid.num_clusters - 1
+        # Each aggregated message carries cluster_size blocks.
+        assert all(i.message_size == 4 * 1_000 for i in inter)
+        assert schedule.heuristic_name.startswith("scatter[")
+
+    def test_grid_aware_scatter_everyone_gets_a_block(self, heterogeneous_grid):
+        program, _ = grid_aware_scatter_program(
+            heterogeneous_grid, 1_000, heuristic=ECEFLookahead.bhat()
+        )
+        receivers = program.receivers()
+        assert receivers == set(range(1, heterogeneous_grid.num_nodes))
+
+    def test_grid_aware_beats_flat_on_grid5000_for_small_chunks(self, grid5000):
+        """Aggregation pays off when the per-message latency dominates."""
+        network = SimulatedNetwork(grid5000)
+        aware_program, _ = grid_aware_scatter_program(
+            grid5000, 4_096, heuristic=ECEFLookahead.bhat()
+        )
+        aware = execute_program(network, aware_program)
+        flat = execute_program(
+            network, flat_scatter_program(grid5000, 4_096, root_rank=grid5000.coordinator_rank(0))
+        )
+        assert aware.makespan < flat.makespan
+
+    def test_rejects_negative_chunk(self, heterogeneous_grid):
+        with pytest.raises(ValueError):
+            flat_scatter_program(heterogeneous_grid, -1)
+
+
+class TestAllToAllPrograms:
+    def test_direct_alltoall_message_count(self, heterogeneous_grid):
+        program = direct_alltoall_program(heterogeneous_grid, 100)
+        n = heterogeneous_grid.num_nodes
+        assert program.total_messages() == n * (n - 1)
+
+    def test_grid_aware_alltoall_wan_messages_one_per_cluster_pair(self, heterogeneous_grid):
+        program = grid_aware_alltoall_program(heterogeneous_grid, 100)
+        exchange = [
+            i
+            for sends in program.sends.values()
+            for i in sends
+            if i.tag == "a2a-exchange"
+        ]
+        clusters = heterogeneous_grid.num_clusters
+        assert len(exchange) == clusters * (clusters - 1)
+
+    def test_grid_aware_alltoall_conserves_volume_per_destination_cluster(
+        self, heterogeneous_grid
+    ):
+        chunk = 100
+        program = grid_aware_alltoall_program(heterogeneous_grid, chunk)
+        # Every rank ultimately needs (n-1) * chunk bytes of foreign data; the
+        # redistribution message from its coordinator must carry the remote part.
+        coordinator = heterogeneous_grid.coordinator_rank(1)
+        scatter = [
+            i for i in program.sends_of(coordinator) if i.tag == "a2a-scatter"
+        ]
+        remote_ranks = heterogeneous_grid.num_nodes - heterogeneous_grid.cluster(1).size
+        assert all(i.message_size == remote_ranks * chunk for i in scatter)
+
+    def test_both_programs_execute(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        for program in (
+            direct_alltoall_program(heterogeneous_grid, 100),
+            grid_aware_alltoall_program(heterogeneous_grid, 100),
+        ):
+            result = execute_program(
+                network, program, initially_active=range(heterogeneous_grid.num_nodes)
+            )
+            assert result.makespan > 0
+
+    def test_rejects_negative_chunk(self, heterogeneous_grid):
+        with pytest.raises(ValueError):
+            grid_aware_alltoall_program(heterogeneous_grid, -5)

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.collectives.cost import predict_tree_time
+from repro.collectives.trees import make_tree
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic
+from repro.core.schedule import evaluate_order
+from repro.model.plogp import GapFunction, PLogPParameters
+from repro.model.prediction import predict_binomial_broadcast, predict_flat_broadcast
+from repro.topology.cluster import Cluster
+from repro.topology.grid import Grid, InterClusterLink
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+latencies = st.floats(min_value=1e-6, max_value=0.05, allow_nan=False)
+gaps = st.floats(min_value=1e-3, max_value=1.0, allow_nan=False)
+broadcast_times = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+message_sizes = st.integers(min_value=0, max_value=8_000_000)
+
+
+@st.composite
+def grids(draw, min_clusters: int = 2, max_clusters: int = 6) -> Grid:
+    """Random heterogeneous grids with fully specified pairwise parameters."""
+    count = draw(st.integers(min_value=min_clusters, max_value=max_clusters))
+    clusters = [
+        Cluster(
+            cluster_id=index,
+            size=draw(st.integers(min_value=1, max_value=4)),
+            fixed_broadcast_time=draw(broadcast_times),
+        )
+        for index in range(count)
+    ]
+    links = {
+        (i, j): InterClusterLink.from_values(latency=draw(latencies), gap=draw(gaps))
+        for i in range(count)
+        for j in range(i + 1, count)
+    }
+    return Grid(clusters, links)
+
+
+@st.composite
+def gap_control_points(draw):
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    sizes = sorted(sizes)
+    values = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=len(sizes),
+                max_size=len(sizes),
+            )
+        )
+    )
+    return list(zip(sizes, values))
+
+
+# ---------------------------------------------------------------------------
+# pLogP model properties
+# ---------------------------------------------------------------------------
+
+
+class TestGapFunctionProperties:
+    @given(points=gap_control_points(), size=st.floats(min_value=0, max_value=2e7))
+    @settings(max_examples=60)
+    def test_gap_is_non_negative_everywhere(self, points, size):
+        assert GapFunction.from_points(points)(size) >= 0.0
+
+    @given(points=gap_control_points(), a=message_sizes, b=message_sizes)
+    @settings(max_examples=60)
+    def test_gap_is_monotone_non_decreasing(self, points, a, b):
+        gap = GapFunction.from_points(points)
+        small, large = sorted((a, b))
+        assert gap(small) <= gap(large) + 1e-12
+
+    @given(
+        overhead=st.floats(min_value=0, max_value=0.1, allow_nan=False),
+        bandwidth=st.floats(min_value=1e3, max_value=1e10, allow_nan=False),
+        size=message_sizes,
+    )
+    @settings(max_examples=60)
+    def test_affine_gap_matches_formula(self, overhead, bandwidth, size):
+        gap = GapFunction.from_bandwidth(overhead=overhead, bandwidth=bandwidth)
+        assert math.isclose(gap(size), overhead + size / bandwidth, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestPredictionProperties:
+    @given(
+        procs=st.integers(min_value=1, max_value=64),
+        latency=latencies,
+        gap=gaps,
+        size=message_sizes,
+    )
+    @settings(max_examples=60)
+    def test_binomial_never_slower_than_flat_when_gap_dominates(
+        self, procs, latency, gap, size
+    ):
+        """When the gap dominates the latency, the binomial tree's extra hops
+        are free and it cannot lose to the flat tree.  (When latency dominates
+        the flat tree can win — that regime is exactly what the per-cluster
+        tree selector of repro.collectives.selector is for.)"""
+        assume(latency <= gap)
+        params = PLogPParameters.from_values(latency=latency, gap=gap, num_procs=procs)
+        assert (
+            predict_binomial_broadcast(params, size)
+            <= predict_flat_broadcast(params, size) + 1e-12
+        )
+
+    @given(
+        procs=st.integers(min_value=1, max_value=64),
+        latency=latencies,
+        gap=gaps,
+        size=message_sizes,
+    )
+    @settings(max_examples=60)
+    def test_binomial_never_slower_than_chain(self, procs, latency, gap, size):
+        from repro.model.prediction import predict_chain_broadcast
+
+        params = PLogPParameters.from_values(latency=latency, gap=gap, num_procs=procs)
+        assert (
+            predict_binomial_broadcast(params, size)
+            <= predict_chain_broadcast(params, size) + 1e-12
+        )
+
+    @given(
+        procs=st.integers(min_value=1, max_value=32),
+        latency=latencies,
+        gap=gaps,
+        size=message_sizes,
+        shape=st.sampled_from(["binomial", "flat", "chain", "binary"]),
+    )
+    @settings(max_examples=60)
+    def test_tree_cost_non_negative_and_zero_only_for_singleton(
+        self, procs, latency, gap, size, shape
+    ):
+        params = PLogPParameters.from_values(latency=latency, gap=gap, num_procs=procs)
+        cost = predict_tree_time(make_tree(shape, procs), params, size)
+        if procs == 1:
+            assert cost == 0.0
+        else:
+            assert cost > 0.0
+
+
+# ---------------------------------------------------------------------------
+# tree properties
+# ---------------------------------------------------------------------------
+
+
+class TestTreeProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=200),
+        shape=st.sampled_from(["binomial", "flat", "chain", "binary"]),
+    )
+    @settings(max_examples=80)
+    def test_every_tree_is_spanning(self, size, shape):
+        tree = make_tree(shape, size)
+        assert len(tree.edges()) == size - 1
+        reached = {0}
+        for parent, child in tree.edges():
+            assert parent in reached
+            reached.add(child)
+        assert reached == set(range(size))
+
+    @given(size=st.integers(min_value=2, max_value=200))
+    @settings(max_examples=60)
+    def test_binomial_root_fanout_is_ceil_log2(self, size):
+        tree = make_tree("binomial", size)
+        assert len(tree.children[0]) == math.ceil(math.log2(size))
+
+
+# ---------------------------------------------------------------------------
+# scheduling properties
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(grid=grids(), size=message_sizes, key=st.sampled_from(PAPER_HEURISTICS))
+    @settings(max_examples=80, deadline=None)
+    def test_every_heuristic_yields_a_valid_schedule(self, grid, size, key):
+        heuristic = get_heuristic(key)
+        schedule = heuristic.schedule(grid, size)
+        schedule.validate()
+        assert schedule.makespan >= 0.0
+        assert len(schedule.transfers) == grid.num_clusters - 1
+
+    @given(grid=grids(), size=message_sizes, key=st.sampled_from(PAPER_HEURISTICS))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_lower_bound(self, grid, size, key):
+        """No schedule can beat the cheapest direct transfer to the most
+        expensive cluster (its own local broadcast included)."""
+        heuristic = get_heuristic(key)
+        schedule = heuristic.schedule(grid, size, root=0)
+        lower_bound = 0.0
+        for cluster in range(1, grid.num_clusters):
+            cheapest_incoming = min(
+                grid.transfer_time(other, cluster, size)
+                for other in range(grid.num_clusters)
+                if other != cluster
+            )
+            lower_bound = max(
+                lower_bound, cheapest_incoming + grid.broadcast_time(cluster, size)
+            )
+        lower_bound = max(lower_bound, grid.broadcast_time(0, size))
+        assert schedule.makespan >= lower_bound - 1e-9
+
+    @given(grid=grids(), size=message_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_invariant_to_transfer_reordering(self, grid, size):
+        """evaluate_order only depends on the decision sequence, so evaluating
+        the same order twice gives identical schedules."""
+        heuristic = get_heuristic("ecef_la")
+        schedule = heuristic.schedule(grid, size)
+        replayed = evaluate_order(grid, size, schedule.root, schedule.order)
+        assert replayed.makespan == schedule.makespan
+        assert replayed.arrival_times == schedule.arrival_times
+
+    @given(grid=grids(max_clusters=5), size=message_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_heuristics_never_beat_optimal(self, grid, size):
+        from repro.core.optimal import OptimalSearch
+
+        best = OptimalSearch().schedule(grid, size).makespan
+        for key in ("ecef", "ecef_la", "bottom_up", "flat_tree"):
+            assert get_heuristic(key).makespan(grid, size) >= best - 1e-9
+
+    @given(grid=grids(), root=st.integers(min_value=0, max_value=5), size=message_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_root_rotation_always_valid(self, grid, root, size):
+        root = root % grid.num_clusters
+        schedule = get_heuristic("ecef_lat_max").schedule(grid, size, root=root)
+        schedule.validate()
+        assert schedule.arrival_times[root] == 0.0

@@ -1,0 +1,100 @@
+"""Tests for repro.simulator.engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        log: list[str] = []
+        engine.schedule_at(2.0, lambda: log.append("late"))
+        engine.schedule_at(1.0, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_ties_run_in_scheduling_order(self):
+        engine = SimulationEngine()
+        log: list[int] = []
+        for index in range(5):
+            engine.schedule_at(1.0, lambda i=index: log.append(i))
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_after_is_relative(self):
+        engine = SimulationEngine()
+        times: list[float] = []
+
+        def chain():
+            times.append(engine.now)
+            if len(times) < 3:
+                engine.schedule_after(0.5, chain)
+
+        engine.schedule_at(0.0, chain)
+        engine.run()
+        assert times == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_callbacks_can_schedule_new_events(self):
+        engine = SimulationEngine()
+        seen: list[float] = []
+        engine.schedule_at(1.0, lambda: engine.schedule_at(3.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_rejects_scheduling_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError, match="before the current time"):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_rejects_negative_times(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_at(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_rejects_non_callable(self):
+        engine = SimulationEngine()
+        with pytest.raises(TypeError):
+            engine.schedule_at(0.0, callback=42)  # type: ignore[arg-type]
+
+
+class TestRunControls:
+    def test_until_leaves_future_events_pending(self):
+        engine = SimulationEngine()
+        log: list[float] = []
+        engine.schedule_at(1.0, lambda: log.append(1.0))
+        engine.schedule_at(5.0, lambda: log.append(5.0))
+        engine.run(until=2.0)
+        assert log == [1.0]
+        assert engine.pending_events == 1
+        engine.run()
+        assert log == [1.0, 5.0]
+
+    def test_max_events_limits_execution(self):
+        engine = SimulationEngine()
+        for index in range(10):
+            engine.schedule_at(float(index), lambda: None)
+        engine.run(max_events=3)
+        assert engine.processed_events == 3
+        assert engine.pending_events == 7
+
+    def test_reset_clears_everything(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.schedule_at(4.0, lambda: None)
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0
+
+    def test_empty_run_is_noop(self):
+        engine = SimulationEngine()
+        assert engine.run() == 0.0

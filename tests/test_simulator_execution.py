@@ -1,0 +1,125 @@
+"""Tests for repro.simulator.execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.execution import execute_program
+from repro.simulator.network import NetworkConfig, SimulatedNetwork
+from repro.simulator.program import CommunicationProgram
+
+
+@pytest.fixture
+def network(heterogeneous_grid):
+    return SimulatedNetwork(heterogeneous_grid)
+
+
+def coordinator(grid, cluster):
+    return grid.coordinator_rank(cluster)
+
+
+class TestBroadcastExecution:
+    def test_chain_program_timing(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        program.add_send(c1, c2, 1_000)
+        result = execute_program(network, program)
+        assert result.activation_times[c0] == 0.0
+        assert result.activation_times[c1] == pytest.approx(0.101)
+        assert result.activation_times[c2] == pytest.approx(0.101 + 0.305)
+        assert result.makespan == pytest.approx(0.101 + 0.305)
+
+    def test_dependent_sends_wait_for_activation(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c1, c2, 1_000)   # listed before c1 is even activated
+        program.add_send(c0, c1, 1_000)
+        result = execute_program(network, program)
+        relay = [r for r in result.trace if r.source == c1][0]
+        assert relay.issue_time == pytest.approx(0.101)
+
+    def test_idle_ranks_have_no_activation(self, heterogeneous_grid, network):
+        c0, c1 = coordinator(heterogeneous_grid, 0), coordinator(heterogeneous_grid, 1)
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        result = execute_program(network, program)
+        idle = coordinator(heterogeneous_grid, 2)
+        assert result.activation_times[idle] is None
+
+    def test_trace_sorted_by_delivery(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c2, 1_000)
+        program.add_send(c0, c1, 1_000)
+        result = execute_program(network, program)
+        deliveries = [record.delivery_time for record in result.trace]
+        assert deliveries == sorted(deliveries)
+
+    def test_queueing_delay_reported(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        program.add_send(c0, c2, 1_000)
+        result = execute_program(network, program)
+        second = [r for r in result.trace if r.destination == c2][0]
+        assert second.queueing_delay == pytest.approx(0.10)
+        assert second.transfer_time == pytest.approx(0.51)
+
+    def test_messages_between_clusters(self, heterogeneous_grid, network):
+        c0, c1 = coordinator(heterogeneous_grid, 0), coordinator(heterogeneous_grid, 1)
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        program.add_send(c0, c0 + 1, 1_000)   # intra-cluster
+        result = execute_program(network, program)
+        cluster_of = [heterogeneous_grid.cluster_of_rank(r) for r in range(heterogeneous_grid.num_nodes)]
+        assert result.messages_between_clusters(cluster_of) == 1
+
+
+class TestExecutionOptions:
+    def test_initially_active_ranks_start_at_zero(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c2, c1, 1_000)
+        result = execute_program(network, program, initially_active=[c2])
+        assert result.activation_times[c2] == 0.0
+        assert result.activation_times[c1] is not None
+
+    def test_initially_active_out_of_range(self, heterogeneous_grid, network):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        with pytest.raises(ValueError):
+            execute_program(network, program, initially_active=[99])
+
+    def test_program_larger_than_network_rejected(self, heterogeneous_grid, network):
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes + 1, root=0)
+        with pytest.raises(ValueError, match="only has"):
+            execute_program(network, program)
+
+    def test_warm_network_not_reset(self, heterogeneous_grid, network):
+        c0, c1 = coordinator(heterogeneous_grid, 0), coordinator(heterogeneous_grid, 1)
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        execute_program(network, program)
+        result = execute_program(network, program, reset_network=False)
+        # The root's NIC is still busy from the first run, delaying the send.
+        assert result.trace[0].start_time > 0.0
+
+    def test_empty_program_single_rank(self, heterogeneous_grid, network):
+        program = CommunicationProgram(num_ranks=1, root=0)
+        result = execute_program(network, program)
+        assert result.makespan == 0.0
+        assert result.activation_times[0] == 0.0
+
+    def test_noise_changes_makespan_but_not_structure(self, heterogeneous_grid):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
+        program.add_send(c0, c1, 1_000)
+        program.add_send(c1, c2, 1_000)
+        clean = execute_program(SimulatedNetwork(heterogeneous_grid), program)
+        noisy = execute_program(
+            SimulatedNetwork(heterogeneous_grid, NetworkConfig(noise_sigma=0.1, seed=1)),
+            program,
+        )
+        assert noisy.makespan != clean.makespan
+        assert noisy.makespan == pytest.approx(clean.makespan, rel=0.6)
+        assert len(noisy.trace) == len(clean.trace)

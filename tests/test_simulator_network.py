@@ -1,0 +1,113 @@
+"""Tests for repro.simulator.network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.network import NetworkConfig, SimulatedNetwork
+
+
+class TestNetworkConfig:
+    def test_defaults_are_noise_free(self):
+        config = NetworkConfig()
+        assert config.noise_sigma == 0.0
+        assert config.receive_overhead == 0.0
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(noise_sigma=-0.1)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(receive_overhead=-1.0)
+
+
+class TestTransmit:
+    def test_noise_free_matches_plogp(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        coordinator_0 = heterogeneous_grid.coordinator_rank(0)
+        coordinator_1 = heterogeneous_grid.coordinator_rank(1)
+        start, release, delivery = network.transmit(coordinator_0, coordinator_1, 1_000, 0.0)
+        assert start == 0.0
+        assert release == pytest.approx(0.10)
+        assert delivery == pytest.approx(0.101)
+
+    def test_nic_occupancy_serialises_sends(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        sender = heterogeneous_grid.coordinator_rank(0)
+        network.transmit(sender, heterogeneous_grid.coordinator_rank(1), 1_000, 0.0)
+        start, _, _ = network.transmit(sender, heterogeneous_grid.coordinator_rank(2), 1_000, 0.0)
+        assert start == pytest.approx(0.10)
+
+    def test_issue_time_after_nic_free_is_respected(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        sender = heterogeneous_grid.coordinator_rank(0)
+        start, _, _ = network.transmit(sender, heterogeneous_grid.coordinator_rank(1), 1_000, 5.0)
+        assert start == 5.0
+
+    def test_message_counter(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        assert network.message_count == 0
+        network.transmit(0, 4, 10, 0.0)
+        network.transmit(4, 0, 10, 0.0)
+        assert network.message_count == 2
+
+    def test_reset_clears_state(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        network.transmit(0, 4, 10, 0.0)
+        network.reset()
+        assert network.message_count == 0
+        assert network.nic_free_at(0) == 0.0
+
+    def test_rejects_self_transmission(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        with pytest.raises(ValueError):
+            network.transmit(3, 3, 10, 0.0)
+
+    def test_receive_overhead_added_to_delivery(self, heterogeneous_grid):
+        network = SimulatedNetwork(
+            heterogeneous_grid, NetworkConfig(receive_overhead=0.5)
+        )
+        _, release, delivery = network.transmit(0, 4, 1_000, 0.0)
+        assert delivery == pytest.approx(release + 0.001 + 0.5)
+
+
+class TestNoise:
+    def test_noise_is_reproducible(self, heterogeneous_grid):
+        a = SimulatedNetwork(heterogeneous_grid, NetworkConfig(noise_sigma=0.1, seed=5))
+        b = SimulatedNetwork(heterogeneous_grid, NetworkConfig(noise_sigma=0.1, seed=5))
+        assert a.transmit(0, 4, 1_000, 0.0) == b.transmit(0, 4, 1_000, 0.0)
+
+    def test_noise_changes_timings(self, heterogeneous_grid):
+        clean = SimulatedNetwork(heterogeneous_grid)
+        noisy = SimulatedNetwork(heterogeneous_grid, NetworkConfig(noise_sigma=0.2, seed=5))
+        assert clean.transmit(0, 4, 1_000, 0.0) != noisy.transmit(0, 4, 1_000, 0.0)
+
+    def test_noise_keeps_times_positive_and_ordered(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid, NetworkConfig(noise_sigma=0.5, seed=3))
+        for _ in range(50):
+            start, release, delivery = network.transmit(0, 4, 1_000, 0.0)
+            assert 0 <= start <= release <= delivery
+
+
+class TestMeasurementOracle:
+    def test_round_trip_does_not_disturb_nic_state(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        network.transmit(0, 4, 1_000, 0.0)
+        busy_before = network.nic_free_at(0)
+        oracle = network.round_trip_oracle(0, 4)
+        oracle(1_000_000)
+        assert network.nic_free_at(0) == busy_before
+
+    def test_round_trip_value(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        oracle = network.round_trip_oracle(
+            heterogeneous_grid.coordinator_rank(0),
+            heterogeneous_grid.coordinator_rank(2),
+        )
+        # ping of 0 bytes + pong of 0 bytes: 2 * (g(0) + L) with constant gap 0.5
+        assert oracle(0) == pytest.approx(2 * (0.5 + 0.01))
+
+    def test_grid_type_checked(self):
+        with pytest.raises(TypeError):
+            SimulatedNetwork(grid="not a grid")  # type: ignore[arg-type]

@@ -1,0 +1,103 @@
+"""Tests for repro.simulator.program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.program import CommunicationProgram, SendInstruction
+
+
+class TestSendInstruction:
+    def test_valid(self):
+        instruction = SendInstruction(destination=3, message_size=100, tag="x")
+        assert instruction.destination == 3
+
+    def test_rejects_negative_destination(self):
+        with pytest.raises(ValueError):
+            SendInstruction(destination=-1, message_size=100)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SendInstruction(destination=0, message_size=-1)
+
+    def test_rejects_non_int_destination(self):
+        with pytest.raises(TypeError):
+            SendInstruction(destination=1.5, message_size=100)  # type: ignore[arg-type]
+
+
+class TestProgramConstruction:
+    def test_add_send_appends_in_order(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        program.add_send(0, 1, 100)
+        program.add_send(0, 2, 100)
+        assert [i.destination for i in program.sends_of(0)] == [1, 2]
+
+    def test_add_send_rejects_self(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        with pytest.raises(ValueError):
+            program.add_send(1, 1, 100)
+
+    def test_add_send_rejects_out_of_range(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        with pytest.raises(ValueError):
+            program.add_send(0, 9, 100)
+        with pytest.raises(ValueError):
+            program.add_send(9, 0, 100)
+
+    def test_rejects_invalid_root(self):
+        with pytest.raises(ValueError):
+            CommunicationProgram(num_ranks=4, root=7)
+
+    def test_constructor_validates_preloaded_sends(self):
+        with pytest.raises(ValueError):
+            CommunicationProgram(
+                num_ranks=2, root=0, sends={0: [SendInstruction(destination=5, message_size=1)]}
+            )
+
+    def test_totals(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        program.add_send(0, 1, 100)
+        program.add_send(1, 2, 300)
+        assert program.total_messages() == 2
+        assert program.total_bytes() == 400
+        assert program.receivers() == {1, 2}
+
+    def test_sends_of_unknown_rank_is_empty(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        assert program.sends_of(3) == []
+
+
+class TestBroadcastValidation:
+    def test_valid_broadcast_chain(self):
+        program = CommunicationProgram(num_ranks=3, root=0)
+        program.add_send(0, 1, 10)
+        program.add_send(1, 2, 10)
+        program.validate_broadcast()
+
+    def test_detects_unreached_rank(self):
+        program = CommunicationProgram(num_ranks=3, root=0)
+        program.add_send(0, 1, 10)
+        with pytest.raises(ValueError, match="never receive"):
+            program.validate_broadcast()
+
+    def test_detects_duplicate_delivery(self):
+        program = CommunicationProgram(num_ranks=3, root=0)
+        program.add_send(0, 1, 10)
+        program.add_send(0, 2, 10)
+        program.add_send(1, 2, 10)
+        with pytest.raises(ValueError, match="more than once"):
+            program.validate_broadcast()
+
+    def test_detects_root_receiving(self):
+        program = CommunicationProgram(num_ranks=2, root=0)
+        program.add_send(1, 0, 10)
+        with pytest.raises(ValueError, match="root must not receive"):
+            program.validate_broadcast()
+
+    def test_detects_disconnected_sender(self):
+        program = CommunicationProgram(num_ranks=4, root=0)
+        program.add_send(0, 1, 10)
+        program.add_send(0, 2, 10)
+        program.sends[3] = [SendInstruction(destination=2, message_size=10)]
+        with pytest.raises(ValueError):
+            program.validate_broadcast()

@@ -1,0 +1,135 @@
+"""Tests for repro.topology.clustering (Lowekamp-style logical clusters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.clustering import (
+    LogicalCluster,
+    identify_logical_clusters,
+    membership_vector,
+)
+from repro.topology.grid5000 import GRID5000_CLUSTER_SIZES, build_node_latency_matrix
+
+
+class TestBasicBehaviour:
+    def test_two_obvious_groups(self):
+        # 4 machines: {0,1} close, {2,3} close, far across.
+        matrix = np.array(
+            [
+                [0, 50e-6, 10e-3, 10e-3],
+                [50e-6, 0, 10e-3, 10e-3],
+                [10e-3, 10e-3, 0, 60e-6],
+                [10e-3, 10e-3, 60e-6, 0],
+            ]
+        )
+        clusters = identify_logical_clusters(matrix, tolerance=0.3)
+        groups = sorted(tuple(c.members) for c in clusters)
+        assert groups == [(0, 1), (2, 3)]
+
+    def test_singleton_for_outlier(self):
+        # Machine 2 is within LAN distance but 10x slower than the 0-1 pair.
+        matrix = np.array(
+            [
+                [0, 50e-6, 500e-6],
+                [50e-6, 0, 500e-6],
+                [500e-6, 500e-6, 0],
+            ]
+        )
+        clusters = identify_logical_clusters(matrix, tolerance=0.3)
+        sizes = sorted(c.size for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_single_machine(self):
+        clusters = identify_logical_clusters(np.zeros((1, 1)))
+        assert len(clusters) == 1
+        assert clusters[0].members == (0,)
+
+    def test_all_within_tolerance_is_one_cluster(self):
+        matrix = np.full((5, 5), 55e-6)
+        np.fill_diagonal(matrix, 0.0)
+        clusters = identify_logical_clusters(matrix, tolerance=0.3)
+        assert len(clusters) == 1
+        assert clusters[0].size == 5
+
+    def test_wan_threshold_prevents_grouping(self):
+        matrix = np.full((4, 4), 5e-3)
+        np.fill_diagonal(matrix, 0.0)
+        clusters = identify_logical_clusters(matrix, tolerance=10.0)
+        assert all(c.size == 1 for c in clusters)
+
+    def test_reference_latency_of_singletons_is_zero(self):
+        clusters = identify_logical_clusters(np.zeros((1, 1)))
+        assert clusters[0].reference_latency == 0.0
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            identify_logical_clusters(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.array([[0.0, 1e-3], [2e-3, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            identify_logical_clusters(matrix)
+
+    def test_rejects_negative_latency(self):
+        matrix = np.array([[0.0, -1e-3], [-1e-3, 0.0]])
+        with pytest.raises(ValueError):
+            identify_logical_clusters(matrix)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            identify_logical_clusters(np.zeros((2, 2)), tolerance=-0.1)
+
+
+class TestGrid5000Reconstruction:
+    def test_recovers_table3_partition(self):
+        """Running the identification on the synthetic 88-node matrix recovers
+        exactly the cluster sizes of Table 3 (31, 29, 20, 6, 1, 1)."""
+        matrix = build_node_latency_matrix()
+        clusters = identify_logical_clusters(matrix, tolerance=0.30)
+        sizes = sorted((c.size for c in clusters), reverse=True)
+        assert sizes == sorted(GRID5000_CLUSTER_SIZES, reverse=True)
+
+    def test_partition_is_complete(self):
+        matrix = build_node_latency_matrix()
+        clusters = identify_logical_clusters(matrix, tolerance=0.30)
+        membership = membership_vector(clusters, 88)
+        assert len(membership) == 88
+        assert all(m >= 0 for m in membership)
+
+    def test_robust_to_small_jitter(self):
+        matrix = build_node_latency_matrix(jitter=0.03, seed=7)
+        clusters = identify_logical_clusters(matrix, tolerance=0.30)
+        sizes = sorted((c.size for c in clusters), reverse=True)
+        # The three big groups must survive measurement noise.
+        assert sizes[:3] == [31, 29, 20]
+
+
+class TestMembershipVector:
+    def test_roundtrip(self):
+        clusters = [
+            LogicalCluster(members=(0, 1), reference_latency=1e-4),
+            LogicalCluster(members=(2,), reference_latency=0.0),
+        ]
+        assert membership_vector(clusters, 3) == [0, 0, 1]
+
+    def test_detects_missing_node(self):
+        clusters = [LogicalCluster(members=(0,), reference_latency=0.0)]
+        with pytest.raises(ValueError, match="belong to no cluster"):
+            membership_vector(clusters, 2)
+
+    def test_detects_duplicates(self):
+        clusters = [
+            LogicalCluster(members=(0, 1), reference_latency=0.0),
+            LogicalCluster(members=(1,), reference_latency=0.0),
+        ]
+        with pytest.raises(ValueError, match="two clusters"):
+            membership_vector(clusters, 2)
+
+    def test_detects_out_of_range(self):
+        clusters = [LogicalCluster(members=(5,), reference_latency=0.0)]
+        with pytest.raises(ValueError, match="outside"):
+            membership_vector(clusters, 2)

@@ -1,0 +1,117 @@
+"""Tests for repro.topology.grid5000 (the Table 3 topology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.grid5000 import (
+    DEFAULT_TCP_WINDOW,
+    GRID5000_CLUSTER_NAMES,
+    GRID5000_CLUSTER_SIZES,
+    GRID5000_LATENCY_US,
+    build_grid5000_topology,
+    build_node_latency_matrix,
+    cluster_membership,
+    effective_bandwidth,
+)
+
+
+class TestTable3Data:
+    def test_six_clusters_of_88_machines(self):
+        assert len(GRID5000_CLUSTER_SIZES) == 6
+        assert sum(GRID5000_CLUSTER_SIZES) == 88
+        assert GRID5000_CLUSTER_SIZES == (31, 29, 6, 1, 1, 20)
+
+    def test_latency_matrix_is_symmetric(self):
+        matrix = np.asarray(GRID5000_LATENCY_US)
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_paper_values_present(self):
+        matrix = np.asarray(GRID5000_LATENCY_US)
+        assert matrix[0, 0] == pytest.approx(47.56)
+        assert matrix[0, 2] == pytest.approx(12181.52)
+        assert matrix[5, 5] == pytest.approx(27.53)
+        assert matrix[0, 5] == pytest.approx(5210.99)
+
+
+class TestTopologyConstruction:
+    def test_cluster_structure(self, grid5000):
+        assert grid5000.num_clusters == 6
+        assert grid5000.num_nodes == 88
+        assert [c.size for c in grid5000.clusters] == list(GRID5000_CLUSTER_SIZES)
+        assert [c.name for c in grid5000.clusters] == list(GRID5000_CLUSTER_NAMES)
+
+    def test_inter_cluster_latencies_match_table3(self, grid5000):
+        for i in range(6):
+            for j in range(6):
+                if i == j:
+                    continue
+                expected = GRID5000_LATENCY_US[i][j] * 1e-6
+                assert grid5000.latency(i, j) == pytest.approx(expected)
+
+    def test_single_machine_clusters_have_zero_broadcast_time(self, grid5000):
+        assert grid5000.broadcast_time(3, 4_194_304) == 0.0
+        assert grid5000.broadcast_time(4, 4_194_304) == 0.0
+
+    def test_larger_clusters_take_longer(self, grid5000):
+        t_orsay = grid5000.broadcast_time(0, 1_048_576)   # 31 machines
+        t_idpot = grid5000.broadcast_time(2, 1_048_576)   # 6 machines
+        assert t_orsay > t_idpot > 0
+
+    def test_wan_links_slower_than_lan_links(self, grid5000):
+        wan = grid5000.transfer_time(0, 2, 1_048_576)      # Orsay <-> IDPOT
+        lan = grid5000.transfer_time(0, 1, 1_048_576)      # Orsay-A <-> Orsay-B
+        assert wan > 5 * lan
+
+    def test_alternative_local_algorithm(self):
+        flat = build_grid5000_topology(broadcast_algorithm="flat")
+        binomial = build_grid5000_topology(broadcast_algorithm="binomial")
+        assert flat.broadcast_time(0, 1_048_576) > binomial.broadcast_time(0, 1_048_576)
+
+
+class TestEffectiveBandwidth:
+    def test_wan_is_window_limited(self):
+        bandwidth = effective_bandwidth(12e-3)
+        assert bandwidth == pytest.approx(DEFAULT_TCP_WINDOW / (2 * 12e-3))
+
+    def test_lan_is_nic_limited(self):
+        assert effective_bandwidth(60e-6) == pytest.approx(110e6)
+
+    def test_monotone_in_latency(self):
+        assert effective_bandwidth(12e-3) < effective_bandwidth(5e-3)
+
+
+class TestNodeLatencyMatrix:
+    def test_shape_and_symmetry(self):
+        matrix = build_node_latency_matrix()
+        assert matrix.shape == (88, 88)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_block_structure(self):
+        matrix = build_node_latency_matrix()
+        membership = cluster_membership()
+        # two Orsay-A machines
+        assert matrix[1, 2] == pytest.approx(47.56e-6)
+        # an Orsay-A machine and a Toulouse machine
+        toulouse_first = membership.index(5)
+        assert matrix[0, toulouse_first] == pytest.approx(5210.99e-6)
+
+    def test_membership_vector(self):
+        membership = cluster_membership()
+        assert len(membership) == 88
+        assert membership.count(0) == 31
+        assert membership.count(5) == 20
+
+    def test_jitter_perturbs_but_preserves_symmetry(self):
+        noisy = build_node_latency_matrix(jitter=0.1, seed=3)
+        clean = build_node_latency_matrix()
+        assert not np.allclose(noisy, clean)
+        assert np.allclose(noisy, noisy.T)
+        assert np.all(noisy >= 0)
+
+    def test_jitter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            build_node_latency_matrix(jitter=-0.1)

@@ -1,0 +1,87 @@
+"""Tests for repro.topology.links (Table 1 communication levels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.links import (
+    CommunicationLevel,
+    DEFAULT_LINK_CLASSES,
+    LinkParameters,
+    classify_latency,
+    default_link_parameters,
+)
+
+
+class TestCommunicationLevel:
+    def test_table1_ordering(self):
+        """Lower level number means higher latency (Table 1)."""
+        assert CommunicationLevel.WAN < CommunicationLevel.LAN
+        assert CommunicationLevel.LAN < CommunicationLevel.LOCALHOST
+        assert CommunicationLevel.LOCALHOST < CommunicationLevel.SHARED_MEMORY
+
+    def test_every_level_has_description(self):
+        for level in CommunicationLevel:
+            assert level.describe().startswith("level")
+
+    def test_every_level_has_defaults(self):
+        assert set(DEFAULT_LINK_CLASSES) == set(CommunicationLevel)
+
+    def test_default_latencies_respect_ordering(self):
+        latencies = [DEFAULT_LINK_CLASSES[level].latency for level in CommunicationLevel]
+        assert latencies == sorted(latencies, reverse=True)
+
+
+class TestLinkParameters:
+    def test_gap_function_matches_bandwidth(self):
+        link = LinkParameters(
+            latency=1e-3, bandwidth=1e8, overhead=1e-4, level=CommunicationLevel.LAN
+        )
+        gap = link.gap_function()
+        assert gap(0) == pytest.approx(1e-4)
+        assert gap(1e8) == pytest.approx(1e-4 + 1.0)
+
+    def test_plogp_bundle(self):
+        link = default_link_parameters(CommunicationLevel.WAN)
+        params = link.plogp(num_procs=5)
+        assert params.num_procs == 5
+        assert params.latency == link.latency
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkParameters(latency=0, bandwidth=0, overhead=0, level=CommunicationLevel.LAN)
+
+    def test_default_link_parameters_type_check(self):
+        with pytest.raises(TypeError):
+            default_link_parameters("wan")  # type: ignore[arg-type]
+
+
+class TestClassifyLatency:
+    @pytest.mark.parametrize(
+        "latency, expected",
+        [
+            (12e-3, CommunicationLevel.WAN),
+            (5.2e-3, CommunicationLevel.WAN),
+            (1e-3, CommunicationLevel.WAN),
+            (500e-6, CommunicationLevel.LAN),
+            (60e-6, CommunicationLevel.LAN),
+            (47e-6, CommunicationLevel.LOCALHOST),
+            (20e-6, CommunicationLevel.LOCALHOST),
+            (2e-6, CommunicationLevel.SHARED_MEMORY),
+        ],
+    )
+    def test_thresholds(self, latency, expected):
+        assert classify_latency(latency) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_latency(-1e-6)
+
+    def test_table3_diagonal_is_local(self):
+        """The intra-cluster latencies of Table 3 classify as non-WAN."""
+        for latency_us in (47.56, 47.92, 35.52, 27.53):
+            assert classify_latency(latency_us * 1e-6) != CommunicationLevel.WAN
+
+    def test_table3_offdiagonal_is_wan(self):
+        for latency_us in (12181.52, 5210.99, 5388.49):
+            assert classify_latency(latency_us * 1e-6) == CommunicationLevel.WAN

@@ -1,0 +1,114 @@
+"""Tests for repro.topology.node and repro.topology.cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.plogp import PLogPParameters
+from repro.topology.cluster import Cluster
+from repro.topology.node import Node
+
+
+class TestNode:
+    def test_coordinator_flag(self):
+        assert Node(rank=0, cluster_id=0, local_index=0).is_coordinator
+        assert not Node(rank=1, cluster_id=0, local_index=1).is_coordinator
+
+    def test_label_prefers_hostname(self):
+        assert Node(rank=3, cluster_id=1, local_index=2, hostname="orsay-2").label() == "orsay-2"
+        assert Node(rank=3, cluster_id=1, local_index=2).label() == "c1n2"
+
+    def test_rejects_negative_rank(self):
+        with pytest.raises(ValueError):
+            Node(rank=-1, cluster_id=0, local_index=0)
+
+    def test_rejects_non_int_fields(self):
+        with pytest.raises(TypeError):
+            Node(rank=0.5, cluster_id=0, local_index=0)  # type: ignore[arg-type]
+
+    def test_ordering_by_rank(self):
+        nodes = [Node(rank=r, cluster_id=0, local_index=r) for r in (3, 1, 2)]
+        assert [n.rank for n in sorted(nodes)] == [1, 2, 3]
+
+
+class TestClusterConstruction:
+    def test_requires_some_broadcast_cost_definition(self):
+        with pytest.raises(ValueError, match="neither intra_params nor fixed_broadcast_time"):
+            Cluster(cluster_id=0, size=4)
+
+    def test_single_node_needs_no_cost(self):
+        cluster = Cluster(cluster_id=0, size=1)
+        assert cluster.broadcast_time(1_000_000) == 0.0
+
+    def test_default_name(self):
+        assert Cluster(cluster_id=3, size=1).name == "cluster3"
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Cluster(cluster_id=0, size=0)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Cluster(cluster_id=-1, size=1)
+
+    def test_intra_params_num_procs_forced_to_size(self):
+        params = PLogPParameters.from_values(latency=1e-4, gap=1e-3, num_procs=2)
+        cluster = Cluster(cluster_id=0, size=10, intra_params=params)
+        assert cluster.intra_params.num_procs == 10
+
+
+class TestClusterBroadcastTime:
+    def test_fixed_time_ignores_message_size(self):
+        cluster = Cluster(cluster_id=0, size=8, fixed_broadcast_time=0.7)
+        assert cluster.broadcast_time(0) == 0.7
+        assert cluster.broadcast_time(10_000_000) == 0.7
+
+    def test_predicted_time_grows_with_message_size(self):
+        from repro.model.plogp import GapFunction
+
+        params = PLogPParameters(
+            latency=1e-4,
+            gap=GapFunction.from_bandwidth(overhead=1e-4, bandwidth=1e8),
+            num_procs=8,
+        )
+        cluster = Cluster(cluster_id=0, size=8, intra_params=params)
+        assert cluster.broadcast_time(4_000_000) > cluster.broadcast_time(1_000)
+
+    def test_single_machine_cluster_is_free(self):
+        cluster = Cluster(cluster_id=0, size=1, fixed_broadcast_time=5.0)
+        assert cluster.broadcast_time(1_000_000) == 0.0
+
+    def test_with_fixed_broadcast_time_copy(self):
+        cluster = Cluster(cluster_id=2, size=8, fixed_broadcast_time=0.7)
+        other = cluster.with_fixed_broadcast_time(1.5)
+        assert other.broadcast_time(0) == 1.5
+        assert cluster.broadcast_time(0) == 0.7
+        assert other.cluster_id == 2 and other.size == 8
+
+    def test_rejects_negative_fixed_time(self):
+        with pytest.raises(ValueError):
+            Cluster(cluster_id=0, size=2, fixed_broadcast_time=-1.0)
+
+
+class TestClusterNodes:
+    def test_build_nodes_assigns_contiguous_ranks(self):
+        cluster = Cluster(cluster_id=1, size=3, fixed_broadcast_time=0.1)
+        nodes = cluster.build_nodes(first_rank=10)
+        assert [n.rank for n in nodes] == [10, 11, 12]
+        assert [n.local_index for n in nodes] == [0, 1, 2]
+        assert all(n.cluster_id == 1 for n in nodes)
+
+    def test_coordinator_is_first_node(self):
+        cluster = Cluster(cluster_id=1, size=3, fixed_broadcast_time=0.1)
+        cluster.build_nodes(first_rank=5)
+        assert cluster.coordinator.rank == 5
+
+    def test_coordinator_requires_built_nodes(self):
+        cluster = Cluster(cluster_id=1, size=3, fixed_broadcast_time=0.1)
+        with pytest.raises(RuntimeError):
+            _ = cluster.coordinator
+
+    def test_build_nodes_rejects_negative_first_rank(self):
+        cluster = Cluster(cluster_id=1, size=3, fixed_broadcast_time=0.1)
+        with pytest.raises(ValueError):
+            cluster.build_nodes(first_rank=-1)

@@ -1,0 +1,100 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, RandomStream, spawn_streams
+
+
+class TestRandomStream:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(seed=7)
+        b = RandomStream(seed=7)
+        assert [a.uniform(0, 1) for _ in range(5)] == [b.uniform(0, 1) for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(seed=7)
+        b = RandomStream(seed=8)
+        assert [a.uniform(0, 1) for _ in range(5)] != [b.uniform(0, 1) for _ in range(5)]
+
+    def test_uniform_respects_bounds(self):
+        stream = RandomStream(seed=1)
+        for _ in range(100):
+            value = stream.uniform(2.0, 3.0)
+            assert 2.0 <= value < 3.0
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            RandomStream(seed=1).uniform(3.0, 2.0)
+
+    def test_uniform_array_shape(self):
+        array = RandomStream(seed=1).uniform_array(0.0, 1.0, (3, 4))
+        assert array.shape == (3, 4)
+        assert ((array >= 0.0) & (array < 1.0)).all()
+
+    def test_integers_range(self):
+        stream = RandomStream(seed=1)
+        values = {stream.integers(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_choice_from_sequence(self):
+        stream = RandomStream(seed=1)
+        options = ["a", "b", "c"]
+        assert all(stream.choice(options) in options for _ in range(20))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(seed=1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(seed=1)
+        items = list(range(10))
+        shuffled = stream.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10)), "shuffle must not mutate its input"
+
+    def test_normal_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            RandomStream(seed=1).normal(0.0, -1.0)
+
+    def test_lognormal_is_positive(self):
+        stream = RandomStream(seed=1)
+        assert all(stream.lognormal(0.0, 0.5) > 0 for _ in range(50))
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RandomStream(seed=1.5)  # type: ignore[arg-type]
+
+    def test_rejects_bool_seed(self):
+        with pytest.raises(TypeError):
+            RandomStream(seed=True)  # type: ignore[arg-type]
+
+    def test_default_seed_constant(self):
+        assert RandomStream().seed == DEFAULT_SEED
+
+
+class TestSpawning:
+    def test_children_are_deterministic(self):
+        a_children = [s.uniform(0, 1) for s in spawn_streams(5, 4)]
+        b_children = [s.uniform(0, 1) for s in spawn_streams(5, 4)]
+        assert a_children == b_children
+
+    def test_children_are_independent(self):
+        children = spawn_streams(5, 3)
+        draws = [child.uniform(0, 1) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_count_matches(self):
+        assert len(spawn_streams(1, 10)) == 10
+        assert spawn_streams(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_streams(1, -1)
+
+    def test_spawn_advances_parent_state(self):
+        parent = RandomStream(seed=3)
+        first = parent.spawn().uniform(0, 1)
+        second = parent.spawn().uniform(0, 1)
+        assert first != second

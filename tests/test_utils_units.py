@@ -1,0 +1,40 @@
+"""Tests for repro.utils.units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import units
+
+
+class TestTimeConversions:
+    def test_ms_round_trip(self):
+        assert units.s_to_ms(units.ms_to_s(123.0)) == pytest.approx(123.0)
+
+    def test_us_round_trip(self):
+        assert units.s_to_us(units.us_to_s(47.56)) == pytest.approx(47.56)
+
+    def test_ms_to_s_value(self):
+        assert units.ms_to_s(1500.0) == pytest.approx(1.5)
+
+    def test_us_to_s_value(self):
+        assert units.us_to_s(12181.52) == pytest.approx(0.01218152)
+
+
+class TestSizeConversions:
+    def test_mib_constant(self):
+        assert units.BYTES_PER_MIB == 1024 * 1024
+
+    def test_mib_round_trip(self):
+        assert units.bytes_to_mib(units.mib_to_bytes(4.0)) == pytest.approx(4.0)
+
+    def test_mib_to_bytes_is_int(self):
+        assert isinstance(units.mib_to_bytes(1.0), int)
+        assert units.mib_to_bytes(1.0) == 1_048_576
+
+    def test_mb_round_trip(self):
+        assert units.bytes_to_mb(units.mb_to_bytes(4.5)) == pytest.approx(4.5)
+
+    def test_mb_differs_from_mib(self):
+        assert units.mb_to_bytes(1.0) == 1_000_000
+        assert units.mb_to_bytes(1.0) != units.mib_to_bytes(1.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils import validation
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert validation.check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert validation.check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be of type int"):
+            validation.check_type("3", int, "x")
+
+    def test_error_lists_alternatives(self):
+        with pytest.raises(TypeError, match="int or float"):
+            validation.check_type("3", (int, float), "x")
+
+
+class TestCheckFinite:
+    def test_accepts_int_and_float(self):
+        assert validation.check_finite(2, "x") == 2.0
+        assert validation.check_finite(2.5, "x") == 2.5
+
+    def test_returns_float(self):
+        assert isinstance(validation.check_finite(2, "x"), float)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            validation.check_finite(math.nan, "x")
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError, match="finite"):
+            validation.check_finite(math.inf, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validation.check_finite(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            validation.check_finite("1.0", "x")
+
+
+class TestCheckNonNegativeAndPositive:
+    def test_non_negative_accepts_zero(self):
+        assert validation.check_non_negative(0.0, "x") == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validation.check_non_negative(-1e-9, "x")
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            validation.check_positive(0.0, "x")
+
+    def test_positive_accepts_small_values(self):
+        assert validation.check_positive(1e-12, "x") == 1e-12
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert validation.check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError):
+            validation.check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert validation.check_in_range(1.0, 1.0, 2.0, "x") == 1.0
+        assert validation.check_in_range(2.0, 1.0, 2.0, "x") == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            validation.check_in_range(1.0, 1.0, 2.0, "x", inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[1.0, 2.0\]"):
+            validation.check_in_range(3.0, 1.0, 2.0, "x")
+
+
+class TestCheckIndex:
+    def test_accepts_valid_index(self):
+        assert validation.check_index(2, 5, "i") == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.check_index(-1, 5, "i")
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            validation.check_index(5, 5, "i")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validation.check_index(True, 5, "i")
+
+
+class TestCheckUnique:
+    def test_accepts_unique_values(self):
+        assert validation.check_unique([1, 2, 3], "xs") == [1, 2, 3]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validation.check_unique([1, 2, 1], "xs")
+
+    def test_empty_is_fine(self):
+        assert validation.check_unique([], "xs") == []
