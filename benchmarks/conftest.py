@@ -13,6 +13,7 @@ tighter averages.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -22,6 +23,11 @@ import pytest
 #: All emitted tables are appended here (cleared at the start of each pytest
 #: session), so the regenerated paper artefacts survive output capturing.
 RESULTS_FILE = Path(__file__).parent / "results" / "paper_artifacts.txt"
+
+#: Machine-readable companion of the scheduling benchmarks: schedules/sec and
+#: per-heuristic timings, merged section by section via :func:`emit_json` so
+#: the throughput trajectory can be compared across PRs.
+BENCH_JSON_FILE = Path(__file__).parent / "results" / "BENCH_scheduling.json"
 
 
 def pytest_sessionstart(session):
@@ -48,6 +54,25 @@ def emit(text: str) -> None:
     with RESULTS_FILE.open("a") as handle:
         handle.write(text + "\n\n")
     sys.stderr.write("\n" + text + "\n")
+
+
+def emit_json(section: str, payload: dict) -> None:
+    """Merge one section into ``benchmarks/results/BENCH_scheduling.json``.
+
+    Sections are merged by name into the existing document (never wholesale
+    cleared), so a partial benchmark run — or one that emits nothing — leaves
+    the other recorded sections' trajectory data intact; a full run simply
+    overwrites every section it re-measures.
+    """
+    BENCH_JSON_FILE.parent.mkdir(parents=True, exist_ok=True)
+    data = {}
+    if BENCH_JSON_FILE.exists():
+        try:
+            data = json.loads(BENCH_JSON_FILE.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

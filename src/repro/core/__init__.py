@@ -20,6 +20,11 @@ Public API
   and the shared pLogP timing model that turns an ordered list of
   (sender, receiver) decisions into start/arrival/completion times.
 * :class:`~repro.core.base.SchedulingHeuristic` -- the heuristic interface.
+* :class:`~repro.core.costs.GridCostCache` -- dense pLogP cost matrices
+  computed once per (grid, message size) and shared by every heuristic, the
+  timing model and the Monte-Carlo drivers.
+* :mod:`repro.core.batch` -- the batched engine scheduling whole stacks of
+  same-sized grids per NumPy call (used by the Monte-Carlo study).
 * Concrete heuristics: :class:`~repro.core.flat_tree.FlatTreeHeuristic`,
   :class:`~repro.core.fef.FastestEdgeFirst`, :class:`~repro.core.ecef.ECEF`,
   :class:`~repro.core.ecef.ECEFLookahead` (with pluggable lookahead
@@ -36,7 +41,8 @@ from repro.core.schedule import (
     ScheduledTransfer,
     evaluate_order,
 )
-from repro.core.base import SchedulingHeuristic
+from repro.core.costs import GridCostCache
+from repro.core.base import SchedulingHeuristic, SchedulingState, run_heuristics
 from repro.core.flat_tree import FlatTreeHeuristic
 from repro.core.fef import FastestEdgeFirst
 from repro.core.ecef import ECEF, ECEFLookahead
@@ -62,7 +68,10 @@ __all__ = [
     "BroadcastSchedule",
     "ScheduledTransfer",
     "evaluate_order",
+    "GridCostCache",
     "SchedulingHeuristic",
+    "SchedulingState",
+    "run_heuristics",
     "FlatTreeHeuristic",
     "FastestEdgeFirst",
     "ECEF",

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
+from repro.core.costs import GridCostCache
 from repro.core.schedule import BroadcastSchedule, evaluate_order
 from repro.topology.grid import Grid
 from repro.utils.validation import check_non_negative
@@ -21,73 +25,114 @@ class SchedulingState:
     waiting for the message.  Picking a pair moves the receiver from ``B`` to
     ``A`` and updates the sender's ready time by the gap of the transmission.
 
-    The state also pre-computes, for the message size at hand, the gap
-    ``g_{i,j}(m)`` of every cluster pair and the local broadcast times
-    ``T_i`` so the heuristics' O(|A|·|B|) inner loops only do float reads.
+    The pLogP quantities (``g_{i,j}(m)``, ``L_{i,j}``, ``T_i``) are read from
+    a :class:`~repro.core.costs.GridCostCache` that is shared across every
+    heuristic evaluated on the same grid and message size, so the inner loops
+    only do array reads and the matrices are built once per grid rather than
+    once per heuristic.
+
+    Parameters
+    ----------
+    grid, message_size, root:
+        The scheduling problem.
+    costs:
+        Optional pre-built cost cache; defaults to the shared per-grid cache.
+    vectorized:
+        When true (the default) the heuristics drive the state through the
+        masked NumPy argmin kernels below; when false they fall back to the
+        scalar reference loops, which exist so the equivalence of the two
+        engines stays testable.
     """
 
+    # Equality compares the problem and the decision state (as in the seed
+    # implementation); the cache and the NumPy mirrors are implementation
+    # details (and ndarray __eq__ would break the generated __eq__ anyway).
     grid: Grid
     message_size: float
     root: int
+    costs: GridCostCache | None = field(default=None, compare=False)
+    vectorized: bool = field(default=True, compare=False)
     ready_time: dict[int, float] = field(init=False)
     waiting: set[int] = field(init=False)
     order: list[tuple[int, int]] = field(init=False)
-    _gap: list[list[float]] = field(init=False, repr=False)
-    _latency: list[list[float]] = field(init=False, repr=False)
-    _broadcast: list[float] = field(init=False, repr=False)
+    _informed_sorted: list[int] = field(init=False, repr=False, compare=False)
+    _pending_sorted: list[int] = field(init=False, repr=False, compare=False)
+    _rt: np.ndarray = field(init=False, repr=False, compare=False)
+    _informed_mask: np.ndarray = field(init=False, repr=False, compare=False)
+    _pending_mask: np.ndarray = field(init=False, repr=False, compare=False)
+    _scores: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_non_negative(self.message_size, "message_size")
         n = self.grid.num_clusters
         if not 0 <= self.root < n:
             raise ValueError(f"root must be a valid cluster index, got {self.root}")
+        if self.costs is None:
+            self.costs = GridCostCache.for_grid(self.grid, self.message_size)
+        elif not self.costs.matches(self.grid, self.message_size):
+            raise ValueError(
+                "costs was computed for a different grid or message size"
+            )
         self.ready_time = {self.root: 0.0}
         self.waiting = set(range(n)) - {self.root}
         self.order = []
-        self._gap = [[0.0] * n for _ in range(n)]
-        self._latency = [[0.0] * n for _ in range(n)]
-        for i in range(n):
-            for j in range(n):
-                if i == j:
-                    continue
-                self._gap[i][j] = self.grid.gap(i, j, self.message_size)
-                self._latency[i][j] = self.grid.latency(i, j)
-        self._broadcast = self.grid.broadcast_times(self.message_size)
+        self._informed_sorted = [self.root]
+        self._pending_sorted = [c for c in range(n) if c != self.root]
+        self._rt = np.zeros(n, dtype=float)
+        self._informed_mask = np.zeros(n, dtype=bool)
+        self._informed_mask[self.root] = True
+        self._pending_mask = ~self._informed_mask
+        self._scores = np.empty((n, n), dtype=float)
 
     # -- cached pLogP reads -------------------------------------------------------
 
     def gap(self, i: int, j: int) -> float:
         """Cached ``g_{i,j}(m)``."""
-        return self._gap[i][j]
+        return self.costs.gap_of(i, j)
 
     def latency(self, i: int, j: int) -> float:
         """Cached ``L_{i,j}``."""
-        return self._latency[i][j]
+        return self.costs.latency_of(i, j)
 
     def transfer_time(self, i: int, j: int) -> float:
         """Cached ``g_{i,j}(m) + L_{i,j}``."""
-        return self._gap[i][j] + self._latency[i][j]
+        return self.costs.transfer_time(i, j)
 
     def broadcast_time(self, i: int) -> float:
         """Cached intra-cluster broadcast time ``T_i``."""
-        return self._broadcast[i]
+        return self.costs.broadcast_time(i)
 
     @property
     def broadcast_times(self) -> list[float]:
         """All cached ``T_i`` values (index order)."""
-        return list(self._broadcast)
+        return self.costs.broadcast_list()
 
     # -- set manipulation -----------------------------------------------------------
 
     @property
     def informed(self) -> list[int]:
-        """The clusters of set ``A``, sorted for determinism."""
-        return sorted(self.ready_time)
+        """The clusters of set ``A``, in increasing index order.
+
+        The sorted list is maintained incrementally on every
+        :meth:`commit` instead of being re-sorted per property access, which
+        the O(n³) selection loops of the heuristics do O(n²) times.
+        """
+        return list(self._informed_sorted)
 
     @property
     def pending(self) -> list[int]:
-        """The clusters of set ``B``, sorted for determinism."""
-        return sorted(self.waiting)
+        """The clusters of set ``B``, in increasing index order (incremental)."""
+        return list(self._pending_sorted)
+
+    @property
+    def informed_indices(self) -> np.ndarray:
+        """Set ``A`` as a sorted integer array (vectorized consumers)."""
+        return np.asarray(self._informed_sorted, dtype=np.intp)
+
+    @property
+    def pending_indices(self) -> np.ndarray:
+        """Set ``B`` as a sorted integer array (vectorized consumers)."""
+        return np.asarray(self._pending_sorted, dtype=np.intp)
 
     @property
     def done(self) -> bool:
@@ -96,7 +141,7 @@ class SchedulingState:
 
     def completion_estimate(self, i: int, j: int) -> float:
         """``RT_i + g_{i,j}(m) + L_{i,j}``: the ECEF selection quantity."""
-        return self.ready_time[i] + self.transfer_time(i, j)
+        return self.ready_time[i] + self.costs.transfer_time(i, j)
 
     def commit(self, sender: int, receiver: int) -> None:
         """Record the decision (sender -> receiver) and update both ready times."""
@@ -104,13 +149,76 @@ class SchedulingState:
             raise ValueError(f"cluster {sender} is not informed yet")
         if receiver not in self.waiting:
             raise ValueError(f"cluster {receiver} is not waiting for the message")
-        gap = self.gap(sender, receiver)
-        latency = self.latency(sender, receiver)
+        gap = self.costs.gap_of(sender, receiver)
+        latency = self.costs.latency_of(sender, receiver)
         start = self.ready_time[sender]
-        self.ready_time[sender] = start + gap
-        self.ready_time[receiver] = start + gap + latency
+        release = start + gap
+        arrival = release + latency
+        self.ready_time[sender] = release
+        self.ready_time[receiver] = arrival
         self.waiting.remove(receiver)
         self.order.append((sender, receiver))
+        insort(self._informed_sorted, receiver)
+        del self._pending_sorted[bisect_left(self._pending_sorted, receiver)]
+        self._rt[sender] = release
+        self._rt[receiver] = arrival
+        self._informed_mask[receiver] = True
+        self._pending_mask[receiver] = False
+
+    # -- vectorized selection kernels ------------------------------------------------
+    #
+    # All kernels reduce a masked (sender, receiver) score matrix with
+    # np.argmin / np.argmax.  NumPy returns the *first* occurrence of the
+    # extremum in row-major order, which is exactly the tie-breaking of the
+    # scalar reference loops (senders ascending, receivers ascending, strict
+    # comparisons) — so both engines pick identical pairs, ties included.
+
+    def _masked_argmin(self, scores: np.ndarray) -> tuple[int, int]:
+        scores[~self._informed_mask, :] = np.inf
+        scores[:, ~self._pending_mask] = np.inf
+        flat = int(np.argmin(scores))
+        n = scores.shape[1]
+        return flat // n, flat % n
+
+    def select_min_completion(self) -> tuple[int, int]:
+        """ECEF: argmin over A×B of ``RT_i + g_{i,j}(m) + L_{i,j}``."""
+        scores = self._scores
+        np.add(self._rt[:, None], self.costs.transfer, out=scores)
+        return self._masked_argmin(scores)
+
+    def select_min_completion_plus(self, receiver_bonus: np.ndarray) -> tuple[int, int]:
+        """ECEF-LA family: argmin of ``RT_i + g_{i,j}(m) + L_{i,j} + F_j``.
+
+        ``receiver_bonus`` is a length-``n`` vector of lookahead values
+        ``F_j``; entries outside ``B`` are ignored (masked to +inf).
+        """
+        scores = self._scores
+        np.add(self._rt[:, None], self.costs.transfer, out=scores)
+        scores += receiver_bonus
+        return self._masked_argmin(scores)
+
+    def select_min_edge(self, weights: np.ndarray) -> tuple[int, int]:
+        """FEF: argmin over A×B of a static edge-weight matrix."""
+        scores = self._scores
+        np.copyto(scores, weights)
+        return self._masked_argmin(scores)
+
+    def select_bottom_up(self, *, use_ready_time: bool = False) -> tuple[int, int]:
+        """BottomUp: max over B of the per-receiver cheapest completion.
+
+        ``argmax_{j in B} min_{i in A} (g_{i,j}(m) + L_{i,j} + T_j [+ RT_i])``,
+        returned as the (cheapest sender, selected receiver) pair.
+        """
+        scores = self._scores
+        np.add(self.costs.transfer, self.costs.broadcast[None, :], out=scores)
+        if use_ready_time:
+            scores += self._rt[:, None]
+        scores[~self._informed_mask, :] = np.inf
+        cheapest = scores.min(axis=0)
+        cheapest_sender = scores.argmin(axis=0)
+        cheapest[~self._pending_mask] = -np.inf
+        receiver = int(np.argmax(cheapest))
+        return int(cheapest_sender[receiver]), receiver
 
     def to_schedule(self, heuristic_name: str = "") -> BroadcastSchedule:
         """Time the accumulated decision order into a full schedule."""
@@ -120,7 +228,7 @@ class SchedulingState:
             self.root,
             self.order,
             heuristic_name=heuristic_name,
-            broadcast_times=self._broadcast,
+            costs=self.costs,
         )
 
 
@@ -143,12 +251,38 @@ class SchedulingHeuristic(ABC):
     def build_order(self, state: SchedulingState) -> None:
         """Drive ``state`` until :attr:`SchedulingState.done` is true."""
 
+    def _completed_state(
+        self,
+        grid: Grid,
+        message_size: float,
+        root: int,
+        costs: GridCostCache | None,
+        vectorized: bool,
+    ) -> SchedulingState:
+        """Build a fresh state and drive it to completion via ``build_order``."""
+        state = SchedulingState(
+            grid=grid,
+            message_size=message_size,
+            root=root,
+            costs=costs,
+            vectorized=vectorized,
+        )
+        if not state.done:
+            self.build_order(state)
+        if not state.done:
+            raise RuntimeError(
+                f"heuristic {self.name!r} finished without informing every cluster"
+            )
+        return state
+
     def schedule(
         self,
         grid: Grid,
         message_size: float,
         *,
         root: int = 0,
+        costs: GridCostCache | None = None,
+        vectorized: bool = True,
     ) -> BroadcastSchedule:
         """Compute a timed broadcast schedule for ``grid``.
 
@@ -160,19 +294,35 @@ class SchedulingHeuristic(ABC):
             Message size in bytes.
         root:
             Index of the cluster initially holding the message.
+        costs:
+            Optional shared :class:`~repro.core.costs.GridCostCache`;
+            defaults to the per-grid shared cache.
+        vectorized:
+            Use the NumPy selection kernels (default) or the scalar reference
+            loops.
         """
-        state = SchedulingState(grid=grid, message_size=message_size, root=root)
-        if not state.done:
-            self.build_order(state)
-        if not state.done:
-            raise RuntimeError(
-                f"heuristic {self.name!r} finished without informing every cluster"
-            )
+        state = self._completed_state(grid, message_size, root, costs, vectorized)
         return state.to_schedule(heuristic_name=self.name)
 
-    def makespan(self, grid: Grid, message_size: float, *, root: int = 0) -> float:
-        """Convenience shortcut: the makespan of :meth:`schedule`."""
-        return self.schedule(grid, message_size, root=root).makespan
+    def makespan(
+        self,
+        grid: Grid,
+        message_size: float,
+        *,
+        root: int = 0,
+        costs: GridCostCache | None = None,
+        vectorized: bool = True,
+    ) -> float:
+        """The makespan of :meth:`schedule`, without materialising the schedule.
+
+        The state already tracks every cluster's final ready time, so the
+        makespan is ``max_c (RT_c + T_c)`` — identical to timing the decision
+        order but skipping the per-transfer bookkeeping.  Monte-Carlo loops
+        that only need makespans should call this instead of
+        ``schedule(...).makespan``.
+        """
+        state = self._completed_state(grid, message_size, root, costs, vectorized)
+        return float(np.max(state._rt + state.costs.broadcast))
 
     @property
     def name(self) -> str:
@@ -189,14 +339,20 @@ def run_heuristics(
     message_size: float,
     *,
     root: int = 0,
+    costs: GridCostCache | None = None,
 ) -> dict[str, BroadcastSchedule]:
     """Run several heuristics on the same grid and collect their schedules.
 
-    The per-grid broadcast times are computed once and shared across
-    evaluations, which is what makes the 10 000-iteration Monte-Carlo loops
-    of the paper tractable in pure Python.
+    The per-grid cost matrices and broadcast times are computed once (in the
+    shared :class:`~repro.core.costs.GridCostCache`) and reused by every
+    heuristic and by the schedule timing, which is what makes the
+    10 000-iteration Monte-Carlo loops of the paper tractable.
     """
+    if costs is None:
+        costs = GridCostCache.for_grid(grid, message_size)
     results: dict[str, BroadcastSchedule] = {}
     for heuristic in heuristics:
-        results[heuristic.name] = heuristic.schedule(grid, message_size, root=root)
+        results[heuristic.name] = heuristic.schedule(
+            grid, message_size, root=root, costs=costs
+        )
     return results

@@ -37,6 +37,13 @@ class BottomUp(SchedulingHeuristic):
         self.use_ready_time = bool(use_ready_time)
 
     def build_order(self, state: SchedulingState) -> None:
+        if state.vectorized:
+            while not state.done:
+                state.commit(
+                    *state.select_bottom_up(use_ready_time=self.use_ready_time)
+                )
+            return
+        # Scalar reference path (kept for engine-equivalence testing).
         while not state.done:
             best_receiver: int | None = None
             best_receiver_cost = -float("inf")

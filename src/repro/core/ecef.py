@@ -14,6 +14,8 @@ This module hosts three of the paper's heuristics behind two classes:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import SchedulingHeuristic, SchedulingState
 from repro.core.lookahead import (
     LookaheadFunction,
@@ -21,6 +23,7 @@ from repro.core.lookahead import (
     grid_aware_max_lookahead,
     grid_aware_min_lookahead,
     min_edge_lookahead,
+    vectorized_lookahead,
 )
 
 
@@ -40,6 +43,11 @@ class ECEF(SchedulingHeuristic):
     display_name = "ECEF"
 
     def build_order(self, state: SchedulingState) -> None:
+        if state.vectorized:
+            while not state.done:
+                state.commit(*state.select_min_completion())
+            return
+        # Scalar reference path (kept for engine-equivalence testing).
         while not state.done:
             best_pair: tuple[int, int] | None = None
             best_completion = float("inf")
@@ -86,6 +94,21 @@ class ECEFLookahead(SchedulingHeuristic):
         self.display_name = display_name
 
     def build_order(self, state: SchedulingState) -> None:
+        if state.vectorized:
+            vector_fn = vectorized_lookahead(self.lookahead)
+            num_clusters = state.grid.num_clusters
+            while not state.done:
+                if vector_fn is not None:
+                    bonus = vector_fn(state)
+                else:
+                    # Custom lookahead: evaluate per candidate, but keep the
+                    # O(|A|·|B|) pair selection vectorized.
+                    bonus = np.zeros(num_clusters)
+                    for candidate in state.pending:
+                        bonus[candidate] = self.lookahead(state, candidate)
+                state.commit(*state.select_min_completion_plus(bonus))
+            return
+        # Scalar reference path (kept for engine-equivalence testing).
         while not state.done:
             best_pair: tuple[int, int] | None = None
             best_score = float("inf")

@@ -46,6 +46,16 @@ class FastestEdgeFirst(SchedulingHeuristic):
         return state.transfer_time(sender, receiver)
 
     def build_order(self, state: SchedulingState) -> None:
+        if state.vectorized:
+            weights = (
+                state.costs.latency
+                if self.weight == "latency"
+                else state.costs.transfer
+            )
+            while not state.done:
+                state.commit(*state.select_min_edge(weights))
+            return
+        # Scalar reference path (kept for engine-equivalence testing).
         while not state.done:
             best_pair: tuple[int, int] | None = None
             best_weight = float("inf")

@@ -34,17 +34,24 @@ class FlatTreeHeuristic(SchedulingHeuristic):
     def __init__(self, cluster_order: Sequence[int] | None = None) -> None:
         self.cluster_order = list(cluster_order) if cluster_order is not None else None
 
+    def resolve_targets(self, root: int, num_clusters: int) -> list[int]:
+        """The root's visit order, validated against the grid size.
+
+        Shared by the per-grid engines and the batched kernel so both reject
+        a malformed ``cluster_order`` (duplicates, missing or unknown
+        clusters) identically.
+        """
+        if self.cluster_order is None:
+            return [(root + offset) % num_clusters for offset in range(1, num_clusters)]
+        targets = [c for c in self.cluster_order if c != root]
+        expected = set(range(num_clusters)) - {root}
+        if set(targets) != expected or len(targets) != len(expected):
+            raise ValueError(
+                "cluster_order must contain every non-root cluster exactly once"
+            )
+        return targets
+
     def build_order(self, state: SchedulingState) -> None:
         root = state.root
-        if self.cluster_order is not None:
-            targets = [c for c in self.cluster_order if c != root]
-            remaining = set(state.waiting)
-            if set(targets) != remaining:
-                raise ValueError(
-                    "cluster_order must contain every non-root cluster exactly once"
-                )
-        else:
-            count = state.grid.num_clusters
-            targets = [(root + offset) % count for offset in range(1, count)]
-        for target in targets:
+        for target in self.resolve_targets(root, state.grid.num_clusters):
             state.commit(root, target)

@@ -19,10 +19,17 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.core.base import SchedulingState
 
 #: Type alias for lookahead functions.
 LookaheadFunction = Callable[[SchedulingState, int], float]
+
+#: Type alias for vectorized lookaheads: ``state -> F`` where ``F`` is a
+#: length-``num_clusters`` array whose entries are only meaningful at the
+#: indices of the pending set ``B``.
+VectorizedLookahead = Callable[[SchedulingState], np.ndarray]
 
 
 def no_lookahead(state: SchedulingState, candidate: int) -> float:
@@ -105,6 +112,105 @@ def grid_aware_max_lookahead(state: SchedulingState, candidate: int) -> float:
     return max(
         state.transfer_time(candidate, k) + state.broadcast_time(k) for k in others
     )
+
+
+# -- vectorized counterparts -------------------------------------------------------
+#
+# Each function computes the whole ``F`` column for the current pending set in
+# a handful of masked matrix reductions instead of one Python call per
+# (candidate, other) pair.  The min/max variants produce bit-identical values
+# to their scalar twins (IEEE min/max are exact regardless of reduction
+# order); the average variants may differ by one or two ULPs because NumPy
+# uses pairwise summation, which is tighter than the scalar left-to-right sum.
+
+
+def _vec_no_lookahead(state: SchedulingState) -> np.ndarray:
+    return np.zeros(state.grid.num_clusters)
+
+
+def _vec_min_edge_lookahead(state: SchedulingState) -> np.ndarray:
+    pending = state.pending_indices
+    out = np.zeros(state.grid.num_clusters)
+    if pending.size > 1:
+        sub = state.costs.transfer[np.ix_(pending, pending)]
+        np.fill_diagonal(sub, np.inf)
+        out[pending] = sub.min(axis=1)
+    return out
+
+
+def _vec_average_latency_lookahead(state: SchedulingState) -> np.ndarray:
+    pending = state.pending_indices
+    out = np.zeros(state.grid.num_clusters)
+    if pending.size > 1:
+        # The diagonal of the transfer matrix is zero, so the row sums over
+        # the pending sub-matrix already exclude the candidate itself.
+        sub = state.costs.transfer[np.ix_(pending, pending)]
+        out[pending] = sub.sum(axis=1) / (pending.size - 1)
+    return out
+
+
+def _vec_average_informed_lookahead(state: SchedulingState) -> np.ndarray:
+    pending = state.pending_indices
+    out = np.zeros(state.grid.num_clusters)
+    if pending.size > 1:
+        informed = state.informed_indices
+        transfer = state.costs.transfer
+        # Sum over A × B per pending target, then correct per candidate j:
+        # drop column j (j is never a target of its own lookahead) and add
+        # row j over B∖{j} (zero diagonal keeps the sum exact).
+        column_sums = transfer[np.ix_(informed, pending)].sum(axis=0)
+        row_sums = transfer[np.ix_(pending, pending)].sum(axis=1)
+        total = column_sums.sum()
+        count = (informed.size + 1) * (pending.size - 1)
+        out[pending] = (total - column_sums + row_sums) / count
+    return out
+
+
+def _grid_aware_matrix(state: SchedulingState, pending: np.ndarray) -> np.ndarray:
+    return (
+        state.costs.transfer[np.ix_(pending, pending)]
+        + state.costs.broadcast[pending][None, :]
+    )
+
+
+def _vec_grid_aware_min_lookahead(state: SchedulingState) -> np.ndarray:
+    pending = state.pending_indices
+    out = np.zeros(state.grid.num_clusters)
+    if pending.size > 1:
+        sub = _grid_aware_matrix(state, pending)
+        np.fill_diagonal(sub, np.inf)
+        out[pending] = sub.min(axis=1)
+    return out
+
+
+def _vec_grid_aware_max_lookahead(state: SchedulingState) -> np.ndarray:
+    pending = state.pending_indices
+    out = np.zeros(state.grid.num_clusters)
+    if pending.size > 1:
+        sub = _grid_aware_matrix(state, pending)
+        np.fill_diagonal(sub, -np.inf)
+        out[pending] = sub.max(axis=1)
+    return out
+
+
+#: Vectorized twins of the scalar lookaheads, keyed by the scalar function.
+VECTORIZED_LOOKAHEADS: dict[LookaheadFunction, VectorizedLookahead] = {
+    no_lookahead: _vec_no_lookahead,
+    min_edge_lookahead: _vec_min_edge_lookahead,
+    average_latency_lookahead: _vec_average_latency_lookahead,
+    average_informed_lookahead: _vec_average_informed_lookahead,
+    grid_aware_min_lookahead: _vec_grid_aware_min_lookahead,
+    grid_aware_max_lookahead: _vec_grid_aware_max_lookahead,
+}
+
+
+def vectorized_lookahead(fn: LookaheadFunction) -> VectorizedLookahead | None:
+    """The vectorized twin of a scalar lookahead, or ``None`` if unknown.
+
+    Custom lookaheads registered by third parties fall back to per-candidate
+    scalar evaluation inside the (still vectorized) pair-selection loop.
+    """
+    return VECTORIZED_LOOKAHEADS.get(fn)
 
 
 #: Named registry of lookahead functions, used by the ablation benchmark.

@@ -17,8 +17,6 @@ branch-and-bound pruning on the makespan lower bound.
 from __future__ import annotations
 
 from repro.core.base import SchedulingHeuristic, SchedulingState
-from repro.core.schedule import BroadcastSchedule, evaluate_order
-from repro.topology.grid import Grid
 
 #: Above this many clusters OptimalSearch refuses to run by default — the
 #: decision space grows super-exponentially (n! · Catalan-like factors).
@@ -45,32 +43,26 @@ class OptimalSearch(SchedulingHeuristic):
             raise ValueError(f"max_clusters must be >= 1, got {max_clusters}")
         self.max_clusters = max_clusters
 
-    # The generic SchedulingHeuristic flow (build_order on a shared state) is
-    # awkward for a search that needs backtracking, so `schedule` is overridden
-    # and `build_order` simply replays the best decision sequence found.
+    # The generic SchedulingHeuristic flow works unchanged: `build_order`
+    # runs the search and replays the best decision sequence on the state.
+    # The safety limit is enforced in _completed_state (fail-fast, before the
+    # cost matrices are built and cached) and again in build_order for
+    # callers that drive a state directly.
 
-    def schedule(
-        self, grid: Grid, message_size: float, *, root: int = 0
-    ) -> BroadcastSchedule:
-        if grid.num_clusters > self.max_clusters:
+    def _ensure_within_limit(self, num_clusters: int) -> None:
+        if num_clusters > self.max_clusters:
             raise ValueError(
                 f"OptimalSearch is limited to {self.max_clusters} clusters "
-                f"(got {grid.num_clusters}); raise max_clusters explicitly if you "
+                f"(got {num_clusters}); raise max_clusters explicitly if you "
                 "really want an exhaustive search"
             )
-        state = SchedulingState(grid=grid, message_size=message_size, root=root)
-        broadcast_times = state.broadcast_times
-        best_order, _best_makespan = self._search(grid, message_size, root, state)
-        return evaluate_order(
-            grid,
-            message_size,
-            root,
-            best_order,
-            heuristic_name=self.name,
-            broadcast_times=broadcast_times,
-        )
+
+    def _completed_state(self, grid, message_size, root, costs, vectorized):
+        self._ensure_within_limit(grid.num_clusters)
+        return super()._completed_state(grid, message_size, root, costs, vectorized)
 
     def build_order(self, state: SchedulingState) -> None:
+        self._ensure_within_limit(state.grid.num_clusters)
         best_order, _ = self._search(state.grid, state.message_size, state.root, state)
         for sender, receiver in best_order:
             state.commit(sender, receiver)
@@ -86,6 +78,10 @@ class OptimalSearch(SchedulingHeuristic):
     ) -> tuple[list[tuple[int, int]], float]:
         num_clusters = grid.num_clusters
         broadcast_times = state.broadcast_times
+        # Cheapest incoming transfer per cluster, precomputed once: the seed
+        # recomputed this O(n) minimum for every waiting cluster at every
+        # node of the search tree.
+        cheapest_incoming = state.costs.min_incoming()
         best_makespan = float("inf")
         best_order: list[tuple[int, int]] = []
 
@@ -102,12 +98,10 @@ class OptimalSearch(SchedulingHeuristic):
             for cluster, ready_time in ready.items():
                 bound = max(bound, ready_time + broadcast_times[cluster])
             for cluster in waiting:
-                cheapest = min(
-                    state.transfer_time(source, cluster)
-                    for source in range(num_clusters)
-                    if source != cluster
+                bound = max(
+                    bound,
+                    min_ready + cheapest_incoming[cluster] + broadcast_times[cluster],
                 )
-                bound = max(bound, min_ready + cheapest + broadcast_times[cluster])
             return bound
 
         def recurse(

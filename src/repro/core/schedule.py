@@ -25,10 +25,13 @@ available — exactly the phenomenon the ECEF family was designed to avoid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.topology.grid import Grid
 from repro.utils.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (costs has no deps on us)
+    from repro.core.costs import GridCostCache
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,12 @@ class BroadcastSchedule:
     local_start_times: list[float]
     completion_times: list[float]
     heuristic_name: str = ""
+    _sends_index: dict[int, list[ScheduledTransfer]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _receive_index: dict[int, ScheduledTransfer] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def makespan(self) -> float:
@@ -122,19 +131,36 @@ class BroadcastSchedule:
         """The (sender, receiver) decision sequence behind this schedule."""
         return [(t.sender, t.receiver) for t in self.transfers]
 
+    def _build_indexes(self) -> None:
+        """One O(n) pass building both per-cluster lookup maps.
+
+        ``analysis/gantt.py`` calls :meth:`sends_of` for every cluster, which
+        with a linear scan per call is O(n²) overall; the lazy maps make the
+        whole sweep linear while keeping construction cost at zero for the
+        (many) schedules that are only ever asked for their makespan.
+        """
+        sends: dict[int, list[ScheduledTransfer]] = {}
+        receives: dict[int, ScheduledTransfer] = {}
+        for transfer in self.transfers:
+            sends.setdefault(transfer.sender, []).append(transfer)
+            receives[transfer.receiver] = transfer
+        self._sends_index = sends
+        self._receive_index = receives
+
     def sends_of(self, cluster_id: int) -> list[ScheduledTransfer]:
         """All transfers emitted by ``cluster_id``, in schedule order."""
-        return [t for t in self.transfers if t.sender == cluster_id]
+        if self._sends_index is None:
+            self._build_indexes()
+        return list(self._sends_index.get(cluster_id, ()))
 
     def receive_of(self, cluster_id: int) -> ScheduledTransfer | None:
         """The transfer that delivered the message to ``cluster_id``.
 
         Returns ``None`` for the root cluster.
         """
-        for transfer in self.transfers:
-            if transfer.receiver == cluster_id:
-                return transfer
-        return None
+        if self._receive_index is None:
+            self._build_indexes()
+        return self._receive_index.get(cluster_id)
 
     def validate(self) -> None:
         """Check the structural invariants of a correct broadcast schedule.
@@ -216,6 +242,7 @@ def evaluate_order(
     *,
     heuristic_name: str = "",
     broadcast_times: Sequence[float] | None = None,
+    costs: "GridCostCache | None" = None,
 ) -> BroadcastSchedule:
     """Turn an ordered list of (sender, receiver) decisions into a timed schedule.
 
@@ -236,8 +263,13 @@ def evaluate_order(
         Recorded on the resulting schedule for reporting purposes.
     broadcast_times:
         Optional pre-computed ``T_i`` values (one per cluster).  When omitted
-        they are queried from the grid; passing them is a useful optimisation
-        for Monte-Carlo loops that evaluate many heuristics on one grid.
+        they are queried from ``costs`` (if given) or from the grid; passing
+        them is a useful optimisation for Monte-Carlo loops that evaluate
+        many heuristics on one grid.
+    costs:
+        Optional shared :class:`~repro.core.costs.GridCostCache` for the same
+        grid and message size; when given, all gap/latency/broadcast reads
+        come from its dense matrices instead of per-pair grid queries.
 
     Returns
     -------
@@ -252,8 +284,13 @@ def evaluate_order(
     order = list(order)
     _check_order(order, root, num_clusters)
 
+    if costs is not None and not costs.matches(grid, message_size):
+        raise ValueError("costs was computed for a different grid or message size")
     if broadcast_times is None:
-        broadcast_times = grid.broadcast_times(message_size)
+        broadcast_times = (
+            costs.broadcast_list() if costs is not None
+            else grid.broadcast_times(message_size)
+        )
     else:
         broadcast_times = list(broadcast_times)
         if len(broadcast_times) != num_clusters:
@@ -266,8 +303,12 @@ def evaluate_order(
     arrival: dict[int, float] = {root: 0.0}
     transfers: list[ScheduledTransfer] = []
     for sender, receiver in order:
-        gap = grid.gap(sender, receiver, message_size)
-        latency = grid.latency(sender, receiver)
+        if costs is not None:
+            gap = costs.gap_of(sender, receiver)
+            latency = costs.latency_of(sender, receiver)
+        else:
+            gap = grid.gap(sender, receiver, message_size)
+            latency = grid.latency(sender, receiver)
         start = ready[sender]
         release = start + gap
         arrive = release + latency

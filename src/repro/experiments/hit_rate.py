@@ -88,9 +88,16 @@ class HitRateResult:
         return rows
 
 
-def run_hit_rate_study(config: SimulationStudyConfig) -> HitRateResult:
-    """Run a Monte-Carlo study and derive the Figure 4 hit-rate analysis."""
-    study = run_simulation_study(config)
+def run_hit_rate_study(
+    config: SimulationStudyConfig, *, workers: int | None = None
+) -> HitRateResult:
+    """Run a Monte-Carlo study and derive the Figure 4 hit-rate analysis.
+
+    The underlying study uses the batched scheduling engine and shared
+    per-grid cost caches; ``workers`` optionally fans the iterations out over
+    a multiprocessing pool (see :func:`run_simulation_study`).
+    """
+    study = run_simulation_study(config, workers=workers)
     return hit_rate_from_study(study)
 
 

@@ -6,18 +6,41 @@ heuristic, and records the makespans.  The reported quantity is the average
 completion time per heuristic and cluster count — the y-axis of Figures 1, 2
 and 3 — together with enough raw material (per-iteration minima and hit
 counts) for the Figure 4 hit-rate analysis to reuse the same runs.
+
+The driver is batched: iterations are processed in chunks whose per-grid cost
+matrices are built once (in the shared :class:`~repro.core.costs.GridCostCache`)
+and stacked into :class:`~repro.core.batch.BatchedGridCosts`, so each
+heuristic schedules a whole chunk of grids per NumPy call instead of one grid
+per Python loop.  Heuristics without a batched kernel transparently fall back
+to the per-grid engine on the same shared caches.  Iterations can additionally
+be fanned out over a :mod:`multiprocessing` pool; every (cluster count,
+iteration) pair keeps its own deterministic child seed, so the results are
+bit-identical regardless of batching, chunking or worker count.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.batch import BatchedGridCosts, batched_makespans, has_batched_kernel
+from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import SimulationStudyConfig
 from repro.topology.generators import RandomGridGenerator
 from repro.utils.rng import RandomStream
+
+#: Upper bound on the number of stacked matrix *elements* per batch chunk;
+#: keeps the (K, n, n) stacks of a 10 000-iteration study within a few dozen
+#: megabytes regardless of the cluster count.
+MAX_BATCH_ELEMENTS = 2_000_000
+
+#: Environment variable consulted for the default worker count.
+WORKERS_ENV_VAR = "REPRO_MC_WORKERS"
 
 #: Two schedules within this relative tolerance of each other are considered
 #: equally good when computing hits against the per-iteration global minimum.
@@ -102,32 +125,140 @@ class SimulationStudyResult:
         return rows
 
 
-def run_simulation_study(config: SimulationStudyConfig) -> SimulationStudyResult:
+def _chunk_size(num_clusters: int, iterations: int, worker_count: int) -> int:
+    """Iterations per batch chunk.
+
+    Bounded by memory (the stacked matrices stay small) and, when a worker
+    pool is in play, split so each worker gets several chunks per cluster
+    count — otherwise a single-cluster-count study would collapse into one
+    task and run serially regardless of ``workers``.  Chunking never affects
+    results (each iteration owns its seed).
+    """
+    chunk = max(1, MAX_BATCH_ELEMENTS // max(1, num_clusters * num_clusters))
+    if worker_count > 1:
+        per_worker = -(-iterations // (worker_count * 4))  # ceil division
+        chunk = min(chunk, max(1, per_worker))
+    return chunk
+
+
+def _evaluate_chunk(
+    heuristic_keys: Sequence[str],
+    num_clusters: int,
+    seeds: Sequence[int],
+    message_size: float,
+    root: int,
+    ranges,
+) -> np.ndarray:
+    """Makespans of every heuristic on one chunk of generated grids.
+
+    Returns an array of shape ``(len(heuristic_keys), len(seeds))``.  The
+    per-grid cost matrices are built once, shared by the batched kernels and
+    by any per-grid fallback heuristic.
+    """
+    heuristics = instantiate(heuristic_keys)
+    generator = RandomGridGenerator(ranges)
+    grids = [
+        generator.generate(num_clusters, RandomStream(seed=seed)) for seed in seeds
+    ]
+    caches = [GridCostCache.for_grid(grid, message_size) for grid in grids]
+    batched: BatchedGridCosts | None = None  # stacked on first kernel user
+    out = np.empty((len(heuristics), len(grids)), dtype=float)
+    for heuristic_index, heuristic in enumerate(heuristics):
+        if has_batched_kernel(heuristic, num_clusters):
+            if batched is None:
+                batched = BatchedGridCosts(caches)
+            makespans = batched_makespans(heuristic, batched, root=root)
+        else:
+            makespans = [
+                heuristic.makespan(grid, message_size, root=root, costs=cache)
+                for grid, cache in zip(grids, caches)
+            ]
+        out[heuristic_index] = makespans
+    return out
+
+
+def _evaluate_chunk_task(task) -> tuple[int, int, np.ndarray]:
+    """Multiprocessing adapter: unpack one task, keep its placement indices."""
+    (count_index, start, heuristic_keys, num_clusters, seeds, message_size, root,
+     ranges) = task
+    values = _evaluate_chunk(
+        heuristic_keys, num_clusters, seeds, message_size, root, ranges
+    )
+    return count_index, start, values
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer worker count, got {raw!r}"
+            ) from exc
+    return max(0, int(workers))
+
+
+def run_simulation_study(
+    config: SimulationStudyConfig, *, workers: int | None = None
+) -> SimulationStudyResult:
     """Run the Monte-Carlo study described by ``config``.
 
     Every (cluster count, iteration) pair gets its own deterministic child
-    random stream, so results are independent of execution order and
-    reproducible for a fixed seed.
+    random stream, so results are independent of execution order, chunking
+    and worker count, and reproducible for a fixed seed.
+
+    Parameters
+    ----------
+    config:
+        The study set-up.
+    workers:
+        Optional :mod:`multiprocessing` fan-out: the batch chunks are
+        distributed over this many worker processes.  ``None`` consults the
+        ``REPRO_MC_WORKERS`` environment variable; ``0``/``1`` run in-process.
     """
-    heuristics = instantiate(config.heuristics)
-    generator = RandomGridGenerator(config.ranges)
+    heuristic_keys = tuple(config.heuristics)
+    heuristic_names = [h.name for h in instantiate(heuristic_keys)]
     parent_stream = RandomStream(seed=config.seed)
     counts = list(config.cluster_counts)
     makespans = np.empty(
-        (len(counts), len(heuristics), config.iterations), dtype=float
+        (len(counts), len(heuristic_keys), config.iterations), dtype=float
     )
+
+    worker_count = _resolve_workers(workers)
+    tasks = []
     for count_index, num_clusters in enumerate(counts):
-        for iteration in range(config.iterations):
-            stream = parent_stream.spawn()
-            grid = generator.generate(num_clusters, stream)
-            for heuristic_index, heuristic in enumerate(heuristics):
-                schedule = heuristic.schedule(
-                    grid, config.message_size, root=config.root_cluster
+        seeds = [parent_stream.spawn_seed() for _ in range(config.iterations)]
+        chunk = _chunk_size(num_clusters, config.iterations, worker_count)
+        for start in range(0, config.iterations, chunk):
+            tasks.append(
+                (
+                    count_index,
+                    start,
+                    heuristic_keys,
+                    num_clusters,
+                    seeds[start : start + chunk],
+                    config.message_size,
+                    config.root_cluster,
+                    config.ranges,
                 )
-                makespans[count_index, heuristic_index, iteration] = schedule.makespan
+            )
+
+    if worker_count > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            results = pool.imap_unordered(_evaluate_chunk_task, tasks)
+            for count_index, start, values in results:
+                makespans[count_index, :, start : start + values.shape[1]] = values
+    else:
+        for task in tasks:
+            count_index, start, values = _evaluate_chunk_task(task)
+            makespans[count_index, :, start : start + values.shape[1]] = values
+
     return SimulationStudyResult(
         config=config,
-        heuristic_names=[h.name for h in heuristics],
+        heuristic_names=heuristic_names,
         cluster_counts=counts,
         makespans=makespans,
     )

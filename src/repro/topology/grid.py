@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.model.plogp import GapFunction, PLogPParameters
 from repro.topology.cluster import Cluster
@@ -186,6 +187,35 @@ class Grid:
     def broadcast_times(self, message_size: float) -> list[float]:
         """``T_i`` for every cluster, in index order."""
         return [c.broadcast_time(message_size) for c in self._clusters]
+
+    def cost_matrices(self, message_size: float) -> "tuple[np.ndarray, np.ndarray]":
+        """Dense ``(latency, gap)`` matrices for every ordered cluster pair.
+
+        Equivalent to querying :meth:`latency` / :meth:`gap` per pair (the
+        same ``(i, j)``-then-``(j, i)`` link fallback applies), but each
+        stored link's gap function is evaluated only once, so building the
+        full matrices is O(links) gap evaluations instead of O(n²).  The
+        diagonals are zero.  This is the bulk path behind
+        :class:`repro.core.costs.GridCostCache`.
+        """
+        n = len(self._clusters)
+        latencies = np.zeros((n, n), dtype=float)
+        gaps = np.zeros((n, n), dtype=float)
+        evaluated = {
+            pair: (link.latency, link.gap(message_size))
+            for pair, link in self._links.items()
+        }
+        for i in range(n):
+            row_l = latencies[i]
+            row_g = gaps[i]
+            for j in range(n):
+                if i == j:
+                    continue
+                values = evaluated.get((i, j))
+                if values is None:
+                    values = evaluated[(j, i)]
+                row_l[j], row_g[j] = values
+        return latencies, gaps
 
     # -- node-level quantities used by the simulator ------------------------------
 

@@ -94,9 +94,18 @@ class RandomStream:
         number of children already spawned, so a fixed program always receives
         the same family of streams.
         """
+        return RandomStream(seed=self.spawn_seed())
+
+    def spawn_seed(self) -> int:
+        """The seed of the next child stream, without building the stream.
+
+        Consumes a spawn slot exactly like :meth:`spawn` (so mixing the two
+        is safe).  Useful when child streams must be materialised elsewhere —
+        e.g. shipping plain integer seeds to multiprocessing workers instead
+        of generator objects.
+        """
         self._spawn_count += 1
-        child = RandomStream(seed=self._mix(self.seed, self._spawn_count))
-        return child
+        return self._mix(self.seed, self._spawn_count)
 
     @staticmethod
     def _mix(seed: int, index: int) -> int:

@@ -127,6 +127,43 @@ class TestBroadcastScheduleQueries:
         assert schedule.receive_of(1).sender == 2
         assert schedule.receive_of(0) is None
 
+    def test_index_maps_cover_every_cluster(self, uniform_grid):
+        order = [(0, 2), (2, 1), (0, 3)]
+        schedule = evaluate_order(uniform_grid, 1_000, 0, order)
+        # The lazily built index maps must agree with a linear scan for every
+        # cluster (including clusters that never send).
+        for cluster in range(schedule.num_clusters):
+            assert schedule.sends_of(cluster) == [
+                t for t in schedule.transfers if t.sender == cluster
+            ]
+            expected = [t for t in schedule.transfers if t.receiver == cluster]
+            assert schedule.receive_of(cluster) == (expected[0] if expected else None)
+
+    def test_sends_of_returns_a_copy(self, uniform_grid):
+        schedule = evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (0, 2), (0, 3)])
+        schedule.sends_of(0).clear()
+        assert len(schedule.sends_of(0)) == 3
+
+    def test_evaluate_order_accepts_shared_costs(self, uniform_grid):
+        from repro.core.costs import GridCostCache
+
+        order = [(0, 1), (1, 2), (0, 3)]
+        plain = evaluate_order(uniform_grid, 1_000, 0, order)
+        cache = GridCostCache.for_grid(uniform_grid, 1_000)
+        cached = evaluate_order(uniform_grid, 1_000, 0, order, costs=cache)
+        assert cached.makespan == plain.makespan
+        assert cached.arrival_times == plain.arrival_times
+        assert cached.completion_times == plain.completion_times
+
+    def test_evaluate_order_rejects_mismatched_costs(self, uniform_grid):
+        from repro.core.costs import GridCostCache
+
+        cache = GridCostCache.for_grid(uniform_grid, 2_000)
+        with pytest.raises(ValueError, match="different grid"):
+            evaluate_order(
+                uniform_grid, 1_000, 0, [(0, 1), (0, 2), (0, 3)], costs=cache
+            )
+
     def test_validate_passes_for_well_formed(self, uniform_grid):
         schedule = evaluate_order(uniform_grid, 1_000, 0, [(0, 1), (1, 2), (0, 3)])
         schedule.validate()

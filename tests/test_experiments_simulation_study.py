@@ -45,6 +45,62 @@ class TestStructure:
         assert set(rows[0]) == {"clusters", *small_study.heuristic_names}
 
 
+class TestBatchedDriver:
+    """The batched/chunked/parallel drivers must all agree bit-for-bit."""
+
+    def test_matches_naive_per_grid_loop(self):
+        from repro.core.registry import instantiate
+        from repro.topology.generators import RandomGridGenerator
+        from repro.utils.rng import RandomStream
+
+        config = SimulationStudyConfig(cluster_counts=(2, 6), iterations=12, seed=31)
+        study = run_simulation_study(config)
+
+        heuristics = instantiate(config.heuristics)
+        generator = RandomGridGenerator(config.ranges)
+        parent = RandomStream(seed=config.seed)
+        expected = np.empty_like(study.makespans)
+        for count_index, num_clusters in enumerate(config.cluster_counts):
+            for iteration in range(config.iterations):
+                grid = generator.generate(num_clusters, parent.spawn())
+                for heuristic_index, heuristic in enumerate(heuristics):
+                    expected[count_index, heuristic_index, iteration] = (
+                        heuristic.schedule(
+                            grid, config.message_size, root=config.root_cluster
+                        ).makespan
+                    )
+        assert np.array_equal(study.makespans, expected)
+
+    def test_chunking_does_not_change_results(self, monkeypatch):
+        import repro.experiments.simulation_study as module
+
+        config = SimulationStudyConfig(cluster_counts=(5,), iterations=11, seed=3)
+        whole = run_simulation_study(config)
+        # Force ~3-iteration chunks so several batches cover one count.
+        monkeypatch.setattr(module, "MAX_BATCH_ELEMENTS", 5 * 5 * 3)
+        chunked = run_simulation_study(config)
+        assert np.array_equal(whole.makespans, chunked.makespans)
+
+    def test_workers_do_not_change_results(self):
+        config = SimulationStudyConfig(cluster_counts=(3, 5), iterations=8, seed=17)
+        serial = run_simulation_study(config, workers=0)
+        parallel = run_simulation_study(config, workers=2)
+        assert np.array_equal(serial.makespans, parallel.makespans)
+
+    def test_heuristic_without_batched_kernel_falls_back(self):
+        config = SimulationStudyConfig(
+            cluster_counts=(3, 4),
+            iterations=4,
+            heuristics=("ecef", "optimal"),
+            seed=5,
+        )
+        study = run_simulation_study(config)
+        ecef, optimal = study.makespans[:, 0, :], study.makespans[:, 1, :]
+        assert np.all(np.isfinite(study.makespans))
+        # The exhaustive search is a true lower bound for ECEF.
+        assert np.all(optimal <= ecef + 1e-12)
+
+
 class TestReproducibility:
     def test_same_seed_same_results(self):
         config = SimulationStudyConfig(cluster_counts=(3,), iterations=10, seed=7)

@@ -1,0 +1,57 @@
+"""Tier-1 performance smoke tests.
+
+These are deliberately *generous* wall-clock bounds — an order of magnitude
+above what the vectorized engine actually needs — so they never flake on slow
+CI machines, while still catching a catastrophic regression (e.g. the
+scheduling kernel silently falling back to O(n³) pure-Python loops with
+per-access re-sorting, or the cost matrices being rebuilt per heuristic).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.batch import BatchedGridCosts, batched_makespans
+from repro.core.costs import GridCostCache
+from repro.core.registry import PAPER_HEURISTICS, get_heuristic, instantiate
+from repro.topology.generators import RandomGridGenerator
+from repro.utils.rng import RandomStream
+
+MESSAGE_SIZE = 1_048_576
+
+
+def _grids(num_clusters: int, count: int):
+    generator = RandomGridGenerator(cluster_size=2)
+    return [
+        generator.generate(num_clusters, RandomStream(seed=seed))
+        for seed in range(count)
+    ]
+
+
+def test_ecef_lat_schedule_stays_fast():
+    """50 ECEF-LAT schedules on 10-cluster grids must stay well under 2.5 s.
+
+    The vectorized engine does this in a few tens of milliseconds; the bound
+    only trips if scheduling regresses by more than an order of magnitude.
+    """
+    grids = _grids(10, 50)
+    heuristic = get_heuristic("ecef_lat_max")
+    heuristic.schedule(grids[0], MESSAGE_SIZE)  # warm-up outside the timer
+    start = time.perf_counter()
+    for grid in grids:
+        heuristic.schedule(grid, MESSAGE_SIZE)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.5, f"50 ECEF-LAT schedules took {elapsed:.2f}s (budget 2.5s)"
+
+
+def test_batched_monte_carlo_stays_fast():
+    """One batched 100-grid × 7-heuristic round must stay well under 5 s."""
+    grids = _grids(10, 100)
+    heuristics = instantiate(PAPER_HEURISTICS)
+    start = time.perf_counter()
+    caches = [GridCostCache.for_grid(grid, MESSAGE_SIZE) for grid in grids]
+    stacked = BatchedGridCosts(caches)
+    for heuristic in heuristics:
+        assert batched_makespans(heuristic, stacked) is not None
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"batched Monte-Carlo round took {elapsed:.2f}s (budget 5s)"

@@ -98,3 +98,18 @@ class TestSpawning:
         first = parent.spawn().uniform(0, 1)
         second = parent.spawn().uniform(0, 1)
         assert first != second
+
+    def test_spawn_seed_matches_spawn(self):
+        """spawn_seed() must yield exactly the seeds spawn() would use."""
+        parent_a = RandomStream(seed=9)
+        parent_b = RandomStream(seed=9)
+        for _ in range(5):
+            assert RandomStream(seed=parent_a.spawn_seed()).uniform(0, 1) == (
+                parent_b.spawn().uniform(0, 1)
+            )
+
+    def test_spawn_seed_and_spawn_interleave(self):
+        parent_a = RandomStream(seed=4)
+        parent_b = RandomStream(seed=4)
+        assert parent_a.spawn_seed() == parent_b.spawn().seed
+        assert parent_a.spawn().seed == parent_b.spawn_seed()
