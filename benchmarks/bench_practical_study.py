@@ -1,0 +1,215 @@
+"""Measured-sweep throughput of the practical study (paper §7, Figure 6).
+
+The practical evaluation executes one discrete-event run per (heuristic,
+message size) — plus the binomial baseline — on the Table 3 grid.  This
+benchmark times that measured sweep through
+
+* the **per-run scalar loop**: one :func:`execute_program` per task, each on
+  an identically-seeded fresh network (the pre-batching cost profile), and
+* the **batched engine** (:mod:`repro.simulator.batch`): the whole sweep
+  compiled and executed in one pass,
+
+both for the plain Figure 6 sweep and for a noise-replicated sweep (three
+noise seeds per curve point — the paper's own measurements averaged repeated
+runs), where the batched engine additionally amortises program compilation.
+The two engines are bit-identical, so the ratio is pure overhead removed.
+
+Results land in ``benchmarks/results/BENCH_practical.json`` so the speedup
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_PRACTICAL_JSON_FILE, emit, emit_json
+
+from repro.core.costs import GridCostCache
+from repro.core.registry import PAPER_HEURISTICS, instantiate
+from repro.experiments.config import PRACTICAL_MESSAGE_SIZES, PracticalStudyConfig
+from repro.experiments.practical_study import run_alltoall_study, run_practical_study
+from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
+from repro.simulator.batch import ExecutionTask, execute_programs
+from repro.simulator.network import NetworkConfig
+from repro.topology.grid5000 import build_grid5000_topology
+from repro.utils.rng import derive_seed
+
+NOISE_SIGMA = 0.03
+SEED = 20060331
+REPLICAS = 3
+REPETITIONS = 7
+
+
+def _sweep_programs(grid):
+    """The Figure 5/6 program set: every heuristic and the binomial baseline
+    at every Table 3 message size."""
+    programs = []
+    for message_size in PRACTICAL_MESSAGE_SIZES:
+        costs = GridCostCache.for_grid(grid, message_size)
+        for heuristic in instantiate(PAPER_HEURISTICS):
+            schedule = heuristic.schedule(grid, message_size, root=0, costs=costs)
+            programs.append(
+                (
+                    heuristic.name,
+                    message_size,
+                    grid_aware_bcast_program(grid, schedule, message_size),
+                )
+            )
+        programs.append(
+            (
+                "Default LAM",
+                message_size,
+                binomial_bcast_program(
+                    grid, message_size, root_rank=grid.coordinator_rank(0)
+                ),
+            )
+        )
+    return programs
+
+
+def _tasks(programs, replica: int) -> list[ExecutionTask]:
+    return [
+        ExecutionTask(
+            program, noise_seed=derive_seed(SEED, label, message_size, replica)
+        )
+        for label, message_size, program in programs
+    ]
+
+
+def _best_of(run, repetitions: int = REPETITIONS) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_measured_sweep_throughput():
+    """Batched vs scalar measured-sweep wall clock on the Table 3 grid."""
+    grid = build_grid5000_topology()
+    config = NetworkConfig(noise_sigma=NOISE_SIGMA, seed=SEED)
+    programs = _sweep_programs(grid)
+    plain = _tasks(programs, replica=0)
+    replicated = [
+        task for replica in range(REPLICAS) for task in _tasks(programs, replica)
+    ]
+
+    def runner(tasks, engine):
+        return lambda: execute_programs(
+            grid, tasks, config=config, collect_traces=False, engine=engine
+        )
+
+    # The two engines must agree before their timings mean anything.
+    scalar_results = execute_programs(
+        grid, plain, config=config, collect_traces=False, engine="scalar"
+    )
+    batched_results = execute_programs(
+        grid, plain, config=config, collect_traces=False, engine="batched"
+    )
+    assert [r.makespan for r in scalar_results] == [
+        r.makespan for r in batched_results
+    ]
+
+    timings = {
+        "plain": {
+            "tasks": len(plain),
+            "scalar_seconds": _best_of(runner(plain, "scalar")),
+            "batched_seconds": _best_of(runner(plain, "batched")),
+        },
+        "replicated": {
+            "tasks": len(replicated),
+            "scalar_seconds": _best_of(runner(replicated, "scalar"), 3),
+            "batched_seconds": _best_of(runner(replicated, "batched"), 5),
+        },
+    }
+    for section in timings.values():
+        section["speedup"] = section["scalar_seconds"] / section["batched_seconds"]
+        section["sweeps_per_second_batched"] = (
+            1.0 / section["batched_seconds"]
+        )
+
+    lines = [
+        "Practical measured-sweep throughput (Table 3 grid, "
+        f"{len(PAPER_HEURISTICS)} heuristics + baseline x "
+        f"{len(PRACTICAL_MESSAGE_SIZES)} sizes, noise {NOISE_SIGMA}):"
+    ]
+    for name, section in timings.items():
+        lines.append(
+            f"  {name:<10} ({section['tasks']:3d} runs): scalar "
+            f"{section['scalar_seconds'] * 1e3:7.1f} ms   batched "
+            f"{section['batched_seconds'] * 1e3:7.1f} ms   "
+            f"({section['speedup']:.1f}x)"
+        )
+    emit("\n".join(lines))
+
+    emit_json(
+        "measured_sweep",
+        {
+            "grid": "grid5000-table3",
+            "noise_sigma": NOISE_SIGMA,
+            "seed": SEED,
+            "heuristics": list(PAPER_HEURISTICS),
+            "message_sizes": list(PRACTICAL_MESSAGE_SIZES),
+            "replicas": REPLICAS,
+            "timings": timings,
+        },
+        path=BENCH_PRACTICAL_JSON_FILE,
+    )
+
+    # The acceptance bar: the batched engine must beat the per-run scalar
+    # loop by at least 5x on the Table 3 measured sweep.
+    assert timings["replicated"]["speedup"] >= 5.0
+    assert timings["plain"]["speedup"] >= 3.0
+
+
+def test_practical_study_end_to_end():
+    """Wall clock of the full run_practical_study (predictions included)."""
+    config = PracticalStudyConfig(noise_sigma=NOISE_SIGMA, seed=SEED)
+
+    elapsed = {}
+    reference = None
+    for engine in ("scalar", "batched"):
+        started = time.perf_counter()
+        result = run_practical_study(config, engine=engine)
+        elapsed[engine] = time.perf_counter() - started
+        if reference is None:
+            reference = result
+        else:
+            assert np.array_equal(result.measured, reference.measured)
+    emit(
+        "Full practical study (predictions + measured sweep): "
+        f"scalar {elapsed['scalar'] * 1e3:.1f} ms, "
+        f"batched {elapsed['batched'] * 1e3:.1f} ms"
+    )
+    emit_json(
+        "practical_study_end_to_end",
+        {"seconds": elapsed, "speedup": elapsed["scalar"] / elapsed["batched"]},
+        path=BENCH_PRACTICAL_JSON_FILE,
+    )
+
+
+def test_alltoall_study_throughput():
+    """The new all-to-all scenario: heap-free batched execution shines."""
+    config = PracticalStudyConfig(
+        message_sizes=(1_024, 4_096), noise_sigma=NOISE_SIGMA, seed=SEED
+    )
+    elapsed = {}
+    for engine in ("scalar", "batched"):
+        started = time.perf_counter()
+        run_alltoall_study(config, engine=engine)
+        elapsed[engine] = time.perf_counter() - started
+    speedup = elapsed["scalar"] / elapsed["batched"]
+    emit(
+        "All-to-all study (direct + grid-aware, 2 chunk sizes): "
+        f"scalar {elapsed['scalar'] * 1e3:.1f} ms, "
+        f"batched {elapsed['batched'] * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    emit_json(
+        "alltoall_study",
+        {"seconds": elapsed, "speedup": speedup},
+        path=BENCH_PRACTICAL_JSON_FILE,
+    )
+    assert speedup >= 3.0

@@ -29,6 +29,9 @@ RESULTS_FILE = Path(__file__).parent / "results" / "paper_artifacts.txt"
 #: the throughput trajectory can be compared across PRs.
 BENCH_JSON_FILE = Path(__file__).parent / "results" / "BENCH_scheduling.json"
 
+#: Same, for the practical-study (measured sweep) benchmarks.
+BENCH_PRACTICAL_JSON_FILE = Path(__file__).parent / "results" / "BENCH_practical.json"
+
 
 def pytest_sessionstart(session):
     RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
@@ -56,23 +59,26 @@ def emit(text: str) -> None:
     sys.stderr.write("\n" + text + "\n")
 
 
-def emit_json(section: str, payload: dict) -> None:
-    """Merge one section into ``benchmarks/results/BENCH_scheduling.json``.
+def emit_json(section: str, payload: dict, *, path: Path | None = None) -> None:
+    """Merge one section into a benchmark JSON document.
 
-    Sections are merged by name into the existing document (never wholesale
-    cleared), so a partial benchmark run — or one that emits nothing — leaves
-    the other recorded sections' trajectory data intact; a full run simply
-    overwrites every section it re-measures.
+    Defaults to ``benchmarks/results/BENCH_scheduling.json``; the practical
+    sweep benchmarks pass ``path=BENCH_PRACTICAL_JSON_FILE``.  Sections are
+    merged by name into the existing document (never wholesale cleared), so a
+    partial benchmark run — or one that emits nothing — leaves the other
+    recorded sections' trajectory data intact; a full run simply overwrites
+    every section it re-measures.
     """
-    BENCH_JSON_FILE.parent.mkdir(parents=True, exist_ok=True)
+    target = path if path is not None else BENCH_JSON_FILE
+    target.parent.mkdir(parents=True, exist_ok=True)
     data = {}
-    if BENCH_JSON_FILE.exists():
+    if target.exists():
         try:
-            data = json.loads(BENCH_JSON_FILE.read_text())
+            data = json.loads(target.read_text())
         except json.JSONDecodeError:
             data = {}
     data[section] = payload
-    BENCH_JSON_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

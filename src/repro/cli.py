@@ -24,7 +24,12 @@ from repro.experiments.config import (
     PracticalStudyConfig,
     SimulationStudyConfig,
 )
-from repro.experiments.practical_study import BINOMIAL_BASELINE_NAME, run_practical_study
+from repro.experiments.practical_study import (
+    BINOMIAL_BASELINE_NAME,
+    run_alltoall_study,
+    run_practical_study,
+    run_scatter_study,
+)
 from repro.experiments.report import render_series_table, render_table
 from repro.experiments.simulation_study import run_simulation_study
 from repro.topology.generators import RandomGridGenerator
@@ -70,6 +75,20 @@ def _build_parser() -> argparse.ArgumentParser:
     practical.add_argument("--max-size", type=int, default=4_718_592)
     practical.add_argument("--points", type=int, default=10)
     practical.add_argument("--noise", type=float, default=0.03)
+    practical.add_argument(
+        "--collective",
+        choices=("bcast", "scatter", "alltoall"),
+        default="bcast",
+        help="collective pattern to study (scatter/alltoall measure the "
+        "grid-aware strategy against its flat/direct baseline)",
+    )
+    practical.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the measured sweep out over this many processes "
+        "(default: the REPRO_PRACTICAL_WORKERS environment variable)",
+    )
 
     return parser
 
@@ -133,7 +152,23 @@ def _cmd_practical(args: argparse.Namespace) -> int:
         for index in range(args.points)
     )
     config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
-    result = run_practical_study(config)
+    if args.collective == "scatter":
+        result = run_scatter_study(config, workers=args.workers)
+        print(
+            render_table(
+                result.as_table(), title="Measured scatter completion time (s)"
+            )
+        )
+        return 0
+    if args.collective == "alltoall":
+        result = run_alltoall_study(config, workers=args.workers)
+        print(
+            render_table(
+                result.as_table(), title="Measured all-to-all completion time (s)"
+            )
+        )
+        return 0
+    result = run_practical_study(config, workers=args.workers)
     print(render_table(result.as_table(which="predicted"), title="Predicted completion time (s)"))
     print()
     print(render_table(result.as_table(which="measured"), title="Measured completion time (s)"))

@@ -29,8 +29,11 @@ from repro.experiments.simulation_study import (
 )
 from repro.experiments.hit_rate import HitRateResult, run_hit_rate_study
 from repro.experiments.practical_study import (
+    CollectiveStudyResult,
     PracticalStudyResult,
+    run_alltoall_study,
     run_practical_study,
+    run_scatter_study,
 )
 from repro.experiments.report import render_series_table, render_hit_rate_table
 
@@ -45,8 +48,11 @@ __all__ = [
     "run_simulation_study",
     "HitRateResult",
     "run_hit_rate_study",
+    "CollectiveStudyResult",
     "PracticalStudyResult",
     "run_practical_study",
+    "run_alltoall_study",
+    "run_scatter_study",
     "render_series_table",
     "render_hit_rate_table",
 ]

@@ -3,7 +3,8 @@
 For every heuristic and every message size the study produces two numbers:
 
 * the **predicted** completion time — the makespan of the heuristic's
-  schedule under the pLogP model (Figure 5), and
+  schedule under the pLogP model (Figure 5), computed on the shared
+  :class:`~repro.core.costs.GridCostCache` matrices, and
 * the **measured** completion time — the makespan observed when the
   corresponding node-level program is executed on the discrete-event
   simulator, optionally with noise (Figure 6).
@@ -11,24 +12,67 @@ For every heuristic and every message size the study produces two numbers:
 The grid-unaware binomial broadcast ("Default LAM" in Figure 6) is measured
 as well; it has no scheduled prediction, matching the paper, which only plots
 it in the measured figure.
+
+The measured sweep runs through the batched engine
+(:func:`~repro.simulator.batch.execute_programs`): all (heuristic, size)
+programs plus the baseline execute in one pass, optionally fanned out over a
+:mod:`multiprocessing` pool (``workers=`` or ``REPRO_PRACTICAL_WORKERS``).
+Every curve point owns a noise seed derived from ``(config.seed, curve label,
+message size)``, so results are bit-identical regardless of engine, execution
+order, heuristic-tuple order or worker count.
+
+Beyond the paper's broadcast figures, the same machinery measures the §8
+"future work" collectives: :func:`run_scatter_study` and
+:func:`run_alltoall_study` sweep the grid-aware strategies against their flat
+/ direct baselines, with the all-to-all programs' ``initially_active`` ranks
+taken from the program metadata.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.base import SchedulingHeuristic
+from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import PracticalStudyConfig
+from repro.mpi.alltoall import direct_alltoall_program, grid_aware_alltoall_program
 from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
-from repro.simulator.execution import execute_program
-from repro.simulator.network import NetworkConfig, SimulatedNetwork
+from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
+from repro.simulator.batch import ENGINES, ExecutionTask, execute_programs
+from repro.simulator.network import NetworkConfig
 from repro.topology.grid import Grid
 from repro.topology.grid5000 import build_grid5000_topology
+from repro.utils.rng import derive_seed
 
 #: Display name of the grid-unaware baseline, as labelled in Figure 6.
 BINOMIAL_BASELINE_NAME = "Default LAM"
+
+#: Environment variable consulted for the default measured-sweep worker count.
+PRACTICAL_WORKERS_ENV_VAR = "REPRO_PRACTICAL_WORKERS"
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        raw = os.environ.get(PRACTICAL_WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{PRACTICAL_WORKERS_ENV_VAR} must be an integer worker count, "
+                f"got {raw!r}"
+            ) from exc
+    return max(0, int(workers))
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
 
 
 @dataclass
@@ -120,6 +164,8 @@ def run_practical_study(
     config: PracticalStudyConfig | None = None,
     *,
     grid: Grid | None = None,
+    workers: int | None = None,
+    engine: str = "batched",
 ) -> PracticalStudyResult:
     """Run the Figure 5 / Figure 6 experiment.
 
@@ -129,36 +175,80 @@ def run_practical_study(
         Study configuration; defaults to the paper's set-up.
     grid:
         The grid to evaluate on; defaults to the Table 3 GRID5000 topology.
+    workers:
+        Optional :mod:`multiprocessing` fan-out of the measured sweep.
+        ``None`` consults ``REPRO_PRACTICAL_WORKERS``; ``0``/``1`` run
+        in-process.  Results are identical at any worker count.
+    engine:
+        ``"batched"`` (default) or ``"scalar"``; both produce bit-identical
+        results — the scalar path exists as the reference for equivalence
+        tests and benchmarks.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
+    # Resolve the fan-out (and implicitly validate the env var) up front so a
+    # bad setting fails before the prediction sweep, not after it.
+    worker_count = _resolve_workers(workers)
+    _check_engine(engine)
     heuristics = instantiate(config.heuristics)
-    network = SimulatedNetwork(
-        grid, NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed)
-    )
     sizes = list(config.message_sizes)
     predicted = np.empty((len(sizes), len(heuristics)), dtype=float)
-    measured = np.empty_like(predicted)
     baseline = (
         np.empty(len(sizes), dtype=float) if config.include_binomial_baseline else None
     )
+
+    # Build the whole measured sweep as one task batch.  Each task's noise
+    # stream is keyed by (seed, curve label, message size): stable under
+    # reordering, shuffling and worker fan-out.
+    tasks: list[ExecutionTask] = []
+    slots: list[tuple[int, int | None]] = []
     for size_index, message_size in enumerate(sizes):
+        costs = GridCostCache.for_grid(grid, message_size)
         for heuristic_index, heuristic in enumerate(heuristics):
-            schedule = heuristic.schedule(grid, message_size, root=config.root_cluster)
+            schedule = heuristic.schedule(
+                grid, message_size, root=config.root_cluster, costs=costs
+            )
             predicted[size_index, heuristic_index] = schedule.makespan
             program = grid_aware_bcast_program(
                 grid, schedule, message_size, local_tree=config.local_tree
             )
-            execution = execute_program(network, program)
-            measured[size_index, heuristic_index] = execution.makespan
+            tasks.append(
+                ExecutionTask(
+                    program,
+                    noise_seed=derive_seed(config.seed, heuristic.name, message_size),
+                )
+            )
+            slots.append((size_index, heuristic_index))
         if baseline is not None:
             program = binomial_bcast_program(
                 grid,
                 message_size,
                 root_rank=grid.coordinator_rank(config.root_cluster),
             )
-            execution = execute_program(network, program)
+            tasks.append(
+                ExecutionTask(
+                    program,
+                    noise_seed=derive_seed(
+                        config.seed, BINOMIAL_BASELINE_NAME, message_size
+                    ),
+                )
+            )
+            slots.append((size_index, None))
+
+    executions = execute_programs(
+        grid,
+        tasks,
+        config=NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed),
+        collect_traces=False,
+        workers=worker_count,
+        engine=engine,
+    )
+    measured = np.empty_like(predicted)
+    for (size_index, heuristic_index), execution in zip(slots, executions):
+        if heuristic_index is None:
             baseline[size_index] = execution.makespan
+        else:
+            measured[size_index, heuristic_index] = execution.makespan
     return PracticalStudyResult(
         config=config,
         heuristic_names=[h.name for h in heuristics],
@@ -166,4 +256,179 @@ def run_practical_study(
         predicted=predicted,
         measured=measured,
         baseline_measured=baseline,
+    )
+
+
+# -- beyond broadcast: the §8 collectives --------------------------------------------
+
+
+@dataclass
+class CollectiveStudyResult:
+    """Measured completion times of several strategies for one collective.
+
+    Attributes
+    ----------
+    collective:
+        ``"scatter"`` or ``"alltoall"``.
+    config:
+        The configuration used (message sizes double as per-rank chunk sizes).
+    strategy_names:
+        Display names of the measured strategies (baseline first).
+    message_sizes:
+        Chunk sizes in bytes.
+    measured:
+        Array ``(len(message_sizes), len(strategy_names))`` of simulator
+        makespans.
+    """
+
+    collective: str
+    config: PracticalStudyConfig
+    strategy_names: list[str]
+    message_sizes: list[int]
+    measured: np.ndarray
+
+    def measured_series(self, strategy_name: str) -> list[float]:
+        """Measured completion times of one strategy across chunk sizes."""
+        try:
+            column = self.strategy_names.index(strategy_name)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown strategy {strategy_name!r}; available: {self.strategy_names}"
+            ) from exc
+        return self.measured[:, column].tolist()
+
+    def as_table(self) -> list[dict[str, float]]:
+        """Rows of (chunk size, per-strategy time), Figure 6-style."""
+        rows: list[dict[str, float]] = []
+        for row_index, size in enumerate(self.message_sizes):
+            row: dict[str, float] = {"message_size": float(size)}
+            for column_index, name in enumerate(self.strategy_names):
+                row[name] = float(self.measured[row_index, column_index])
+            rows.append(row)
+        return rows
+
+    def speedup_over_baseline(self) -> np.ndarray:
+        """Baseline time divided by each strategy's time, element-wise."""
+        baseline = self.measured[:, :1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.measured > 0, baseline / self.measured, np.nan)
+
+
+def _run_collective_study(
+    collective: str,
+    strategies: "list[tuple[str, object]]",
+    config: PracticalStudyConfig,
+    grid: Grid,
+    workers: int | None,
+    engine: str,
+) -> CollectiveStudyResult:
+    """Shared driver: one ExecutionTask per (strategy, chunk size).
+
+    ``strategies`` maps display names to ``builder(grid, chunk_size)``
+    callables returning a :class:`CommunicationProgram`; the programs' own
+    ``initially_active`` metadata (all ranks for all-to-all) flows through the
+    batched executor untouched.
+    """
+    worker_count = _resolve_workers(workers)
+    _check_engine(engine)
+    sizes = list(config.message_sizes)
+    tasks: list[ExecutionTask] = []
+    for message_size in sizes:
+        for name, builder in strategies:
+            tasks.append(
+                ExecutionTask(
+                    builder(grid, message_size),
+                    noise_seed=derive_seed(config.seed, collective, name, message_size),
+                )
+            )
+    executions = execute_programs(
+        grid,
+        tasks,
+        config=NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed),
+        collect_traces=False,
+        workers=worker_count,
+        engine=engine,
+    )
+    measured = np.array(
+        [execution.makespan for execution in executions], dtype=float
+    ).reshape(len(sizes), len(strategies))
+    return CollectiveStudyResult(
+        collective=collective,
+        config=config,
+        strategy_names=[name for name, _ in strategies],
+        message_sizes=sizes,
+        measured=measured,
+    )
+
+
+def run_scatter_study(
+    config: PracticalStudyConfig | None = None,
+    *,
+    grid: Grid | None = None,
+    workers: int | None = None,
+    engine: str = "batched",
+) -> CollectiveStudyResult:
+    """Measure the flat scatter against the grid-aware hierarchical scatters.
+
+    The baseline sends every rank its block straight from the root; each
+    configured heuristic then drives the inter-cluster order of the
+    MagPIe-style aggregated scatter (paper §8's first "future work" pattern).
+    ``config.message_sizes`` are interpreted as per-rank chunk sizes.
+    """
+    config = config if config is not None else PracticalStudyConfig()
+    grid = grid if grid is not None else build_grid5000_topology()
+    root_rank = grid.coordinator_rank(config.root_cluster)
+
+    def flat_builder(target_grid: Grid, chunk_size: float):
+        return flat_scatter_program(target_grid, chunk_size, root_rank=root_rank)
+
+    def aware_builder(heuristic: SchedulingHeuristic):
+        def build(target_grid: Grid, chunk_size: float):
+            program, _ = grid_aware_scatter_program(
+                target_grid,
+                chunk_size,
+                heuristic=heuristic,
+                root_cluster=config.root_cluster,
+            )
+            return program
+
+        return build
+
+    strategies: list[tuple[str, object]] = [("Flat scatter", flat_builder)]
+    for heuristic in instantiate(config.heuristics):
+        strategies.append(
+            (f"Grid-aware [{heuristic.name}]", aware_builder(heuristic))
+        )
+    return _run_collective_study(
+        "scatter", strategies, config, grid, workers, engine
+    )
+
+
+def run_alltoall_study(
+    config: PracticalStudyConfig | None = None,
+    *,
+    grid: Grid | None = None,
+    workers: int | None = None,
+    engine: str = "batched",
+) -> CollectiveStudyResult:
+    """Measure the direct all-to-all against the grid-aware aggregated one.
+
+    Every rank starts active (the programs declare it via
+    ``initially_active``); the grid-aware strategy trades ``n_i * n_j``
+    wide-area messages per cluster pair for a single aggregated one (paper
+    §8's second "future work" pattern).  ``config.message_sizes`` are
+    per-rank-pair chunk sizes, so keep them modest — the direct strategy
+    injects ``n * (n - 1)`` messages per execution.
+    """
+    config = config if config is not None else PracticalStudyConfig()
+    grid = grid if grid is not None else build_grid5000_topology()
+    strategies: list[tuple[str, object]] = [
+        ("Direct", lambda target_grid, chunk: direct_alltoall_program(target_grid, chunk)),
+        (
+            "Grid-aware",
+            lambda target_grid, chunk: grid_aware_alltoall_program(target_grid, chunk),
+        ),
+    ]
+    return _run_collective_study(
+        "alltoall", strategies, config, grid, workers, engine
     )

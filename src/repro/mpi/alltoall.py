@@ -12,8 +12,9 @@ In a personalised all-to-all every rank holds one distinct block of
   area carries exactly one (large) message per ordered cluster pair.
 
 Both builders produce programs in which *every* rank is initially active
-(every rank owns data from the start); the executor is told so through its
-``initially_active`` parameter.
+(every rank owns data from the start); the programs declare this through
+:attr:`~repro.simulator.program.CommunicationProgram.initially_active`, so
+any executor — scalar or batched — picks it up without out-of-band knowledge.
 """
 
 from __future__ import annotations
@@ -27,7 +28,10 @@ def direct_alltoall_program(grid: Grid, chunk_size: float) -> CommunicationProgr
     """Every rank sends its private block to every other rank directly."""
     check_non_negative(chunk_size, "chunk_size")
     program = CommunicationProgram(
-        num_ranks=grid.num_nodes, root=0, name="direct-alltoall"
+        num_ranks=grid.num_nodes,
+        root=0,
+        name="direct-alltoall",
+        initially_active=tuple(range(grid.num_nodes)),
     )
     for source in range(grid.num_nodes):
         for destination in range(grid.num_nodes):
@@ -63,7 +67,10 @@ def grid_aware_alltoall_program(grid: Grid, chunk_size: float) -> CommunicationP
     """
     check_non_negative(chunk_size, "chunk_size")
     program = CommunicationProgram(
-        num_ranks=grid.num_nodes, root=0, name="grid-aware-alltoall"
+        num_ranks=grid.num_nodes,
+        root=0,
+        name="grid-aware-alltoall",
+        initially_active=tuple(range(grid.num_nodes)),
     )
     num_clusters = grid.num_clusters
     total_ranks = grid.num_nodes

@@ -169,7 +169,7 @@ class GridCommunicator:
             program = grid_aware_alltoall_program(self.grid, chunk_size)
         else:
             program = direct_alltoall_program(self.grid, chunk_size)
-        execution = execute_program(
-            self.network, program, initially_active=range(self.grid.num_nodes)
-        )
+        # The all-to-all builders declare every rank initially active on the
+        # program itself; the executor picks that up without extra arguments.
+        execution = execute_program(self.network, program)
         return CollectiveOutcome(schedule=None, predicted_time=None, execution=execution)

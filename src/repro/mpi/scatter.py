@@ -34,7 +34,10 @@ def flat_scatter_program(
     """The root sends each rank its private block directly."""
     check_non_negative(chunk_size, "chunk_size")
     program = CommunicationProgram(
-        num_ranks=grid.num_nodes, root=root_rank, name="flat-scatter"
+        num_ranks=grid.num_nodes,
+        root=root_rank,
+        name="flat-scatter",
+        initially_active=(root_rank,),
     )
     for rank in range(grid.num_nodes):
         if rank == root_rank:
@@ -96,7 +99,10 @@ def grid_aware_scatter_program(
 
     root_rank = grid.coordinator_rank(root_cluster)
     program = CommunicationProgram(
-        num_ranks=grid.num_nodes, root=root_rank, name=f"grid-aware-scatter[{heuristic.name}]"
+        num_ranks=grid.num_nodes,
+        root=root_rank,
+        name=f"grid-aware-scatter[{heuristic.name}]",
+        initially_active=(root_rank,),
     )
     # Inter-cluster phase: aggregated block per remote cluster.
     for _, cluster in order:

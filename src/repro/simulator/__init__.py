@@ -21,12 +21,17 @@ Building blocks
 * :func:`~repro.simulator.execution.execute_program` — runs a program on a
   network and returns an :class:`~repro.simulator.execution.ExecutionResult`
   (arrival times, makespan, trace).
+* :func:`~repro.simulator.batch.execute_programs` — runs many independent
+  programs in one pass (compiled programs, array-backed per-program state,
+  per-program noise seeds), bit-identical to the scalar engine and the
+  workhorse behind the measured sweeps of the practical study.
 """
 
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.network import NetworkConfig, SimulatedNetwork
 from repro.simulator.program import CommunicationProgram, SendInstruction
 from repro.simulator.execution import ExecutionResult, MessageRecord, execute_program
+from repro.simulator.batch import ExecutionTask, execute_programs
 
 __all__ = [
     "SimulationEngine",
@@ -37,4 +42,6 @@ __all__ = [
     "ExecutionResult",
     "MessageRecord",
     "execute_program",
+    "ExecutionTask",
+    "execute_programs",
 ]

@@ -1,0 +1,604 @@
+"""Batched execution of many independent communication programs.
+
+The practical study (paper §7, Figures 5/6) measures one discrete-event
+execution per (heuristic, message size) — plus the binomial baseline — on the
+same grid.  Run through :func:`~repro.simulator.execution.execute_program`
+each message pays for a topology lookup, a fresh
+:class:`~repro.model.plogp.PLogPParameters` object, a piecewise gap-function
+evaluation, a callback closure and a trace dataclass; the per-message Python
+overhead dwarfs the arithmetic.  This module executes a whole batch of
+programs in one pass instead:
+
+* every program is **compiled** once — per-message gap/latency evaluated
+  through a memo keyed by (cluster pair, size) shared across the batch,
+  flattened into per-rank message arrays — so the hot loop touches only plain
+  numbers;
+* NIC occupancy, activation and completion state live in flat per-rank state
+  rows keyed per program, advanced by a per-program delivery-event heap
+  (programs are independent, so running them back to back is observationally
+  identical to interleaving their events — and keeps each program's state row
+  cache-hot);
+* long send bursts (a flat scatter root, an all-to-all coordinator) are
+  issued vectorised — noise included, via masked bulk log-normal draws — while
+  short bursts take a scalar fast path; both reproduce the reference
+  arithmetic operation-for-operation;
+* each program owns its own noise stream (``noise_seed``), which is what
+  makes batching, reordering and multiprocessing fan-out bit-preserving.
+
+The scalar :func:`~repro.simulator.execution.execute_program` remains the
+reference engine: ``engine="scalar"`` runs it program by program on
+identically-seeded fresh networks, and the equivalence suite
+(``tests/test_simulator_batch.py``) asserts that both engines produce
+bit-identical makespans, activation/completion vectors and traces for every
+collective shape, noise on and off, at any worker count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulator.execution import ExecutionResult, MessageRecord, execute_program
+from repro.simulator.network import NetworkConfig, SimulatedNetwork
+from repro.simulator.program import CommunicationProgram
+from repro.topology.grid import Grid
+from repro.utils.rng import RandomStream
+
+#: Send bursts at least this long are issued through the vectorised NumPy
+#: path; shorter bursts (the common broadcast case of 1–6 sends per rank) are
+#: cheaper through the scalar fast path.  Both paths are bit-identical, so the
+#: threshold is purely a performance knob.
+VECTOR_MIN_SENDS = 12
+
+#: Valid ``engine=`` values of :func:`execute_programs` (and the study
+#: drivers built on it): the batched engine and the scalar reference loop.
+ENGINES = ("batched", "scalar")
+
+
+@dataclass(frozen=True)
+class ExecutionTask:
+    """One program to execute, with its per-program measurement context.
+
+    Attributes
+    ----------
+    program:
+        The communication program.
+    initially_active:
+        Extra ranks activated at time zero, merged with the program's own
+        ``initially_active`` declaration (kept for callers that overlay a
+        pattern on a plain program).
+    noise_seed:
+        Seed of this program's private noise stream.  ``None`` falls back to
+        the network config's seed.  Spawning one child seed per task (see
+        :meth:`repro.utils.rng.RandomStream.spawn_seed`) is what makes noisy
+        batches independent of execution order and worker count.
+    """
+
+    program: CommunicationProgram
+    initially_active: tuple[int, ...] = ()
+    noise_seed: int | None = None
+
+
+class _CompiledProgram:
+    """One program flattened into per-rank message arrays.
+
+    Messages are stored rank-major (``indptr[rank] : indptr[rank + 1]``), in
+    program send order.  ``gap``/``latency`` hold the noise-free pLogP values
+    evaluated once at compile time — bitwise the same numbers
+    :meth:`~repro.simulator.network.SimulatedNetwork.transmit` would compute
+    per message — both as NumPy arrays (vector path) and plain lists (scalar
+    path).
+    """
+
+    __slots__ = (
+        "program",
+        "num_ranks",
+        "roots",
+        "indptr",
+        "dest",
+        "size",
+        "tag",
+        "gap",
+        "latency",
+        "gap_list",
+        "latency_list",
+        "max_draws",
+    )
+
+    def __init__(
+        self,
+        grid: Grid,
+        task: ExecutionTask,
+        params_memo: "_ParamsMemo",
+        cluster_of: list[int],
+        lean: bool = False,
+    ) -> None:
+        program = task.program
+        if program.num_ranks > grid.num_nodes:
+            raise ValueError(
+                f"program spans {program.num_ranks} ranks but the network only has "
+                f"{grid.num_nodes}"
+            )
+        self.program = program
+        self.num_ranks = program.num_ranks
+        self.roots = program.start_ranks(task.initially_active)
+        for rank in self.roots:
+            if not 0 <= rank < program.num_ranks:
+                raise ValueError(f"initially active rank {rank} out of range")
+
+        dest: list[int] = []
+        size: list[float] | None = None if lean else []
+        tag: list[str] | None = None if lean else []
+        gap: list[float] = []
+        latency: list[float] = []
+        indptr = [0]
+        dest_append = dest.append
+        gap_append = gap.append
+        latency_append = latency.append
+        sends_get = program.sends.get
+        tables = params_memo.tables
+        for rank in range(program.num_ranks):
+            instructions = sends_get(rank)
+            if instructions:
+                source_cluster = cluster_of[rank]
+                for instruction in instructions:
+                    destination = instruction.destination
+                    message_size = instruction.message_size
+                    # Per-size (cluster, cluster) lookup tables: a plain 2-D
+                    # list index per message instead of a tuple-keyed dict.
+                    table = tables.get(message_size)
+                    if table is None:
+                        table = params_memo.add_size(message_size)
+                    pair = table[source_cluster][cluster_of[destination]]
+                    if pair is None:
+                        pair = params_memo.resolve(
+                            grid, rank, destination, message_size, cluster_of
+                        )
+                    dest_append(destination)
+                    gap_append(pair[0])
+                    latency_append(pair[1])
+                    if not lean:
+                        size.append(message_size)
+                        tag.append(instruction.tag)
+            indptr.append(len(dest))
+        self.indptr = indptr
+        self.dest = dest
+        self.size = size
+        self.tag = tag
+        self.gap = np.asarray(gap, dtype=float)
+        self.latency = np.asarray(latency, dtype=float)
+        self.gap_list = gap
+        self.latency_list = latency
+        # Upper bound on noise draws: one per nonzero gap/latency value.  The
+        # bound is only unreached when some sender never activates (its sends
+        # never execute); pre-drawing extra values is harmless because every
+        # executed message consumes the same stream positions either way.
+        self.max_draws = int(
+            np.count_nonzero(self.gap) + np.count_nonzero(self.latency)
+        )
+
+
+class _ParamsMemo:
+    """Per-size ``(cluster, cluster)`` tables of evaluated pLogP pairs.
+
+    ``tables[size][ci][cj]`` holds ``(gap(size), latency)`` for a message of
+    ``size`` bytes between any node of cluster ``ci`` and any node of cluster
+    ``cj`` (``None`` until first use) — the values
+    :meth:`~repro.topology.grid.Grid.node_link_parameters` would produce,
+    evaluated once and shared by every program of the batch.
+    """
+
+    __slots__ = ("num_clusters", "tables")
+
+    def __init__(self, num_clusters: int) -> None:
+        self.num_clusters = num_clusters
+        self.tables: dict[float, list[list[tuple[float, float] | None]]] = {}
+
+    def add_size(self, message_size: float) -> list:
+        table = [[None] * self.num_clusters for _ in range(self.num_clusters)]
+        self.tables[message_size] = table
+        return table
+
+    def resolve(
+        self,
+        grid: Grid,
+        rank: int,
+        destination: int,
+        message_size: float,
+        cluster_of: list[int],
+    ) -> tuple[float, float]:
+        params = grid.node_link_parameters(rank, destination)
+        pair = (params.gap(message_size), params.latency)
+        table = self.tables[message_size]
+        table[cluster_of[rank]][cluster_of[destination]] = pair
+        return pair
+
+
+def _run_compiled(
+    prog: _CompiledProgram,
+    noise: np.ndarray | None,
+    overhead: float,
+    collect_traces: bool,
+) -> ExecutionResult:
+    """Execute one compiled program against per-rank array state.
+
+    The per-rank state rows (NIC availability, activation flag/time,
+    completion) are flat arrays indexed by rank; the delivery heap is local to
+    the program, so its (time, sequence) ordering is exactly the scalar
+    engine's — interleaving with other programs of the batch never reorders a
+    program's own ties.
+    """
+    n = prog.num_ranks
+    indptr = prog.indptr
+    dest = prog.dest
+    gap_list = prog.gap_list
+    latency_list = prog.latency_list
+    nic_free = [0.0] * n
+    active = bytearray(n)
+    activation = [0.0] * n
+    completion = [0.0] * n
+    noisy = noise is not None
+    draws = noise.tolist() if noisy else []
+    position = 0
+    trace: list[tuple] | None = [] if collect_traces else None
+    heap: list[tuple[float, int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    sequence = 0
+
+    def issue_sends(rank: int, now: float) -> None:
+        nonlocal sequence, position
+        lo = indptr[rank]
+        hi = indptr[rank + 1]
+        count = hi - lo
+        if count >= VECTOR_MIN_SENDS:
+            gaps = prog.gap[lo:hi]
+            lats = prog.latency[lo:hi]
+            if noisy:
+                # Interleave gap0, lat0, gap1, lat1, ... so the draws are
+                # consumed in exactly the scalar transmit order (zero-valued
+                # entries draw nothing, like _perturb).
+                base = np.empty(2 * count)
+                base[0::2] = gaps
+                base[1::2] = lats
+                mask = base != 0.0
+                used = int(mask.sum())
+                factors = np.ones(2 * count)
+                factors[mask] = noise[position : position + used]
+                position += used
+                perturbed = base * factors
+                gaps = perturbed[0::2]
+                lats = perturbed[1::2]
+                chain = gaps
+            else:
+                chain = gaps.copy()
+            start0 = max(now, nic_free[rank])
+            chain[0] += start0
+            releases = np.cumsum(chain)
+            deliveries = releases + lats + overhead
+            release_list = releases.tolist()
+            last_release = release_list[-1]
+            nic_free[rank] = last_release
+            completion[rank] = max(completion[rank], last_release)
+            delivery_list = deliveries.tolist()
+            for offset, delivery in enumerate(delivery_list):
+                destination = dest[lo + offset]
+                if active[destination]:
+                    # Already-active receivers need no event: the delivery
+                    # can only raise their completion, and max() is
+                    # order-independent, so fold it in right away.
+                    if delivery > completion[destination]:
+                        completion[destination] = delivery
+                else:
+                    push(heap, (delivery, sequence, lo + offset))
+                    sequence += 1
+            if trace is not None:
+                start_list = [start0] + release_list[:-1]
+                for offset in range(count):
+                    index = lo + offset
+                    trace.append(
+                        (
+                            rank,
+                            dest[index],
+                            prog.size[index],
+                            now,
+                            start_list[offset],
+                            delivery_list[offset],
+                            prog.tag[index],
+                        )
+                    )
+        elif noisy:
+            nic = nic_free[rank]
+            for index in range(lo, hi):
+                gap = gap_list[index]
+                lat = latency_list[index]
+                if gap != 0.0:
+                    gap = gap * draws[position]
+                    position += 1
+                if lat != 0.0:
+                    lat = lat * draws[position]
+                    position += 1
+                start = now if now >= nic else nic
+                release = start + gap
+                delivery = release + lat + overhead
+                nic = release
+                destination = dest[index]
+                if active[destination]:
+                    if delivery > completion[destination]:
+                        completion[destination] = delivery
+                else:
+                    push(heap, (delivery, sequence, index))
+                    sequence += 1
+                if trace is not None:
+                    trace.append(
+                        (
+                            rank,
+                            dest[index],
+                            prog.size[index],
+                            now,
+                            start,
+                            delivery,
+                            prog.tag[index],
+                        )
+                    )
+            nic_free[rank] = nic
+            completion[rank] = max(completion[rank], nic)
+        else:
+            nic = nic_free[rank]
+            for index in range(lo, hi):
+                start = now if now >= nic else nic
+                release = start + gap_list[index]
+                delivery = release + latency_list[index] + overhead
+                nic = release
+                destination = dest[index]
+                if active[destination]:
+                    if delivery > completion[destination]:
+                        completion[destination] = delivery
+                else:
+                    push(heap, (delivery, sequence, index))
+                    sequence += 1
+                if trace is not None:
+                    trace.append(
+                        (
+                            rank,
+                            dest[index],
+                            prog.size[index],
+                            now,
+                            start,
+                            delivery,
+                            prog.tag[index],
+                        )
+                    )
+            nic_free[rank] = nic
+            completion[rank] = max(completion[rank], nic)
+
+    # Flag every initially-active rank before issuing anything: the scalar
+    # engine pops all time-zero activation events before the first delivery,
+    # so during root bursts the whole root set already counts as active.
+    for rank in prog.roots:
+        active[rank] = 1
+    for rank in prog.roots:
+        if indptr[rank + 1] > indptr[rank]:
+            issue_sends(rank, 0.0)
+
+    while heap:
+        time, _, index = pop(heap)
+        destination = dest[index]
+        if time > completion[destination]:
+            completion[destination] = time
+        if not active[destination]:
+            active[destination] = 1
+            activation[destination] = time
+            lo = indptr[destination]
+            hi = indptr[destination + 1]
+            if hi - lo == 1:
+                # Inlined single-send burst — the overwhelmingly common case
+                # in tree-shaped programs; same arithmetic as issue_sends.
+                gap = gap_list[lo]
+                lat = latency_list[lo]
+                if noisy:
+                    if gap != 0.0:
+                        gap = gap * draws[position]
+                        position += 1
+                    if lat != 0.0:
+                        lat = lat * draws[position]
+                        position += 1
+                nic = nic_free[destination]
+                start = time if time >= nic else nic
+                release = start + gap
+                nic_free[destination] = release
+                if release > completion[destination]:
+                    completion[destination] = release
+                delivery = release + lat + overhead
+                receiver = dest[lo]
+                if active[receiver]:
+                    if delivery > completion[receiver]:
+                        completion[receiver] = delivery
+                else:
+                    push(heap, (delivery, sequence, lo))
+                    sequence += 1
+                if trace is not None:
+                    trace.append(
+                        (
+                            destination,
+                            dest[lo],
+                            prog.size[lo],
+                            time,
+                            start,
+                            delivery,
+                            prog.tag[lo],
+                        )
+                    )
+            elif hi > lo:
+                issue_sends(destination, time)
+
+    # Every time in the state rows is a plain Python float by construction
+    # (heap entries and vector results pass through .tolist()), so result
+    # materialisation is copy-only.
+    activation_times: list[float | None] = [
+        value if flag else None for value, flag in zip(activation, active)
+    ]
+    trace_records: list[MessageRecord] = []
+    if trace is not None:
+        trace_records = [
+            MessageRecord(
+                source=source,
+                destination=destination,
+                message_size=size,
+                issue_time=issue,
+                start_time=start,
+                delivery_time=delivery,
+                tag=tag,
+            )
+            for source, destination, size, issue, start, delivery, tag in trace
+        ]
+        trace_records.sort(key=lambda record: record.delivery_time)
+    return ExecutionResult(
+        program_name=prog.program.name,
+        activation_times=activation_times,
+        completion_times=list(completion),
+        trace=trace_records,
+    )
+
+
+def _execute_batch(
+    grid: Grid,
+    tasks: Sequence[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+) -> list[ExecutionResult]:
+    """Run every task in one pass; the batched engine proper.
+
+    The batch shares one compile memo (pLogP parameter evaluations keyed by
+    cluster pair and size) across all programs; each compiled program then
+    executes against its own state arrays and — when noise is on — its own
+    pre-drawn noise sequence, spawned from its task seed.  Programs are
+    independent, so executing them back to back is observationally identical
+    to interleaving their events; the per-program layout is what keeps the
+    state rows cache-hot.
+    """
+    params_memo = _ParamsMemo(grid.num_clusters)
+    cluster_of = [grid.cluster_of_rank(rank) for rank in range(grid.num_nodes)]
+    # A program appearing in several tasks (e.g. noise replicas of the same
+    # sweep) compiles once; the compiled form is read-only during execution.
+    compiled_cache: dict[tuple[int, tuple[int, ...]], _CompiledProgram] = {}
+    compiled: list[_CompiledProgram] = []
+    for task in tasks:
+        key = (id(task.program), tuple(task.initially_active))
+        prog = compiled_cache.get(key)
+        if prog is None:
+            prog = _CompiledProgram(
+                grid, task, params_memo, cluster_of, lean=not collect_traces
+            )
+            compiled_cache[key] = prog
+        compiled.append(prog)
+    sigma = config.noise_sigma
+    results: list[ExecutionResult] = []
+    for task, prog in zip(tasks, compiled):
+        noise: np.ndarray | None = None
+        if sigma > 0.0:
+            # Pre-draw the whole noise sequence in one bulk call: the k-th
+            # value consumed during execution is by construction the value
+            # the scalar engine's k-th sequential lognormal() call produces.
+            stream = RandomStream(
+                seed=task.noise_seed if task.noise_seed is not None else config.seed
+            )
+            noise = stream.lognormal_array(0.0, sigma, prog.max_draws)
+        results.append(
+            _run_compiled(prog, noise, config.receive_overhead, collect_traces)
+        )
+    return results
+
+
+def _execute_scalar(
+    grid: Grid,
+    tasks: Sequence[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+) -> list[ExecutionResult]:
+    """The reference loop: one scalar execution per task, per-task seeds."""
+    results = []
+    for task in tasks:
+        network = SimulatedNetwork(
+            grid,
+            NetworkConfig(
+                noise_sigma=config.noise_sigma,
+                seed=task.noise_seed if task.noise_seed is not None else config.seed,
+                receive_overhead=config.receive_overhead,
+            ),
+        )
+        result = execute_program(
+            network, task.program, initially_active=task.initially_active
+        )
+        if not collect_traces:
+            result.trace = []
+        results.append(result)
+    return results
+
+
+def _execute_chunk(args) -> tuple[int, list[ExecutionResult]]:
+    """Multiprocessing adapter: run one contiguous slice of the task list."""
+    start, grid, tasks, config, collect_traces, engine = args
+    runner = _execute_batch if engine == "batched" else _execute_scalar
+    return start, runner(grid, tasks, config, collect_traces)
+
+
+def execute_programs(
+    grid: Grid,
+    tasks: Sequence[ExecutionTask | CommunicationProgram],
+    *,
+    config: NetworkConfig | None = None,
+    collect_traces: bool = True,
+    workers: int | None = None,
+    engine: str = "batched",
+) -> list[ExecutionResult]:
+    """Execute many independent programs and return their results in order.
+
+    Parameters
+    ----------
+    grid:
+        The topology every program runs on.
+    tasks:
+        :class:`ExecutionTask` entries (bare programs are accepted and wrapped
+        with default context).
+    config:
+        Shared network behaviour (noise sigma, fallback seed, receive
+        overhead); per-task ``noise_seed`` overrides the seed.
+    collect_traces:
+        Keep the full message trace of every execution; pass ``False`` for
+        makespan-only sweeps (the practical study does).
+    workers:
+        Optional :mod:`multiprocessing` fan-out over contiguous chunks of the
+        task list; ``None``/``0``/``1`` run in-process.  Results are identical
+        at any worker count because every task carries its own noise seed.
+    engine:
+        ``"batched"`` (default) or ``"scalar"`` — the scalar reference loop
+        used by the equivalence suite and as the benchmark baseline.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    config = config if config is not None else NetworkConfig()
+    normalized = [
+        task if isinstance(task, ExecutionTask) else ExecutionTask(program=task)
+        for task in tasks
+    ]
+    worker_count = max(0, int(workers)) if workers is not None else 0
+
+    if worker_count > 1 and len(normalized) > 1:
+        chunk = max(1, -(-len(normalized) // (worker_count * 4)))
+        jobs = [
+            (start, grid, normalized[start : start + chunk], config, collect_traces, engine)
+            for start in range(0, len(normalized), chunk)
+        ]
+        results: list[ExecutionResult | None] = [None] * len(normalized)
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            for start, values in pool.imap_unordered(_execute_chunk, jobs):
+                results[start : start + len(values)] = values
+        return results  # type: ignore[return-value]
+
+    runner = _execute_batch if engine == "batched" else _execute_scalar
+    return runner(grid, normalized, config, collect_traces)

@@ -64,8 +64,13 @@ class SimulationEngine:
         ----------
         until:
             Optional horizon; events scheduled strictly after it stay queued.
+            When the queue drains the clock advances to ``until`` even if the
+            last event fired earlier, so back-to-back ``run(until=...)`` calls
+            tile the timeline without gaps.
         max_events:
-            Optional safety valve against runaway callback loops.
+            Optional safety valve against runaway callback loops; when it
+            trips, the clock stays at the last processed event (the horizon
+            has not been reached).
 
         Returns
         -------
@@ -86,8 +91,8 @@ class SimulationEngine:
             executed += 1
             if max_events is not None and executed >= max_events:
                 break
-        if until is not None and not self._queue:
-            self._now = max(self._now, until) if executed == 0 else self._now
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
         return self._now
 
     def reset(self) -> None:

@@ -104,8 +104,9 @@ def execute_program(
     program:
         The communication program to execute.
     initially_active:
-        Extra ranks (besides the program root) that start activated at time
-        zero; used by scatter / all-to-all style programs.
+        Extra ranks (besides the program root and the program's own
+        ``initially_active`` declaration) that start activated at time zero;
+        used by scatter / all-to-all style programs.
     reset_network:
         Reset NIC occupancy and noise before executing (default).  Pass
         ``False`` to chain several collectives back to back on a warm network.
@@ -166,8 +167,7 @@ def execute_program(
             activation[rank] = engine.now
             issue_sends(rank)
 
-    roots = {program.root} | set(initially_active)
-    for rank in sorted(roots):
+    for rank in program.start_ranks(initially_active):
         if not 0 <= rank < program.num_ranks:
             raise ValueError(f"initially active rank {rank} out of range")
         engine.schedule_at(0.0, lambda r=rank: activate(r))

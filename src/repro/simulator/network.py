@@ -140,17 +140,28 @@ class SimulatedNetwork:
         """A ping-pong oracle for :class:`repro.model.measurement.MeasurementProcedure`.
 
         Each call simulates a fresh ping of the requested size followed by an
-        empty pong, starting from an idle network (NIC state is saved and
-        restored so probing does not interfere with an ongoing execution).
+        empty pong, starting from an idle network.  *All* execution-visible
+        state is saved and restored around the probe — NIC occupancy, the
+        noise stream and the message counter — so probing mid-execution
+        neither delays the execution's sends nor shifts its subsequent noise
+        draws nor inflates its message count.
         """
 
         def oracle(message_size: float) -> float:
-            saved = list(self._nic_free_at)
+            saved_nic = list(self._nic_free_at)
+            saved_count = self._message_count
+            saved_noise = self._noise.state
+            # Probe from idle NICs: a round trip measures the link, not the
+            # backlog the execution happens to have queued on the endpoints.
+            self._nic_free_at[source] = 0.0
+            self._nic_free_at[destination] = 0.0
             try:
                 _, _, arrival = self.transmit(source, destination, message_size, 0.0)
                 _, _, back = self.transmit(destination, source, 0.0, arrival)
                 return back
             finally:
-                self._nic_free_at = saved
+                self._nic_free_at = saved_nic
+                self._message_count = saved_count
+                self._noise.state = saved_noise
 
         return oracle

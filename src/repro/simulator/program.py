@@ -57,12 +57,17 @@ class CommunicationProgram:
         are not the root simply stay idle.
     name:
         Label of the collective that produced the program.
+    initially_active:
+        Extra ranks (besides the root) that hold their payload from time zero
+        — scatter/all-to-all style programs declare their senders here so
+        executors need no out-of-band knowledge of the pattern.
     """
 
     num_ranks: int
     root: int
     sends: dict[int, list[SendInstruction]] = field(default_factory=dict)
     name: str = "program"
+    initially_active: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.num_ranks, bool) or not isinstance(self.num_ranks, int):
@@ -71,6 +76,12 @@ class CommunicationProgram:
             raise ValueError(f"num_ranks must be >= 1, got {self.num_ranks}")
         if not 0 <= self.root < self.num_ranks:
             raise ValueError(f"root must be a valid rank, got {self.root}")
+        self.initially_active = tuple(self.initially_active)
+        for rank in self.initially_active:
+            if isinstance(rank, bool) or not isinstance(rank, int):
+                raise TypeError("initially_active ranks must be ints")
+            if not 0 <= rank < self.num_ranks:
+                raise ValueError(f"initially active rank {rank} out of range")
         for rank, instructions in self.sends.items():
             if not 0 <= rank < self.num_ranks:
                 raise ValueError(f"sender rank {rank} out of range")
@@ -102,6 +113,16 @@ class CommunicationProgram:
     def sends_of(self, rank: int) -> list[SendInstruction]:
         """The (possibly empty) instruction list of ``rank``."""
         return list(self.sends.get(rank, []))
+
+    def start_ranks(self, extra=()) -> list[int]:
+        """All ranks active at time zero, in activation (ascending) order.
+
+        The union of the root, the program's own ``initially_active``
+        declaration and the caller-provided ``extra`` ranks.  Both the scalar
+        and the batched executor activate exactly this list, in this order,
+        which is what keeps their tie-breaking identical.
+        """
+        return sorted({self.root, *self.initially_active, *extra})
 
     def total_messages(self) -> int:
         """Total number of point-to-point messages in the program."""

@@ -13,6 +13,7 @@ random grid instances.  To make every figure regenerable bit-for-bit we wrap
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -79,6 +80,20 @@ class RandomStream:
         check_positive(sigma, "sigma")
         return float(self._generator.lognormal(mean, sigma))
 
+    def lognormal_array(self, mean: float, sigma: float, count: int) -> np.ndarray:
+        """Draw ``count`` log-normal floats in one call.
+
+        The array is filled element by element from the same underlying
+        stream, so ``lognormal_array(m, s, n)[i]`` equals the value the
+        ``i``-th sequential :meth:`lognormal` call would have produced — the
+        batched simulator relies on this to stay bit-identical to the scalar
+        one.
+        """
+        check_positive(sigma, "sigma")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._generator.lognormal(mean, sigma, size=count)
+
     def normal(self, loc: float, scale: float) -> float:
         """Draw a normally distributed float."""
         if scale < 0:
@@ -120,6 +135,30 @@ class RandomStream:
     def generator(self) -> np.random.Generator:
         """The underlying :class:`numpy.random.Generator` (read-only access)."""
         return self._generator
+
+    @property
+    def state(self) -> dict:
+        """The bit-generator state, for save/restore around probe draws."""
+        return self._generator.bit_generator.state
+
+    @state.setter
+    def state(self, value: dict) -> None:
+        self._generator.bit_generator.state = value
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """A deterministic child seed keyed by stable labels.
+
+    Uses the same SplitMix-style mixing as :meth:`RandomStream.spawn_seed`,
+    but keyed by a CRC of the given labels instead of a spawn counter, so the
+    derived seed depends only on ``(seed, labels)`` — not on how many other
+    seeds were derived first.  This is how the practical study assigns each
+    (curve label, message size) measurement its own noise stream: reordering
+    the heuristics tuple, shuffling execution order or fanning out over
+    workers cannot change any individual measurement.
+    """
+    digest = zlib.crc32("|".join(str(label) for label in labels).encode())
+    return RandomStream._mix(seed, digest)
 
 
 def spawn_streams(seed: int, count: int) -> list[RandomStream]:

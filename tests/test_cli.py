@@ -60,6 +60,48 @@ class TestPracticalCommand:
         assert "Measured completion time" in output
         assert "Default LAM" in output
 
+    def test_practical_scatter_table(self, capsys):
+        assert (
+            main(
+                [
+                    "practical",
+                    "--collective",
+                    "scatter",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "65536",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Measured scatter completion time" in output
+        assert "Flat scatter" in output
+
+    def test_practical_alltoall_table(self, capsys):
+        assert (
+            main(
+                [
+                    "practical",
+                    "--collective",
+                    "alltoall",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "4096",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Measured all-to-all completion time" in output
+        assert "Grid-aware" in output
+
+    def test_practical_rejects_unknown_collective(self):
+        with pytest.raises(SystemExit):
+            main(["practical", "--collective", "gather"])
+
 
 class TestParser:
     def test_missing_command_fails(self):

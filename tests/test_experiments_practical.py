@@ -8,8 +8,12 @@ import pytest
 from repro.experiments.config import PracticalStudyConfig
 from repro.experiments.practical_study import (
     BINOMIAL_BASELINE_NAME,
+    run_alltoall_study,
     run_practical_study,
+    run_scatter_study,
 )
+from repro.topology.cluster import Cluster
+from repro.topology.grid import Grid
 
 
 @pytest.fixture(scope="module")
@@ -113,3 +117,121 @@ class TestOptions:
         config = PracticalStudyConfig(message_sizes=(1_000,), heuristics=("ecef",))
         result = run_practical_study(config, grid=heterogeneous_grid)
         assert result.measured.shape == (1, 1)
+
+
+class TestDeterminism:
+    """Noisy measured runs are pure functions of (seed, curve label, size)."""
+
+    CONFIG = dict(message_sizes=(65_536, 1_048_576), noise_sigma=0.08)
+
+    def test_batched_matches_scalar_reference(self, heterogeneous_grid):
+        config = PracticalStudyConfig(heuristics=("ecef", "fef"), **self.CONFIG)
+        batched = run_practical_study(config, grid=heterogeneous_grid)
+        scalar = run_practical_study(config, grid=heterogeneous_grid, engine="scalar")
+        assert np.array_equal(batched.measured, scalar.measured)
+        assert np.array_equal(batched.baseline_measured, scalar.baseline_measured)
+        assert np.array_equal(batched.predicted, scalar.predicted)
+
+    def test_shuffle_invariance_of_heuristic_order(self, heterogeneous_grid):
+        """Reordering the heuristics tuple must not change any curve."""
+        forward = run_practical_study(
+            PracticalStudyConfig(heuristics=("ecef", "fef", "flat_tree"), **self.CONFIG),
+            grid=heterogeneous_grid,
+        )
+        shuffled = run_practical_study(
+            PracticalStudyConfig(heuristics=("flat_tree", "ecef", "fef"), **self.CONFIG),
+            grid=heterogeneous_grid,
+        )
+        for name in ("ECEF", "FEF", "Flat Tree"):
+            assert forward.measured_series(name) == shuffled.measured_series(name)
+        assert np.array_equal(
+            forward.baseline_measured, shuffled.baseline_measured
+        )
+
+    def test_worker_count_invariance(self, heterogeneous_grid):
+        config = PracticalStudyConfig(heuristics=("ecef", "fef"), **self.CONFIG)
+        inline = run_practical_study(config, grid=heterogeneous_grid, workers=0)
+        fanned = run_practical_study(config, grid=heterogeneous_grid, workers=2)
+        assert np.array_equal(inline.measured, fanned.measured)
+        assert np.array_equal(inline.baseline_measured, fanned.baseline_measured)
+
+    def test_workers_env_var_rejects_garbage(self, heterogeneous_grid, monkeypatch):
+        monkeypatch.setenv("REPRO_PRACTICAL_WORKERS", "many")
+        config = PracticalStudyConfig(message_sizes=(1_000,), heuristics=("ecef",))
+        with pytest.raises(ValueError, match="REPRO_PRACTICAL_WORKERS"):
+            run_practical_study(config, grid=heterogeneous_grid)
+
+
+class TestPredictionErrorNaN:
+    def test_zero_size_on_single_node_grid_yields_nan(self):
+        """A degenerate run with zero measured time must produce NaN, not a
+        division error, and nanmean-style aggregation must skip it."""
+        grid = Grid(
+            [Cluster(cluster_id=0, name="solo", size=1, fixed_broadcast_time=0.0)],
+            {},
+            name="single",
+        )
+        config = PracticalStudyConfig(
+            message_sizes=(0,),
+            heuristics=("ecef",),
+            include_binomial_baseline=False,
+            noise_sigma=0.0,
+        )
+        result = run_practical_study(config, grid=grid)
+        assert result.measured[0, 0] == 0.0
+        error = result.prediction_error()
+        assert np.isnan(error).all()
+
+    def test_mixed_rows_aggregate_without_nan_poisoning(self, heterogeneous_grid):
+        config = PracticalStudyConfig(
+            message_sizes=(65_536,), heuristics=("ecef",), noise_sigma=0.0
+        )
+        result = run_practical_study(config, grid=heterogeneous_grid)
+        error = result.prediction_error()
+        assert np.isfinite(error).all()
+        assert np.nanmean(error) >= 0.0
+
+
+class TestCollectiveStudies:
+    def test_scatter_study_shape_and_names(self, heterogeneous_grid):
+        config = PracticalStudyConfig(
+            message_sizes=(1_024, 65_536), heuristics=("ecef", "ecef_la")
+        )
+        result = run_scatter_study(config, grid=heterogeneous_grid)
+        assert result.collective == "scatter"
+        assert result.strategy_names[0] == "Flat scatter"
+        assert result.strategy_names[1:] == [
+            "Grid-aware [ECEF]",
+            "Grid-aware [ECEF-LA]",
+        ]
+        assert result.measured.shape == (2, 3)
+        assert np.all(result.measured > 0)
+
+    def test_scatter_aggregation_wins_on_grid5000_small_chunks(self, grid5000):
+        config = PracticalStudyConfig(
+            message_sizes=(4_096,), heuristics=("ecef_la",), noise_sigma=0.0
+        )
+        result = run_scatter_study(config, grid=grid5000)
+        speedup = result.speedup_over_baseline()
+        assert speedup[0, 1] > 1.0  # grid-aware beats the flat baseline
+
+    def test_alltoall_study_runs_with_initially_active_metadata(
+        self, heterogeneous_grid
+    ):
+        config = PracticalStudyConfig(message_sizes=(256, 1_024))
+        result = run_alltoall_study(config, grid=heterogeneous_grid)
+        assert result.strategy_names == ["Direct", "Grid-aware"]
+        assert result.measured.shape == (2, 2)
+        assert np.all(result.measured > 0)
+
+    def test_collective_study_matches_scalar_reference(self, heterogeneous_grid):
+        config = PracticalStudyConfig(message_sizes=(512,), noise_sigma=0.05)
+        batched = run_alltoall_study(config, grid=heterogeneous_grid)
+        scalar = run_alltoall_study(config, grid=heterogeneous_grid, engine="scalar")
+        assert np.array_equal(batched.measured, scalar.measured)
+
+    def test_unknown_strategy_rejected(self, heterogeneous_grid):
+        config = PracticalStudyConfig(message_sizes=(512,))
+        result = run_alltoall_study(config, grid=heterogeneous_grid)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            result.measured_series("nope")

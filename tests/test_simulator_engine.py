@@ -98,3 +98,57 @@ class TestRunControls:
     def test_empty_run_is_noop(self):
         engine = SimulationEngine()
         assert engine.run() == 0.0
+
+
+class TestUntilClockSemantics:
+    """Regression tests: ``run(until=T)`` must advance the clock to ``T``
+    whenever the queue drains, regardless of how many events executed."""
+
+    def test_drained_queue_advances_clock_to_until(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        assert engine.run(until=3.0) == 3.0
+        assert engine.now == 3.0
+
+    def test_empty_queue_advances_clock_to_until(self):
+        engine = SimulationEngine()
+        assert engine.run(until=2.0) == 2.0
+
+    def test_tiled_until_runs_leave_no_gaps(self):
+        engine = SimulationEngine()
+        engine.schedule_at(0.5, lambda: None)
+        engine.run(until=1.0)
+        # The clock sits at the horizon, so scheduling inside (0.5, 1.0] that
+        # already elapsed is rejected rather than silently accepted.
+        with pytest.raises(ValueError, match="before the current time"):
+            engine.schedule_at(0.75, lambda: None)
+        engine.schedule_at(1.5, lambda: None)
+        assert engine.run(until=2.0) == 2.0
+
+    def test_pending_events_keep_clock_at_last_processed(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(5.0, lambda: None)
+        assert engine.run(until=2.0) == 1.0
+        assert engine.pending_events == 1
+
+    def test_max_events_trip_keeps_clock_at_last_event(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.run(until=10.0, max_events=1) == 1.0
+        assert engine.pending_events == 1
+
+    def test_max_events_draining_the_queue_still_reaches_until(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        assert engine.run(until=4.0, max_events=1) == 4.0
+
+    def test_until_alone_without_max_events_counts_all_events(self):
+        engine = SimulationEngine()
+        log: list[float] = []
+        for t in (0.5, 1.0, 1.5):
+            engine.schedule_at(t, lambda t=t: log.append(t))
+        engine.run(until=1.25, max_events=5)
+        assert log == [0.5, 1.0]
+        assert engine.now == 1.0  # queue still holds the 1.5 event

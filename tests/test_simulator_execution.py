@@ -110,6 +110,33 @@ class TestExecutionOptions:
         assert result.makespan == 0.0
         assert result.activation_times[0] == 0.0
 
+    def test_program_declared_initially_active_is_honoured(self, heterogeneous_grid, network):
+        """Programs carrying their own initially_active metadata (scatter /
+        all-to-all builders) need no executor-side parameter."""
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(
+            num_ranks=heterogeneous_grid.num_nodes,
+            root=c0,
+            initially_active=(c2,),
+        )
+        program.add_send(c2, c1, 1_000)
+        result = execute_program(network, program)
+        assert result.activation_times[c2] == 0.0
+        assert result.activation_times[c1] is not None
+
+    def test_parameter_and_metadata_initially_active_merge(self, heterogeneous_grid, network):
+        c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
+        program = CommunicationProgram(
+            num_ranks=heterogeneous_grid.num_nodes,
+            root=c0,
+            initially_active=(c1,),
+        )
+        program.add_send(c1, c0 + 1, 1_000)
+        program.add_send(c2, c0 + 2, 1_000)
+        result = execute_program(network, program, initially_active=[c2])
+        assert result.activation_times[c1] == 0.0
+        assert result.activation_times[c2] == 0.0
+
     def test_noise_changes_makespan_but_not_structure(self, heterogeneous_grid):
         c0, c1, c2 = (coordinator(heterogeneous_grid, c) for c in range(3))
         program = CommunicationProgram(num_ranks=heterogeneous_grid.num_nodes, root=c0)
@@ -123,3 +150,53 @@ class TestExecutionOptions:
         assert noisy.makespan != clean.makespan
         assert noisy.makespan == pytest.approx(clean.makespan, rel=0.6)
         assert len(noisy.trace) == len(clean.trace)
+
+
+class TestCollectivePaths:
+    """End-to-end coverage for the scatter / all-to-all execution paths."""
+
+    def test_scatter_program_activates_every_rank(self, heterogeneous_grid, network):
+        from repro.core.ecef import ECEFLookahead
+        from repro.mpi.scatter import grid_aware_scatter_program
+
+        program, _ = grid_aware_scatter_program(
+            heterogeneous_grid, 1_000, heuristic=ECEFLookahead.bhat()
+        )
+        result = execute_program(network, program)
+        assert all(t is not None for t in result.activation_times)
+        # Coordinators relay before local ranks receive their blocks.
+        local = [r for r in result.trace if r.tag == "scatter-local"]
+        aggregate = [r for r in result.trace if r.tag == "scatter-aggregate"]
+        assert aggregate and local
+        assert min(r.delivery_time for r in aggregate) < max(
+            r.delivery_time for r in local
+        )
+
+    def test_alltoall_metadata_drives_all_active_execution(
+        self, heterogeneous_grid, network
+    ):
+        from repro.mpi.alltoall import grid_aware_alltoall_program
+
+        program = grid_aware_alltoall_program(heterogeneous_grid, 100)
+        assert program.initially_active == tuple(range(heterogeneous_grid.num_nodes))
+        result = execute_program(network, program)
+        assert result.activation_times == [0.0] * heterogeneous_grid.num_nodes
+        assert result.makespan > 0
+
+    def test_warm_network_chaining_accumulates_nic_backlog(
+        self, heterogeneous_grid, network
+    ):
+        """reset_network=False chains collectives on a warm network: each
+        execution starts behind the previous one's NIC backlog, so makespans
+        grow monotonically."""
+        from repro.mpi.scatter import flat_scatter_program
+
+        program = flat_scatter_program(heterogeneous_grid, 2_000, root_rank=0)
+        makespans = []
+        for index in range(3):
+            result = execute_program(network, program, reset_network=index == 0)
+            makespans.append(result.makespan)
+        assert makespans[0] < makespans[1] < makespans[2]
+        # A reset returns to the cold-start makespan.
+        fresh = execute_program(network, program)
+        assert fresh.makespan == makespans[0]

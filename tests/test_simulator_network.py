@@ -99,6 +99,40 @@ class TestMeasurementOracle:
         oracle(1_000_000)
         assert network.nic_free_at(0) == busy_before
 
+    def test_round_trip_does_not_disturb_noise_stream(self, heterogeneous_grid):
+        """Regression: probing mid-execution must not shift later noise draws."""
+        config = NetworkConfig(noise_sigma=0.2, seed=11)
+        probed = SimulatedNetwork(heterogeneous_grid, config)
+        control = SimulatedNetwork(heterogeneous_grid, config)
+        probed.transmit(0, 4, 1_000, 0.0)
+        control.transmit(0, 4, 1_000, 0.0)
+        oracle = probed.round_trip_oracle(0, 4)
+        oracle(1_000_000)  # draws noise internally; must be restored
+        assert probed.transmit(4, 0, 1_000, 0.0) == control.transmit(4, 0, 1_000, 0.0)
+
+    def test_round_trip_does_not_inflate_message_count(self, heterogeneous_grid):
+        network = SimulatedNetwork(heterogeneous_grid)
+        network.transmit(0, 4, 1_000, 0.0)
+        oracle = network.round_trip_oracle(0, 4)
+        oracle(512)
+        oracle(1_024)
+        assert network.message_count == 1
+
+    def test_round_trip_probes_from_idle_network(self, heterogeneous_grid):
+        """The oracle measures the link itself, ignoring queued NIC backlog."""
+        network = SimulatedNetwork(heterogeneous_grid)
+        idle_oracle = network.round_trip_oracle(0, 4)
+        idle_value = idle_oracle(2_048)
+        network.transmit(0, 4, 1_000, 0.0)  # leaves rank 0's NIC busy
+        assert idle_oracle(2_048) == pytest.approx(idle_value)
+
+    def test_round_trip_is_repeatable_under_noise(self, heterogeneous_grid):
+        network = SimulatedNetwork(
+            heterogeneous_grid, NetworkConfig(noise_sigma=0.3, seed=7)
+        )
+        oracle = network.round_trip_oracle(0, 4)
+        assert oracle(4_096) == oracle(4_096)
+
     def test_round_trip_value(self, heterogeneous_grid):
         network = SimulatedNetwork(heterogeneous_grid)
         oracle = network.round_trip_oracle(
