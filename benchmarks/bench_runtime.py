@@ -1,0 +1,175 @@
+"""End-to-end throughput of the study runtime (pipelined practical sweep).
+
+PR 1 and PR 2 made each *stage* of a study fast; this benchmark measures the
+orchestration taxes the runtime layer removes.  The workload is the full
+Table 3 practical sweep (7 heuristics + baseline x 10 sizes, predictions
+included), end to end, with ``workers=2``:
+
+* **pr2_dispatch** — the PR 2 sequential path: construct-then-measure with
+  the pre-runtime worker dispatch (``transport="legacy"``: a fresh
+  ``multiprocessing.Pool`` spawned per call, the grid and tasks re-pickled
+  per chunk, programs compiled in every worker);
+* **runtime_sequential** — construct-then-measure, but compiled once in the
+  parent, shipped zero-copy (shared memory when available) to the persistent
+  :class:`~repro.runtime.pool.StudyPool`;
+* **runtime_pipelined** — the full runtime driver: each size's batch is
+  shipped for measurement while the next size's schedules construct;
+* **inline** — ``workers=0`` for context (on a single-core box the pool can
+  only lose; on real hardware the pipelined driver overlaps).
+
+All four produce bit-identical results (asserted below), so the ratios are
+pure overhead removed.  The acceptance floor is **>= 1.5x** for the
+pipelined runtime over the PR 2 dispatch at the same worker count, plain and
+3-replica sweeps alike; results land in
+``benchmarks/results/BENCH_runtime.json`` so the trajectory is tracked
+across PRs (and enforced by ``benchmarks/check_regression.py`` in CI).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_RUNTIME_JSON_FILE, emit, emit_json
+
+from repro.experiments.chained_study import run_chained_study
+from repro.experiments.config import (
+    PRACTICAL_MESSAGE_SIZES,
+    PracticalStudyConfig,
+)
+from repro.experiments.practical_study import run_practical_study
+from repro.runtime.pool import get_pool
+from repro.runtime.transport import shared_memory_available
+
+NOISE_SIGMA = 0.03
+SEED = 20060331
+WORKERS = 2
+REPLICAS = 3
+
+
+def _best_of(run, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_pipelined_end_to_end():
+    """Full practical sweep: pipelined runtime vs the PR 2 worker dispatch."""
+    config = PracticalStudyConfig(noise_sigma=NOISE_SIGMA, seed=SEED)
+    get_pool(WORKERS)  # the persistent pool, created once and reused below
+
+    variants = {
+        "inline": dict(workers=0, pipeline=False),
+        "pr2_dispatch": dict(workers=WORKERS, pipeline=False, transport="legacy"),
+        "runtime_sequential": dict(workers=WORKERS, pipeline=False),
+        "runtime_pipelined": dict(workers=WORKERS, pipeline=True),
+    }
+
+    def sweep(replicas: int, options: dict):
+        return run_practical_study(config, replicas=replicas, **options)
+
+    # Warm every path once — and require bit-identical results before any
+    # timing means anything.
+    reference = sweep(1, variants["inline"])
+    for name, options in variants.items():
+        result = sweep(1, options)
+        assert np.array_equal(result.measured, reference.measured), name
+        assert np.array_equal(
+            result.baseline_measured, reference.baseline_measured
+        ), name
+
+    timings: dict[str, dict] = {}
+    for section, replicas, repetitions in (
+        ("plain", 1, 5),
+        ("replicated", REPLICAS, 3),
+    ):
+        seconds = {
+            name: _best_of(lambda options=options: sweep(replicas, options), repetitions)
+            for name, options in variants.items()
+        }
+        timings[section] = {
+            "replicas": replicas,
+            "seconds": seconds,
+            "speedup_vs_pr2": {
+                name: seconds["pr2_dispatch"] / seconds[name]
+                for name in variants
+            },
+        }
+
+    lines = [
+        "Study-runtime end-to-end (full practical sweep, "
+        f"workers={WORKERS}, shm={shared_memory_available()}):"
+    ]
+    for section, data in timings.items():
+        lines.append(f"  {section} (replicas={data['replicas']}):")
+        for name in variants:
+            lines.append(
+                f"    {name:<19} {data['seconds'][name] * 1e3:7.1f} ms   "
+                f"({data['speedup_vs_pr2'][name]:.2f}x vs pr2 dispatch)"
+            )
+    emit("\n".join(lines))
+
+    emit_json(
+        "pipelined_end_to_end",
+        {
+            "grid": "grid5000-table3",
+            "noise_sigma": NOISE_SIGMA,
+            "seed": SEED,
+            "workers": WORKERS,
+            "message_sizes": list(PRACTICAL_MESSAGE_SIZES),
+            "shared_memory": shared_memory_available(),
+            "timings": timings,
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+
+    # The acceptance bar: the pipelined runtime must beat the PR 2 dispatch
+    # by at least 1.5x end-to-end at the same worker count.
+    assert timings["plain"]["speedup_vs_pr2"]["runtime_pipelined"] >= 1.5
+    assert timings["replicated"]["speedup_vs_pr2"]["runtime_pipelined"] >= 1.5
+
+
+def test_chained_pipeline_throughput():
+    """The warm-chaining workload: batched engine vs the scalar reference."""
+    config = PracticalStudyConfig(
+        message_sizes=(65_536, 262_144, 1_048_576),
+        noise_sigma=NOISE_SIGMA,
+        seed=SEED,
+    )
+    kwargs = dict(stages=("scatter", "alltoall"), repeat=2)
+
+    reference = run_chained_study(config, engine="scalar", **kwargs)
+    batched = run_chained_study(config, **kwargs)
+    assert np.array_equal(batched.warm, reference.warm)
+    assert np.array_equal(batched.fresh, reference.fresh)
+
+    elapsed = {
+        engine: _best_of(
+            lambda engine=engine: run_chained_study(config, engine=engine, **kwargs),
+            3,
+        )
+        for engine in ("scalar", "batched")
+    }
+    speedup = elapsed["scalar"] / elapsed["batched"]
+    gains = batched.overlap_gain()
+    emit(
+        "Chained pipeline study (scatter->alltoall x2, 3 sizes): "
+        f"scalar {elapsed['scalar'] * 1e3:.1f} ms, "
+        f"batched {elapsed['batched'] * 1e3:.1f} ms ({speedup:.1f}x); "
+        f"overlap gain {gains.min():.3f}..{gains.max():.3f}"
+    )
+    emit_json(
+        "chained_pipeline",
+        {
+            "seconds": elapsed,
+            "speedup": speedup,
+            "overlap_gain": gains.tolist(),
+            "stages": list(batched.stage_names),
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+    assert speedup >= 2.0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Assert the recorded BENCH_*.json speedup floors.
+
+Run after the benchmark smoke collection (``pytest benchmarks/``), which
+regenerates the JSON documents on the current machine; this script then
+fails CI if any recorded headline speedup fell below its floor, so the
+perf wins of past PRs cannot silently rot:
+
+* batched scheduling engine  >= 10x the seed-style scalar path
+  (``BENCH_scheduling.json``),
+* batched measured sweep     >=  5x the per-run scalar loop
+  (``BENCH_practical.json``, replicated section),
+* pipelined runtime          >= 1.5x the pre-runtime worker dispatch
+  (``BENCH_runtime.json``, plain and replicated sections).
+
+Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (file, path through the JSON document, floor)
+FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
+    (
+        "BENCH_scheduling.json",
+        ("monte_carlo_throughput", "speedup_vs_seed_style", "batched"),
+        10.0,
+    ),
+    (
+        "BENCH_practical.json",
+        ("measured_sweep", "timings", "replicated", "speedup"),
+        5.0,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("pipelined_end_to_end", "timings", "plain", "speedup_vs_pr2",
+         "runtime_pipelined"),
+        1.5,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("pipelined_end_to_end", "timings", "replicated", "speedup_vs_pr2",
+         "runtime_pipelined"),
+        1.5,
+    ),
+)
+
+
+def _lookup(document: dict, path: tuple[str, ...]):
+    value = document
+    for key in path:
+        value = value[key]
+    return value
+
+
+def main() -> int:
+    failures = []
+    for file_name, path, floor in FLOORS:
+        target = RESULTS_DIR / file_name
+        label = f"{file_name}:{'.'.join(path)}"
+        try:
+            value = float(_lookup(json.loads(target.read_text()), path))
+        except FileNotFoundError:
+            failures.append(f"{label}: {target} missing — run `pytest benchmarks/` first")
+            continue
+        except (KeyError, TypeError, ValueError) as exc:
+            failures.append(f"{label}: unreadable ({exc!r})")
+            continue
+        status = "ok" if value >= floor else "REGRESSION"
+        print(f"{status:>10}  {label} = {value:.2f}  (floor {floor})")
+        if value < floor:
+            failures.append(f"{label}: {value:.2f} < floor {floor}")
+    if failures:
+        print("\nBenchmark regression floors violated:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nAll benchmark floors hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,10 @@ BENCH_JSON_FILE = Path(__file__).parent / "results" / "BENCH_scheduling.json"
 #: Same, for the practical-study (measured sweep) benchmarks.
 BENCH_PRACTICAL_JSON_FILE = Path(__file__).parent / "results" / "BENCH_practical.json"
 
+#: Same, for the study-runtime benchmarks (persistent pool, zero-copy
+#: shipping, pipelined end-to-end driver).
+BENCH_RUNTIME_JSON_FILE = Path(__file__).parent / "results" / "BENCH_runtime.json"
+
 
 def pytest_sessionstart(session):
     RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)

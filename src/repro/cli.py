@@ -7,7 +7,15 @@
 * ``repro-bcast compare`` — compare all paper heuristics on one grid;
 * ``repro-bcast simulate`` — run a (small) Monte-Carlo study and print the
   Figure 1/2-style table;
-* ``repro-bcast practical`` — run the Figure 5/6 predicted-vs-measured study.
+* ``repro-bcast practical`` — run the Figure 5/6 predicted-vs-measured study
+  (optionally with noise replicas and a pipelined worker fan-out);
+* ``repro-bcast chain`` — measure a warm-network pipeline of back-to-back
+  collectives against its barrier-separated baseline.
+
+Worker counts default to the ``REPRO_MC_WORKERS`` / ``REPRO_PRACTICAL_WORKERS``
+environment variables with the shared ``REPRO_WORKERS`` fallback; worker
+batches ship through the study runtime (shared memory when available, see
+``--transport``).
 
 The CLI is intentionally a thin shell over :mod:`repro.experiments`; anything
 serious should use the Python API.
@@ -20,6 +28,7 @@ import sys
 from typing import Sequence
 
 from repro.core.registry import PAPER_HEURISTICS, available_heuristics, get_heuristic
+from repro.experiments.chained_study import CHAIN_COLLECTIVES, run_chained_study
 from repro.experiments.config import (
     PracticalStudyConfig,
     SimulationStudyConfig,
@@ -68,6 +77,20 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-clusters", type=int, default=10)
     simulate.add_argument("--step", type=int, default=1)
     simulate.add_argument("--seed", type=int, default=20060331)
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the Monte-Carlo chunks out over this many processes "
+        "(default: REPRO_MC_WORKERS, then REPRO_WORKERS)",
+    )
+    simulate.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default=None,
+        help="ship the stacked (K, n, n) cost matrices to workers over this "
+        "transport instead of letting workers regenerate grids from seeds",
+    )
 
     practical = sub.add_parser(
         "practical", help="run the predicted-vs-measured study (Figures 5/6)"
@@ -87,8 +110,42 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fan the measured sweep out over this many processes "
-        "(default: the REPRO_PRACTICAL_WORKERS environment variable)",
+        "(default: REPRO_PRACTICAL_WORKERS, then REPRO_WORKERS); with "
+        "workers the bcast study pipelines construction with measurement",
     )
+    practical.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent noisy measurements per curve point; the measured "
+        "table reports the replica mean (bcast study only)",
+    )
+    practical.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default=None,
+        help="how compiled program batches reach workers (default auto: "
+        "shared memory when available, pickle otherwise)",
+    )
+
+    chain = sub.add_parser(
+        "chain",
+        help="measure a warm-network pipeline of back-to-back collectives "
+        "against its barrier-separated baseline",
+    )
+    chain.add_argument(
+        "--collectives",
+        default="scatter,alltoall",
+        help="comma-separated pipeline stages "
+        f"(choices: {', '.join(CHAIN_COLLECTIVES)})",
+    )
+    chain.add_argument(
+        "--repeat", type=int, default=1, help="repeat the stage sequence N times"
+    )
+    chain.add_argument("--max-size", type=int, default=262_144)
+    chain.add_argument("--points", type=int, default=4)
+    chain.add_argument("--noise", type=float, default=0.03)
+    chain.add_argument("--workers", type=int, default=None)
 
     return parser
 
@@ -131,7 +188,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = SimulationStudyConfig(
         cluster_counts=counts, iterations=args.iterations, seed=args.seed
     )
-    result = run_simulation_study(config)
+    result = run_simulation_study(
+        config, workers=args.workers, transport=args.transport
+    )
     series = {
         name: result.series(name) for name in result.heuristic_names
     }
@@ -153,7 +212,9 @@ def _cmd_practical(args: argparse.Namespace) -> int:
     )
     config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
     if args.collective == "scatter":
-        result = run_scatter_study(config, workers=args.workers)
+        result = run_scatter_study(
+            config, workers=args.workers, transport=args.transport
+        )
         print(
             render_table(
                 result.as_table(), title="Measured scatter completion time (s)"
@@ -161,20 +222,55 @@ def _cmd_practical(args: argparse.Namespace) -> int:
         )
         return 0
     if args.collective == "alltoall":
-        result = run_alltoall_study(config, workers=args.workers)
+        result = run_alltoall_study(
+            config, workers=args.workers, transport=args.transport
+        )
         print(
             render_table(
                 result.as_table(), title="Measured all-to-all completion time (s)"
             )
         )
         return 0
-    result = run_practical_study(config, workers=args.workers)
+    result = run_practical_study(
+        config,
+        workers=args.workers,
+        replicas=args.replicas,
+        transport=args.transport,
+    )
     print(render_table(result.as_table(which="predicted"), title="Predicted completion time (s)"))
     print()
-    print(render_table(result.as_table(which="measured"), title="Measured completion time (s)"))
+    measured_title = "Measured completion time (s)"
+    if result.num_replicas > 1:
+        measured_title += f" (mean of {result.num_replicas} replicas)"
+    print(render_table(result.as_table(which="measured"), title=measured_title))
     if result.baseline_measured is not None:
         print()
         print(f"(the '{BINOMIAL_BASELINE_NAME}' column is the grid-unaware binomial tree)")
+    return 0
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    stages = tuple(
+        stage.strip() for stage in args.collectives.split(",") if stage.strip()
+    )
+    sizes = tuple(
+        int(round((index + 1) * args.max_size / max(args.points, 1)))
+        for index in range(args.points)
+    )
+    config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
+    result = run_chained_study(
+        config, stages=stages, repeat=args.repeat, workers=args.workers
+    )
+    title = (
+        "Warm-chained pipeline vs barrier baseline (s): "
+        + " -> ".join(result.stage_names)
+    )
+    print(render_table(result.as_table(), title=title))
+    print()
+    print(
+        "(pipelined = all stages issued back-to-back on one warm network; "
+        "barrier = sum of fresh-network stage times)"
+    )
     return 0
 
 
@@ -187,6 +283,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "simulate": _cmd_simulate,
         "practical": _cmd_practical,
+        "chain": _cmd_chain,
     }
     return handlers[args.command](args)
 

@@ -10,7 +10,11 @@
   minimum).
 * :mod:`~repro.experiments.practical_study` — the Table 3 / Figure 5 /
   Figure 6 experiment: predicted and simulator-measured completion times on
-  the 88-machine GRID5000 grid as a function of the message size.
+  the 88-machine GRID5000 grid as a function of the message size (with
+  first-class noise replicas and a pipelined worker driver).
+* :mod:`~repro.experiments.chained_study` — warm-network pipelines of
+  back-to-back collectives measured against their barrier-separated
+  baselines.
 * :mod:`~repro.experiments.report` — plain-text rendering of result series in
   the same rows/columns as the paper's artefacts.
 """
@@ -28,6 +32,11 @@ from repro.experiments.simulation_study import (
     run_simulation_study,
 )
 from repro.experiments.hit_rate import HitRateResult, run_hit_rate_study
+from repro.experiments.chained_study import (
+    CHAIN_COLLECTIVES,
+    ChainedStudyResult,
+    run_chained_study,
+)
 from repro.experiments.practical_study import (
     CollectiveStudyResult,
     PracticalStudyResult,
@@ -48,6 +57,9 @@ __all__ = [
     "run_simulation_study",
     "HitRateResult",
     "run_hit_rate_study",
+    "CHAIN_COLLECTIVES",
+    "ChainedStudyResult",
+    "run_chained_study",
     "CollectiveStudyResult",
     "PracticalStudyResult",
     "run_practical_study",

@@ -89,15 +89,22 @@ class HitRateResult:
 
 
 def run_hit_rate_study(
-    config: SimulationStudyConfig, *, workers: int | None = None
+    config: SimulationStudyConfig,
+    *,
+    workers: int | None = None,
+    transport: str | None = None,
+    pool=None,
 ) -> HitRateResult:
     """Run a Monte-Carlo study and derive the Figure 4 hit-rate analysis.
 
     The underlying study uses the batched scheduling engine and shared
     per-grid cost caches; ``workers`` optionally fans the iterations out over
-    a multiprocessing pool (see :func:`run_simulation_study`).
+    the persistent runtime pool and ``transport`` selects the seed- or
+    stack-shipping driver (see :func:`run_simulation_study`).
     """
-    study = run_simulation_study(config, workers=workers)
+    study = run_simulation_study(
+        config, workers=workers, transport=transport, pool=pool
+    )
     return hit_rate_from_study(study)
 
 

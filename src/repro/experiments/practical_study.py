@@ -13,13 +13,17 @@ The grid-unaware binomial broadcast ("Default LAM" in Figure 6) is measured
 as well; it has no scheduled prediction, matching the paper, which only plots
 it in the measured figure.
 
-The measured sweep runs through the batched engine
-(:func:`~repro.simulator.batch.execute_programs`): all (heuristic, size)
-programs plus the baseline execute in one pass, optionally fanned out over a
-:mod:`multiprocessing` pool (``workers=`` or ``REPRO_PRACTICAL_WORKERS``).
-Every curve point owns a noise seed derived from ``(config.seed, curve label,
-message size)``, so results are bit-identical regardless of engine, execution
-order, heuristic-tuple order or worker count.
+The measured sweep runs through the study runtime: with workers the driver is
+**pipelined** — each message size's programs are compiled and shipped to the
+persistent :class:`~repro.runtime.pool.StudyPool` (zero-copy shared memory
+when available) and measured *while the next size's schedules construct*;
+without workers everything executes in one in-process batched pass.  Noise
+replicas are first-class: ``replicas=N`` measures every curve point ``N``
+times and the result carries both the per-replica columns and their
+mean/std aggregation.  Every (curve label, size, replica) owns a noise seed
+derived from the config seed, so results are bit-identical regardless of
+engine, driver (pipelined or sequential), transport, execution order,
+heuristic-tuple order, pool lifetime or worker count.
 
 Beyond the paper's broadcast figures, the same machinery measures the §8
 "future work" collectives: :func:`run_scatter_study` and
@@ -30,7 +34,6 @@ taken from the program metadata.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,37 +45,44 @@ from repro.experiments.config import PracticalStudyConfig
 from repro.mpi.alltoall import direct_alltoall_program, grid_aware_alltoall_program
 from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
 from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
+from repro.runtime.pipeline import PipelinedExecutor
+from repro.runtime.pool import get_pool
 from repro.simulator.batch import ENGINES, ExecutionTask, execute_programs
 from repro.simulator.network import NetworkConfig
 from repro.topology.grid import Grid
 from repro.topology.grid5000 import build_grid5000_topology
 from repro.utils.rng import derive_seed
+from repro.utils.workers import resolve_workers
 
 #: Display name of the grid-unaware baseline, as labelled in Figure 6.
 BINOMIAL_BASELINE_NAME = "Default LAM"
 
-#: Environment variable consulted for the default measured-sweep worker count.
+#: Environment variable consulted for the default measured-sweep worker count
+#: (the shared ``REPRO_WORKERS`` is the fallback; see
+#: :func:`repro.utils.workers.resolve_workers`).
 PRACTICAL_WORKERS_ENV_VAR = "REPRO_PRACTICAL_WORKERS"
-
-
-def _resolve_workers(workers: int | None) -> int:
-    if workers is None:
-        raw = os.environ.get(PRACTICAL_WORKERS_ENV_VAR, "").strip()
-        if not raw:
-            return 0
-        try:
-            workers = int(raw)
-        except ValueError as exc:
-            raise ValueError(
-                f"{PRACTICAL_WORKERS_ENV_VAR} must be an integer worker count, "
-                f"got {raw!r}"
-            ) from exc
-    return max(0, int(workers))
 
 
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+
+def _check_replicas(replicas: int) -> None:
+    if isinstance(replicas, bool) or not isinstance(replicas, int) or replicas < 1:
+        raise ValueError(f"replicas must be an integer >= 1, got {replicas!r}")
+
+
+def _replica_seed(seed: int, label: str, size: int, replica: int, replicas: int) -> int:
+    """The noise seed of one (curve, size, replica) measurement.
+
+    A single-replica study keeps the historical ``(seed, label, size)``
+    derivation, so ``replicas=1`` results are bitwise those of the
+    pre-replica API; multi-replica studies key the replica index in as well.
+    """
+    if replicas == 1:
+        return derive_seed(seed, label, size)
+    return derive_seed(seed, label, size, replica)
 
 
 @dataclass
@@ -92,10 +102,21 @@ class PracticalStudyResult:
         Array ``(len(message_sizes), len(heuristics))`` of model-predicted
         makespans (Figure 5).
     measured:
-        Array of the same shape with simulator-measured makespans (Figure 6).
+        Array of the same shape with simulator-measured makespans (Figure 6),
+        averaged over the noise replicas (with one replica the mean *is* the
+        single measurement, bit for bit).
     baseline_measured:
-        Measured makespans of the grid-unaware binomial broadcast, or ``None``
-        when the baseline was not requested.
+        Measured makespans of the grid-unaware binomial broadcast (replica
+        mean), or ``None`` when the baseline was not requested.
+    measured_replicas:
+        Array ``(replicas, len(message_sizes), len(heuristics))`` holding
+        every individual noisy measurement.
+    measured_std:
+        Per-point standard deviation across replicas (zeros with one
+        replica).
+    baseline_replicas, baseline_std:
+        The same per-replica / spread columns for the binomial baseline
+        (``None`` when the baseline was not requested).
     """
 
     config: PracticalStudyConfig
@@ -104,6 +125,17 @@ class PracticalStudyResult:
     predicted: np.ndarray
     measured: np.ndarray
     baseline_measured: np.ndarray | None
+    measured_replicas: np.ndarray | None = None
+    measured_std: np.ndarray | None = None
+    baseline_replicas: np.ndarray | None = None
+    baseline_std: np.ndarray | None = None
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of noise replicas behind each measured point."""
+        if self.measured_replicas is None:
+            return 1
+        return int(self.measured_replicas.shape[0])
 
     def prediction_error(self) -> np.ndarray:
         """Relative error |measured - predicted| / measured, element-wise.
@@ -123,9 +155,24 @@ class PracticalStudyResult:
         """Predicted completion times of one heuristic across message sizes."""
         return self.predicted[:, self._index(heuristic_name)].tolist()
 
-    def measured_series(self, heuristic_name: str) -> list[float]:
-        """Measured completion times of one heuristic across message sizes."""
-        return self.measured[:, self._index(heuristic_name)].tolist()
+    def measured_series(
+        self, heuristic_name: str, *, replica: int | None = None
+    ) -> list[float]:
+        """Measured completion times of one heuristic across message sizes.
+
+        ``replica`` selects one noise replica's raw column; the default is
+        the replica mean (identical to the raw column with one replica).
+        """
+        column = self._index(heuristic_name)
+        if replica is None:
+            return self.measured[:, column].tolist()
+        if self.measured_replicas is None or not (
+            0 <= replica < self.num_replicas
+        ):
+            raise ValueError(
+                f"replica must be in [0, {self.num_replicas}), got {replica}"
+            )
+        return self.measured_replicas[replica, :, column].tolist()
 
     def _index(self, heuristic_name: str) -> int:
         try:
@@ -166,6 +213,10 @@ def run_practical_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    replicas: int = 1,
+    pipeline: bool | None = None,
+    transport: str | None = None,
+    pool=None,
 ) -> PracticalStudyResult:
     """Run the Figure 5 / Figure 6 experiment.
 
@@ -176,86 +227,158 @@ def run_practical_study(
     grid:
         The grid to evaluate on; defaults to the Table 3 GRID5000 topology.
     workers:
-        Optional :mod:`multiprocessing` fan-out of the measured sweep.
-        ``None`` consults ``REPRO_PRACTICAL_WORKERS``; ``0``/``1`` run
-        in-process.  Results are identical at any worker count.
+        Optional fan-out of the measured sweep over the persistent runtime
+        pool.  ``None`` consults ``REPRO_PRACTICAL_WORKERS`` then the shared
+        ``REPRO_WORKERS``; ``0``/``1`` run in-process.  Results are identical
+        at any worker count.
     engine:
         ``"batched"`` (default) or ``"scalar"``; both produce bit-identical
         results — the scalar path exists as the reference for equivalence
         tests and benchmarks.
+    replicas:
+        Number of independent noisy measurements per curve point.  The
+        result's ``measured`` columns become replica means and the raw
+        per-replica columns ride along (``measured_replicas`` /
+        ``measured_std``).  One replica reproduces the historical results
+        bit for bit.
+    pipeline:
+        ``True`` overlaps schedule construction with measured execution
+        (requires the batched engine; needs ``workers >= 2`` to actually
+        overlap), ``False`` forces the sequential construct-then-measure
+        driver, ``None`` (default) pipelines exactly when a pool is in play
+        and the engine is batched.  Both drivers are bit-identical.
+    transport:
+        How batches reach workers: ``"auto"`` (default), ``"shm"``,
+        ``"pickle"``, or — sequential driver only — ``"legacy"`` (the
+        pre-runtime dispatch kept as the benchmark baseline).
+    pool:
+        An explicit :class:`~repro.runtime.pool.StudyPool`; defaults to the
+        process-wide persistent pool.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
     # Resolve the fan-out (and implicitly validate the env var) up front so a
     # bad setting fails before the prediction sweep, not after it.
-    worker_count = _resolve_workers(workers)
+    worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
+    if workers is None and worker_count == 0 and pool is not None:
+        # An explicit pool is an explicit request for fan-out.
+        worker_count = pool.workers
     _check_engine(engine)
+    _check_replicas(replicas)
+    if pipeline and engine != "batched":
+        raise ValueError("pipeline=True requires the batched engine")
+    if pipeline and transport == "legacy":
+        raise ValueError(
+            "pipeline=True cannot ship over transport='legacy' (the legacy "
+            "dispatch is the sequential benchmark baseline)"
+        )
+    use_pipeline = (
+        engine == "batched" and worker_count >= 2 and transport != "legacy"
+        if pipeline is None
+        else bool(pipeline)
+    )
     heuristics = instantiate(config.heuristics)
     sizes = list(config.message_sizes)
     predicted = np.empty((len(sizes), len(heuristics)), dtype=float)
+    measured = np.empty((replicas, len(sizes), len(heuristics)), dtype=float)
     baseline = (
-        np.empty(len(sizes), dtype=float) if config.include_binomial_baseline else None
+        np.empty((replicas, len(sizes)), dtype=float)
+        if config.include_binomial_baseline
+        else None
     )
+    network_config = NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed)
 
-    # Build the whole measured sweep as one task batch.  Each task's noise
-    # stream is keyed by (seed, curve label, message size): stable under
-    # reordering, shuffling and worker fan-out.
-    tasks: list[ExecutionTask] = []
-    slots: list[tuple[int, int | None]] = []
-    for size_index, message_size in enumerate(sizes):
-        costs = GridCostCache.for_grid(grid, message_size)
-        for heuristic_index, heuristic in enumerate(heuristics):
-            schedule = heuristic.schedule(
-                grid, message_size, root=config.root_cluster, costs=costs
-            )
-            predicted[size_index, heuristic_index] = schedule.makespan
-            program = grid_aware_bcast_program(
-                grid, schedule, message_size, local_tree=config.local_tree
-            )
-            tasks.append(
-                ExecutionTask(
-                    program,
-                    noise_seed=derive_seed(config.seed, heuristic.name, message_size),
-                )
-            )
-            slots.append((size_index, heuristic_index))
-        if baseline is not None:
-            program = binomial_bcast_program(
-                grid,
-                message_size,
-                root_rank=grid.coordinator_rank(config.root_cluster),
-            )
-            tasks.append(
-                ExecutionTask(
-                    program,
-                    noise_seed=derive_seed(
-                        config.seed, BINOMIAL_BASELINE_NAME, message_size
-                    ),
-                )
-            )
-            slots.append((size_index, None))
+    executor: PipelinedExecutor | None = None
+    if use_pipeline:
+        executor = PipelinedExecutor(
+            grid,
+            config=network_config,
+            pool=pool
+            if pool is not None
+            else (get_pool(worker_count) if worker_count >= 2 else None),
+            transport=transport,
+            collect_traces=False,
+        )
 
-    executions = execute_programs(
-        grid,
-        tasks,
-        config=NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed),
-        collect_traces=False,
-        workers=worker_count,
-        engine=engine,
-    )
-    measured = np.empty_like(predicted)
-    for (size_index, heuristic_index), execution in zip(slots, executions):
+    # Build the measured sweep size by size.  Each task's noise stream is
+    # keyed by (seed, curve label, message size[, replica]): stable under
+    # reordering, shuffling and worker fan-out.  The pipelined driver ships
+    # each size's batch for measurement as soon as it is built, so the next
+    # size's schedules construct while the workers measure this one.
+    all_tasks: list[ExecutionTask] = []
+    slots: list[tuple[int, int, int | None]] = []
+    try:
+        for size_index, message_size in enumerate(sizes):
+            costs = GridCostCache.for_grid(grid, message_size)
+            size_tasks: list[ExecutionTask] = []
+            programs: list[tuple[str, object, int | None]] = []
+            for heuristic_index, heuristic in enumerate(heuristics):
+                schedule = heuristic.schedule(
+                    grid, message_size, root=config.root_cluster, costs=costs
+                )
+                predicted[size_index, heuristic_index] = schedule.makespan
+                program = grid_aware_bcast_program(
+                    grid, schedule, message_size, local_tree=config.local_tree
+                )
+                programs.append((heuristic.name, program, heuristic_index))
+            if baseline is not None:
+                program = binomial_bcast_program(
+                    grid,
+                    message_size,
+                    root_rank=grid.coordinator_rank(config.root_cluster),
+                )
+                programs.append((BINOMIAL_BASELINE_NAME, program, None))
+            for replica in range(replicas):
+                for label, program, heuristic_index in programs:
+                    size_tasks.append(
+                        ExecutionTask(
+                            program,
+                            noise_seed=_replica_seed(
+                                config.seed, label, message_size, replica, replicas
+                            ),
+                        )
+                    )
+                    slots.append((replica, size_index, heuristic_index))
+            if executor is not None:
+                executor.submit(size_tasks)
+            else:
+                all_tasks.extend(size_tasks)
+    except BaseException:
+        # Construction failed mid-sweep: release any batches already shipped
+        # to the pool before propagating.
+        if executor is not None:
+            executor.abort()
+        raise
+
+    if executor is not None:
+        executions = executor.finish()
+    else:
+        executions = execute_programs(
+            grid,
+            all_tasks,
+            config=network_config,
+            collect_traces=False,
+            workers=worker_count,
+            engine=engine,
+            transport=transport,
+            pool=pool,
+        )
+    for (replica, size_index, heuristic_index), execution in zip(slots, executions):
         if heuristic_index is None:
-            baseline[size_index] = execution.makespan
+            baseline[replica, size_index] = execution.makespan
         else:
-            measured[size_index, heuristic_index] = execution.makespan
+            measured[replica, size_index, heuristic_index] = execution.makespan
     return PracticalStudyResult(
         config=config,
         heuristic_names=[h.name for h in heuristics],
         message_sizes=sizes,
         predicted=predicted,
-        measured=measured,
-        baseline_measured=baseline,
+        measured=measured.mean(axis=0),
+        baseline_measured=None if baseline is None else baseline.mean(axis=0),
+        measured_replicas=measured,
+        measured_std=measured.std(axis=0),
+        baseline_replicas=baseline,
+        baseline_std=None if baseline is None else baseline.std(axis=0),
     )
 
 
@@ -321,6 +444,7 @@ def _run_collective_study(
     grid: Grid,
     workers: int | None,
     engine: str,
+    transport: str | None = None,
 ) -> CollectiveStudyResult:
     """Shared driver: one ExecutionTask per (strategy, chunk size).
 
@@ -329,7 +453,7 @@ def _run_collective_study(
     ``initially_active`` metadata (all ranks for all-to-all) flows through the
     batched executor untouched.
     """
-    worker_count = _resolve_workers(workers)
+    worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
     _check_engine(engine)
     sizes = list(config.message_sizes)
     tasks: list[ExecutionTask] = []
@@ -348,6 +472,7 @@ def _run_collective_study(
         collect_traces=False,
         workers=worker_count,
         engine=engine,
+        transport=transport,
     )
     measured = np.array(
         [execution.makespan for execution in executions], dtype=float
@@ -367,6 +492,7 @@ def run_scatter_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    transport: str | None = None,
 ) -> CollectiveStudyResult:
     """Measure the flat scatter against the grid-aware hierarchical scatters.
 
@@ -400,7 +526,7 @@ def run_scatter_study(
             (f"Grid-aware [{heuristic.name}]", aware_builder(heuristic))
         )
     return _run_collective_study(
-        "scatter", strategies, config, grid, workers, engine
+        "scatter", strategies, config, grid, workers, engine, transport
     )
 
 
@@ -410,6 +536,7 @@ def run_alltoall_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    transport: str | None = None,
 ) -> CollectiveStudyResult:
     """Measure the direct all-to-all against the grid-aware aggregated one.
 
@@ -430,5 +557,5 @@ def run_alltoall_study(
         ),
     ]
     return _run_collective_study(
-        "alltoall", strategies, config, grid, workers, engine
+        "alltoall", strategies, config, grid, workers, engine, transport
     )

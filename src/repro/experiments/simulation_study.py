@@ -13,15 +13,20 @@ and stacked into :class:`~repro.core.batch.BatchedGridCosts`, so each
 heuristic schedules a whole chunk of grids per NumPy call instead of one grid
 per Python loop.  Heuristics without a batched kernel transparently fall back
 to the per-grid engine on the same shared caches.  Iterations can additionally
-be fanned out over a :mod:`multiprocessing` pool; every (cluster count,
-iteration) pair keeps its own deterministic child seed, so the results are
-bit-identical regardless of batching, chunking or worker count.
+be fanned out over the persistent runtime pool
+(:mod:`repro.runtime.pool`); by default each worker regenerates its chunk's
+grids from shipped seeds, while ``transport="auto"|"shm"|"pickle"`` switches
+to the pipelined stack-shipping driver — the parent generates grids and
+builds the ``(K, n, n)`` cost stacks, ships them zero-copy through
+:mod:`repro.runtime.transport`, and keeps building the next chunk while the
+workers schedule the previous one.  Every (cluster count, iteration) pair
+keeps its own deterministic child seed, so the results are bit-identical
+regardless of batching, chunking, driver, transport or worker count.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -31,15 +36,20 @@ from repro.core.batch import BatchedGridCosts, batched_makespans, has_batched_ke
 from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import SimulationStudyConfig
+from repro.runtime.pool import get_pool
+from repro.runtime.transport import ArrayShipment
 from repro.topology.generators import RandomGridGenerator
 from repro.utils.rng import RandomStream
+from repro.utils.workers import resolve_workers
 
 #: Upper bound on the number of stacked matrix *elements* per batch chunk;
 #: keeps the (K, n, n) stacks of a 10 000-iteration study within a few dozen
 #: megabytes regardless of the cluster count.
 MAX_BATCH_ELEMENTS = 2_000_000
 
-#: Environment variable consulted for the default worker count.
+#: Environment variable consulted for the default worker count (the shared
+#: ``REPRO_WORKERS`` is the fallback; see
+#: :func:`repro.utils.workers.resolve_workers`).
 WORKERS_ENV_VAR = "REPRO_MC_WORKERS"
 
 #: Two schedules within this relative tolerance of each other are considered
@@ -187,47 +197,146 @@ def _evaluate_chunk_task(task) -> tuple[int, int, np.ndarray]:
     return count_index, start, values
 
 
-def _resolve_workers(workers: int | None) -> int:
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
-        if not raw:
-            return 0
+def _schedule_shipped_chunk(args) -> tuple[int, int, np.ndarray]:
+    """Worker body of the stack-shipping driver.
+
+    The chunk's ``(K, n, n)`` cost stack arrives as an
+    :class:`~repro.runtime.transport.ArrayShipment` (zero-copy views when
+    shared memory is in play); only heuristics with batched kernels are ever
+    routed here, so no grids are needed worker-side at all.
+    """
+    count_index, start, shipment, heuristic_keys, root = args
+    arrays = shipment.load()
+    costs = BatchedGridCosts.from_arrays(arrays)
+    heuristics = instantiate(heuristic_keys)
+    out = np.empty((len(heuristics), costs.num_grids), dtype=float)
+    for heuristic_index, heuristic in enumerate(heuristics):
+        out[heuristic_index] = batched_makespans(heuristic, costs, root=root)
+    costs = arrays = None
+    shipment.close()
+    return count_index, start, out
+
+
+def _run_stack_shipping(
+    tasks: list[tuple],
+    makespans: np.ndarray,
+    study_pool,
+    transport: str | None,
+    heuristics,
+) -> None:
+    """The pipelined stack-shipping driver.
+
+    For each chunk the parent generates the grids, builds the shared cost
+    caches and ships the stacked matrices; the workers schedule the previous
+    chunks *while the parent builds the next one*.  Chunks whose cluster
+    count leaves some heuristic without a batched kernel fall back to seed
+    shipping (the worker regenerates its grids), so results are identical to
+    the other drivers in every configuration.
+    """
+    kernel_ready: dict[int, bool] = {}
+    max_inflight = 2 * study_pool.workers + 2
+    pending: deque[tuple] = deque()
+
+    def collect() -> None:
+        handle, shipment = pending.popleft()
         try:
-            workers = int(raw)
-        except ValueError as exc:
-            raise ValueError(
-                f"{WORKERS_ENV_VAR} must be an integer worker count, got {raw!r}"
-            ) from exc
-    return max(0, int(workers))
+            count_index, start, values = handle.get()
+            makespans[count_index, :, start : start + values.shape[1]] = values
+        finally:
+            if shipment is not None:
+                shipment.unlink()
+
+    try:
+        for task in tasks:
+            (count_index, start, heuristic_keys, num_clusters, seeds,
+             message_size, root, ranges) = task
+            ready = kernel_ready.get(num_clusters)
+            if ready is None:
+                ready = all(
+                    has_batched_kernel(heuristic, num_clusters)
+                    for heuristic in heuristics
+                )
+                kernel_ready[num_clusters] = ready
+            if ready:
+                generator = RandomGridGenerator(ranges)
+                caches = [
+                    GridCostCache.for_grid(
+                        generator.generate(num_clusters, RandomStream(seed=seed)),
+                        message_size,
+                    )
+                    for seed in seeds
+                ]
+                shipment = ArrayShipment.pack(
+                    BatchedGridCosts(caches).to_arrays(), transport=transport
+                )
+                handle = study_pool.submit(
+                    _schedule_shipped_chunk,
+                    (count_index, start, shipment, heuristic_keys, root),
+                )
+                pending.append((handle, shipment))
+            else:
+                pending.append(
+                    (study_pool.submit(_evaluate_chunk_task, task), None)
+                )
+            while len(pending) > max_inflight:
+                collect()
+        while pending:
+            collect()
+    except BaseException:
+        # A chunk failed (or construction did): release every in-flight
+        # shipment before propagating.
+        while pending:
+            _, shipment = pending.popleft()
+            if shipment is not None:
+                shipment.unlink()
+        raise
 
 
 def run_simulation_study(
-    config: SimulationStudyConfig, *, workers: int | None = None
+    config: SimulationStudyConfig,
+    *,
+    workers: int | None = None,
+    transport: str | None = None,
+    pool=None,
 ) -> SimulationStudyResult:
     """Run the Monte-Carlo study described by ``config``.
 
     Every (cluster count, iteration) pair gets its own deterministic child
-    random stream, so results are independent of execution order, chunking
-    and worker count, and reproducible for a fixed seed.
+    random stream, so results are independent of execution order, chunking,
+    driver, transport and worker count, and reproducible for a fixed seed.
 
     Parameters
     ----------
     config:
         The study set-up.
     workers:
-        Optional :mod:`multiprocessing` fan-out: the batch chunks are
-        distributed over this many worker processes.  ``None`` consults the
-        ``REPRO_MC_WORKERS`` environment variable; ``0``/``1`` run in-process.
+        Optional fan-out of the batch chunks over the persistent runtime
+        pool.  ``None`` consults ``REPRO_MC_WORKERS`` then the shared
+        ``REPRO_WORKERS``; ``0``/``1`` run in-process.
+    transport:
+        ``None`` (default) ships chunk *seeds* and lets each worker
+        regenerate its grids — the cheapest payload when generation is
+        inexpensive.  ``"auto"``/``"shm"``/``"pickle"`` switch to the
+        pipelined stack-shipping driver: the parent generates the grids and
+        ships the stacked ``(K, n, n)`` cost matrices zero-copy while workers
+        schedule the previous chunk.  All drivers are bit-identical.
+    pool:
+        An explicit :class:`~repro.runtime.pool.StudyPool`; defaults to the
+        process-wide persistent pool.
     """
     heuristic_keys = tuple(config.heuristics)
-    heuristic_names = [h.name for h in instantiate(heuristic_keys)]
+    heuristics = instantiate(heuristic_keys)
+    heuristic_names = [h.name for h in heuristics]
     parent_stream = RandomStream(seed=config.seed)
     counts = list(config.cluster_counts)
     makespans = np.empty(
         (len(counts), len(heuristic_keys), config.iterations), dtype=float
     )
 
-    worker_count = _resolve_workers(workers)
+    worker_count = resolve_workers(workers, WORKERS_ENV_VAR)
+    if workers is None and worker_count == 0 and pool is not None:
+        # An explicit pool is an explicit request for fan-out.
+        worker_count = pool.workers
     tasks = []
     for count_index, num_clusters in enumerate(counts):
         seeds = [parent_stream.spawn_seed() for _ in range(config.iterations)]
@@ -247,8 +356,11 @@ def run_simulation_study(
             )
 
     if worker_count > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(processes=worker_count) as pool:
-            results = pool.imap_unordered(_evaluate_chunk_task, tasks)
+        study_pool = pool if pool is not None else get_pool(worker_count)
+        if transport is not None:
+            _run_stack_shipping(tasks, makespans, study_pool, transport, heuristics)
+        else:
+            results = study_pool.imap_unordered(_evaluate_chunk_task, tasks)
             for count_index, start, values in results:
                 makespans[count_index, :, start : start + values.shape[1]] = values
     else:

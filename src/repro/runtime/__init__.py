@@ -1,0 +1,47 @@
+"""The shared study-execution runtime.
+
+PR 1 and PR 2 made each half of a study fast in isolation — the batched
+scheduling kernel (:mod:`repro.core.batch`) and the batched measurement
+engine (:mod:`repro.simulator.batch`) — but every study still paid the same
+orchestration taxes: a fresh :mod:`multiprocessing` pool per call, full cost
+matrices and compiled programs re-pickled per chunk, and schedule
+construction strictly serialised before measured execution.  This package is
+the subsystem that removes them, shared by every study driver and the CLI:
+
+* :mod:`repro.runtime.pool` — :class:`~repro.runtime.pool.StudyPool`, the
+  persistent worker pool created once per process and reused across studies
+  (per-task seed derivation keeps results bit-identical for any pool
+  lifetime, submission order or worker count);
+* :mod:`repro.runtime.transport` —
+  :class:`~repro.runtime.transport.ArrayShipment`, zero-copy shipping of
+  ``(K, n, n)`` cost stacks and compiled program arrays through
+  :mod:`multiprocessing.shared_memory` (pickle fallback on platforms
+  without it);
+* :mod:`repro.runtime.pipeline` —
+  :class:`~repro.runtime.pipeline.PipelinedExecutor`, the overlapped
+  construct/measure driver behind the streaming Table 3 sweep.
+
+Worker counts everywhere resolve through
+:func:`repro.utils.workers.resolve_workers` (``REPRO_MC_WORKERS`` /
+``REPRO_PRACTICAL_WORKERS`` with the shared ``REPRO_WORKERS`` fallback).
+"""
+
+from repro.runtime.pool import StudyPool, get_pool, shutdown_pool
+from repro.runtime.transport import (
+    TRANSPORTS,
+    ArrayShipment,
+    resolve_transport,
+    shared_memory_available,
+)
+from repro.runtime.pipeline import PipelinedExecutor
+
+__all__ = [
+    "StudyPool",
+    "get_pool",
+    "shutdown_pool",
+    "TRANSPORTS",
+    "ArrayShipment",
+    "resolve_transport",
+    "shared_memory_available",
+    "PipelinedExecutor",
+]

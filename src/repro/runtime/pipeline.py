@@ -1,0 +1,176 @@
+"""The pipelined study driver: overlap construction with measured execution.
+
+The Table 3 sweep has two halves with different bottlenecks: schedule
+construction and program compilation are parent-side CPU work, measured
+execution is embarrassingly parallel across (heuristic, size) tasks.  The
+sequential driver runs them strictly one after the other; the
+:class:`PipelinedExecutor` streams instead — as soon as one batch of programs
+is compiled it is shipped to the persistent worker pool
+(:mod:`repro.runtime.pool`) and *measured while the next batch constructs*.
+
+The executor keeps one parent-side compiler alive across submissions, so
+every pLogP parameter evaluated for an early batch is reused by later ones,
+and ships each batch's compiled arrays through
+:mod:`repro.runtime.transport` (zero-copy shared memory when available).
+Submission order defines result order, every task carries its own derived
+noise seed, and chains are submitted whole — so the pipelined results are
+bit-identical to the sequential driver's, which the determinism suite
+asserts directly.
+
+Without a pool the executor degrades to the plain in-process batched engine
+(same results, no overlap), so callers can use one code path for both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import repro.simulator.batch as _batch
+from repro.runtime.pool import StudyPool
+from repro.simulator.execution import ExecutionResult
+from repro.simulator.network import NetworkConfig
+from repro.topology.grid import Grid
+
+
+class PipelinedExecutor:
+    """Submit-as-you-construct measured execution on one grid.
+
+    Parameters
+    ----------
+    grid:
+        The topology every submitted program runs on.
+    config:
+        Shared network behaviour (noise sigma, fallback seed, receive
+        overhead).
+    pool:
+        The worker pool to overlap against; ``None`` runs every submission
+        synchronously in-process (bit-identical results, no overlap).
+    transport:
+        Shipping transport for compiled batches — ``"auto"`` (default),
+        ``"shm"`` or ``"pickle"``; see :mod:`repro.runtime.transport`.
+    collect_traces:
+        Keep full message traces (measured sweeps pass ``False``).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        *,
+        config: NetworkConfig | None = None,
+        pool: StudyPool | None = None,
+        transport: str | None = None,
+        collect_traces: bool = False,
+    ) -> None:
+        self._grid = grid
+        self._config = config if config is not None else NetworkConfig()
+        self._pool = pool
+        self._transport = transport
+        self._collect_traces = collect_traces
+        self._compiler = _batch._BatchCompiler(grid, collect_traces)
+        # Each entry is ("sync", results) or ("async", handle, shipment,
+        # batch length), in submission order.
+        self._pending: list[tuple] = []
+        self._finished = False
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether submissions overlap with pool-side execution."""
+        return self._pool is not None
+
+    def submit(self, tasks: Sequence[_batch.ExecutionTask]) -> None:
+        """Queue one batch of tasks for execution.
+
+        With a pool the batch is compiled, shipped and handed to the workers
+        immediately — the call returns while they execute, so the caller can
+        construct the next batch in parallel.  Chains must be contained in a
+        single submission.
+        """
+        if self._finished:
+            raise RuntimeError("PipelinedExecutor.finish() was already called")
+        normalized = [
+            task
+            if isinstance(task, _batch.ExecutionTask)
+            else _batch.ExecutionTask(program=task)
+            for task in tasks
+        ]
+        _batch._validate_tasks(normalized)
+        if not normalized:
+            return
+        compiled = [self._compiler.compile(task) for task in normalized]
+        seeds = _batch._task_seeds(normalized, self._config)
+        resets = [task.reset_network for task in normalized]
+        if self._pool is None:
+            results = _batch._run_task_sequence(
+                compiled,
+                seeds,
+                resets,
+                self._config.noise_sigma,
+                self._config.receive_overhead,
+                self._collect_traces,
+                self._grid.num_nodes,
+            )
+            self._pending.append(("sync", results))
+            return
+        shipment, metas, index_of = _batch._ship_compiled(
+            compiled, self._collect_traces, self._transport
+        )
+        entries = [
+            (index_of[id(prog)], seed, reset)
+            for prog, seed, reset in zip(compiled, seeds, resets)
+        ]
+        job = (
+            0,
+            shipment,
+            dict(enumerate(metas)),
+            entries,
+            self._config.noise_sigma,
+            self._config.receive_overhead,
+            self._collect_traces,
+            self._grid.num_nodes,
+        )
+        handle = self._pool.submit(_batch._execute_shipped_chunk, job)
+        self._pending.append(("async", handle, shipment))
+
+    def finish(self) -> list[ExecutionResult]:
+        """Wait for every submitted batch; results flattened in submit order.
+
+        Every shipped batch is unlinked whether or not its worker succeeded,
+        so a failing chunk never strands the other batches' shared-memory
+        segments.
+        """
+        if self._finished:
+            raise RuntimeError("PipelinedExecutor.finish() was already called")
+        self._finished = True
+        pending, self._pending = self._pending, []
+        results: list[ExecutionResult] = []
+        failure: BaseException | None = None
+        for entry in pending:
+            if entry[0] == "sync":
+                results.extend(entry[1])
+                continue
+            _, handle, shipment = entry
+            try:
+                if failure is None:
+                    _, values = handle.get()
+                    results.extend(values)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failure = exc
+            finally:
+                shipment.unlink()
+        if failure is not None:
+            raise failure
+        return results
+
+    def abort(self) -> None:
+        """Drop every submitted batch and release its shipment.
+
+        For callers whose *construction* fails mid-stream: already-submitted
+        work is abandoned (workers may still be executing it — unlinking is
+        safe, their mappings survive until they finish) and the executor
+        becomes unusable.
+        """
+        self._finished = True
+        pending, self._pending = self._pending, []
+        for entry in pending:
+            if entry[0] != "sync":
+                entry[2].unlink()

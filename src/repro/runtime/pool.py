@@ -1,0 +1,122 @@
+"""The persistent study worker pool.
+
+Before the runtime layer every study call spawned (and tore down) its own
+:class:`multiprocessing.Pool`; on the Table 3 practical sweep the spawn alone
+cost more than the whole measured execution.  :class:`StudyPool` wraps one
+pool that is created once per process and reused by every study and CLI
+invocation (:func:`get_pool`).  Reuse is free correctness-wise: every task
+ships its own derived seed, so results are bit-identical for any pool
+lifetime, submission order or worker count — the determinism suite asserts
+exactly that across back-to-back studies on one pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool
+
+
+class StudyPool:
+    """A reusable multiprocessing pool with an async submission surface.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (at least 2 — a one-worker pool is always
+        slower than running in-process, so the studies never build one).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(f"a StudyPool needs at least 2 workers, got {workers}")
+        self._workers = int(workers)
+        # Start the shared-memory resource tracker *before* forking the
+        # workers: children then inherit the parent's tracker, so a worker's
+        # attach-registration and the parent's unlink-unregistration meet in
+        # the same bookkeeping and segments are never reported as leaked.
+        try:  # pragma: no cover - depends on platform support
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._pool: multiprocessing.pool.Pool | None = multiprocessing.Pool(
+            processes=self._workers
+        )
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes."""
+        return self._workers
+
+    @property
+    def alive(self) -> bool:
+        """Whether the pool can still accept work."""
+        return self._pool is not None
+
+    def _require(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            raise RuntimeError("StudyPool is closed")
+        return self._pool
+
+    def submit(self, fn, args) -> multiprocessing.pool.AsyncResult:
+        """Submit ``fn(args)`` and return the :class:`AsyncResult` handle.
+
+        This is the pipelining primitive: the caller keeps constructing the
+        next batch while the workers chew on this one.
+        """
+        return self._require().apply_async(fn, (args,))
+
+    def imap_unordered(self, fn, iterable):
+        """Unordered streaming map over the pool (completion order)."""
+        return self._require().imap_unordered(fn, iterable)
+
+    def close(self) -> None:
+        """Terminate the workers and release the pool."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "StudyPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_global_pool: StudyPool | None = None
+
+
+def get_pool(workers: int) -> StudyPool:
+    """The process-wide persistent pool, created on first use.
+
+    An alive pool with at least ``workers`` workers is reused as-is (chunking
+    decisions use the *requested* count, so results never depend on the pool
+    that happens to serve them); asking for more workers than the current
+    pool has replaces it.
+    """
+    global _global_pool
+    if (
+        _global_pool is None
+        or not _global_pool.alive
+        or _global_pool.workers < workers
+    ):
+        if _global_pool is not None:
+            _global_pool.close()
+        _global_pool = StudyPool(workers)
+    return _global_pool
+
+
+def shutdown_pool() -> None:
+    """Tear the persistent pool down (no-op when none exists)."""
+    global _global_pool
+    if _global_pool is not None:
+        _global_pool.close()
+        _global_pool = None
+
+
+# Pool workers are daemonic, so they die with the process either way; the
+# explicit shutdown just silences "leaked pool" ResourceWarnings on exit.
+atexit.register(shutdown_pool)

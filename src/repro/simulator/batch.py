@@ -1,4 +1,4 @@
-"""Batched execution of many independent communication programs.
+"""Batched execution of many independent (or chained) communication programs.
 
 The practical study (paper §7, Figures 5/6) measures one discrete-event
 execution per (heuristic, message size) — plus the binomial baseline — on the
@@ -23,14 +23,28 @@ programs in one pass instead:
   short bursts take a scalar fast path; both reproduce the reference
   arithmetic operation-for-operation;
 * each program owns its own noise stream (``noise_seed``), which is what
-  makes batching, reordering and multiprocessing fan-out bit-preserving.
+  makes batching, reordering and multiprocessing fan-out bit-preserving;
+* a task may instead declare ``reset_network=False`` to **chain** onto the
+  previous task's warm network — NIC backlog and the noise stream carry over,
+  exactly like the scalar engine's ``execute_program(reset_network=False)`` —
+  which is how back-to-back collective pipelines (scatter→all-to-all,
+  repeated broadcasts) are measured as one workload.
+
+Worker fan-out goes through the runtime layer: the batch is compiled **once
+in the parent**, the compiled arrays ship to the persistent
+:class:`~repro.runtime.pool.StudyPool` via shared memory
+(:mod:`repro.runtime.transport`; pickle fallback), and each worker executes a
+chain-respecting slice against zero-copy views.  ``transport="legacy"``
+preserves the pre-runtime dispatch — a fresh pool per call, the grid and
+tasks re-pickled per chunk — as the benchmark baseline.
 
 The scalar :func:`~repro.simulator.execution.execute_program` remains the
 reference engine: ``engine="scalar"`` runs it program by program on
-identically-seeded fresh networks, and the equivalence suite
-(``tests/test_simulator_batch.py``) asserts that both engines produce
-bit-identical makespans, activation/completion vectors and traces for every
-collective shape, noise on and off, at any worker count.
+identically-seeded fresh (or chained warm) networks, and the equivalence
+suite (``tests/test_simulator_batch.py``, ``tests/test_runtime.py``) asserts
+that both engines produce bit-identical makespans, activation/completion
+vectors and traces for every collective shape, noise on and off, at any
+worker count, over either transport.
 """
 
 from __future__ import annotations
@@ -58,6 +72,11 @@ VECTOR_MIN_SENDS = 12
 #: drivers built on it): the batched engine and the scalar reference loop.
 ENGINES = ("batched", "scalar")
 
+#: Valid ``transport=`` values of :func:`execute_programs`: the runtime
+#: transports plus ``"legacy"`` (fresh pool per call, grid and tasks pickled
+#: per chunk — the pre-runtime dispatch kept as the benchmark baseline).
+EXECUTE_TRANSPORTS = ("auto", "shm", "pickle", "legacy")
+
 
 @dataclass(frozen=True)
 class ExecutionTask:
@@ -76,11 +95,19 @@ class ExecutionTask:
         the network config's seed.  Spawning one child seed per task (see
         :meth:`repro.utils.rng.RandomStream.spawn_seed`) is what makes noisy
         batches independent of execution order and worker count.
+    reset_network:
+        ``True`` (default) executes on a fresh network.  ``False`` chains
+        onto the immediately preceding task: NIC occupancy and the noise
+        stream carry over, mirroring the scalar engine's
+        ``execute_program(reset_network=False)``.  Chained tasks cannot carry
+        their own ``noise_seed`` (the chain head's stream continues), and the
+        executor never splits a chain across workers.
     """
 
     program: CommunicationProgram
     initially_active: tuple[int, ...] = ()
     noise_seed: int | None = None
+    reset_network: bool = True
 
 
 class _CompiledProgram:
@@ -91,11 +118,13 @@ class _CompiledProgram:
     evaluated once at compile time — bitwise the same numbers
     :meth:`~repro.simulator.network.SimulatedNetwork.transmit` would compute
     per message — both as NumPy arrays (vector path) and plain lists (scalar
-    path).
+    path).  A compiled program is read-only during execution, so one compile
+    serves replicas, chains and every worker that receives it.
     """
 
     __slots__ = (
         "program",
+        "name",
         "num_ranks",
         "roots",
         "indptr",
@@ -124,6 +153,7 @@ class _CompiledProgram:
                 f"{grid.num_nodes}"
             )
         self.program = program
+        self.name = program.name
         self.num_ranks = program.num_ranks
         self.roots = program.start_ranks(task.initially_active)
         for rank in self.roots:
@@ -218,26 +248,63 @@ class _ParamsMemo:
         return pair
 
 
+class _BatchCompiler:
+    """Parent-side compile state reused across batches on one grid.
+
+    Holds the pLogP parameter memo, the rank→cluster map and the compiled
+    cache (a program appearing in several tasks — noise replicas, chained
+    stages — compiles once; the compiled form is read-only during execution).
+    The pipelined driver keeps one compiler alive across submissions, so
+    later batches reuse every parameter evaluated by earlier ones.
+    """
+
+    __slots__ = ("grid", "lean", "params_memo", "cluster_of", "cache")
+
+    def __init__(self, grid: Grid, collect_traces: bool) -> None:
+        self.grid = grid
+        self.lean = not collect_traces
+        self.params_memo = _ParamsMemo(grid.num_clusters)
+        self.cluster_of = [
+            grid.cluster_of_rank(rank) for rank in range(grid.num_nodes)
+        ]
+        self.cache: dict[tuple[int, tuple[int, ...]], _CompiledProgram] = {}
+
+    def compile(self, task: ExecutionTask) -> _CompiledProgram:
+        key = (id(task.program), tuple(task.initially_active))
+        prog = self.cache.get(key)
+        if prog is None:
+            prog = _CompiledProgram(
+                self.grid, task, self.params_memo, self.cluster_of, lean=self.lean
+            )
+            self.cache[key] = prog
+        return prog
+
+
 def _run_compiled(
     prog: _CompiledProgram,
     noise: np.ndarray | None,
     overhead: float,
     collect_traces: bool,
-) -> ExecutionResult:
+    nic_free: list[float],
+) -> tuple[ExecutionResult, int]:
     """Execute one compiled program against per-rank array state.
 
-    The per-rank state rows (NIC availability, activation flag/time,
-    completion) are flat arrays indexed by rank; the delivery heap is local to
-    the program, so its (time, sequence) ordering is exactly the scalar
-    engine's — interleaving with other programs of the batch never reorders a
-    program's own ties.
+    ``nic_free`` is the (caller-owned) per-rank NIC availability row: all
+    zeros for a fresh network, or the carried-over row of the previous task
+    of a warm chain.  Activation and completion are per-execution either way,
+    exactly like the scalar engine.  Returns the result plus the number of
+    noise draws actually consumed, which a chain needs to keep its stream
+    aligned with the scalar reference.
+
+    The delivery heap is local to the program, so its (time, sequence)
+    ordering is exactly the scalar engine's — interleaving with other
+    programs of the batch never reorders a program's own ties.
     """
     n = prog.num_ranks
     indptr = prog.indptr
     dest = prog.dest
     gap_list = prog.gap_list
     latency_list = prog.latency_list
-    nic_free = [0.0] * n
     active = bytearray(n)
     activation = [0.0] * n
     completion = [0.0] * n
@@ -457,12 +524,65 @@ def _run_compiled(
             for source, destination, size, issue, start, delivery, tag in trace
         ]
         trace_records.sort(key=lambda record: record.delivery_time)
-    return ExecutionResult(
-        program_name=prog.program.name,
+    result = ExecutionResult(
+        program_name=prog.name,
         activation_times=activation_times,
         completion_times=list(completion),
         trace=trace_records,
     )
+    return result, position
+
+
+def _run_task_sequence(
+    compiled: Sequence[_CompiledProgram],
+    seeds: Sequence[int],
+    resets: Sequence[bool],
+    sigma: float,
+    overhead: float,
+    collect_traces: bool,
+    num_nodes: int,
+) -> list[ExecutionResult]:
+    """Execute compiled tasks in order, threading warm-chain state through.
+
+    A task with ``resets[i]`` false continues the previous task's NIC row and
+    noise stream.  The noise sequence of each program is still pre-drawn in
+    one bulk call; when fewer draws are consumed than pre-drawn (a sender
+    that never activates) and the chain continues, the stream is rewound and
+    advanced by exactly the consumed count, so a chained successor sees
+    bitwise the stream position the scalar engine's lazy draws would leave.
+    """
+    results: list[ExecutionResult] = []
+    stream: RandomStream | None = None
+    nic_free: list[float] | None = None
+    count = len(compiled)
+    for index in range(count):
+        prog = compiled[index]
+        if resets[index] or nic_free is None:
+            nic_free = [0.0] * num_nodes
+            stream = RandomStream(seed=seeds[index]) if sigma > 0.0 else None
+        noise: np.ndarray | None = None
+        state_before = None
+        chain_continues = index + 1 < count and not resets[index + 1]
+        if stream is not None and prog.max_draws:
+            if chain_continues:
+                state_before = stream.state
+            noise = stream.lognormal_array(0.0, sigma, prog.max_draws)
+        result, consumed = _run_compiled(
+            prog, noise, overhead, collect_traces, nic_free
+        )
+        if chain_continues and noise is not None and consumed < prog.max_draws:
+            stream.state = state_before
+            if consumed:
+                stream.lognormal_array(0.0, sigma, consumed)
+        results.append(result)
+    return results
+
+
+def _task_seeds(tasks: Sequence[ExecutionTask], config: NetworkConfig) -> list[int]:
+    return [
+        task.noise_seed if task.noise_seed is not None else config.seed
+        for task in tasks
+    ]
 
 
 def _execute_batch(
@@ -471,47 +591,18 @@ def _execute_batch(
     config: NetworkConfig,
     collect_traces: bool,
 ) -> list[ExecutionResult]:
-    """Run every task in one pass; the batched engine proper.
-
-    The batch shares one compile memo (pLogP parameter evaluations keyed by
-    cluster pair and size) across all programs; each compiled program then
-    executes against its own state arrays and — when noise is on — its own
-    pre-drawn noise sequence, spawned from its task seed.  Programs are
-    independent, so executing them back to back is observationally identical
-    to interleaving their events; the per-program layout is what keeps the
-    state rows cache-hot.
-    """
-    params_memo = _ParamsMemo(grid.num_clusters)
-    cluster_of = [grid.cluster_of_rank(rank) for rank in range(grid.num_nodes)]
-    # A program appearing in several tasks (e.g. noise replicas of the same
-    # sweep) compiles once; the compiled form is read-only during execution.
-    compiled_cache: dict[tuple[int, tuple[int, ...]], _CompiledProgram] = {}
-    compiled: list[_CompiledProgram] = []
-    for task in tasks:
-        key = (id(task.program), tuple(task.initially_active))
-        prog = compiled_cache.get(key)
-        if prog is None:
-            prog = _CompiledProgram(
-                grid, task, params_memo, cluster_of, lean=not collect_traces
-            )
-            compiled_cache[key] = prog
-        compiled.append(prog)
-    sigma = config.noise_sigma
-    results: list[ExecutionResult] = []
-    for task, prog in zip(tasks, compiled):
-        noise: np.ndarray | None = None
-        if sigma > 0.0:
-            # Pre-draw the whole noise sequence in one bulk call: the k-th
-            # value consumed during execution is by construction the value
-            # the scalar engine's k-th sequential lognormal() call produces.
-            stream = RandomStream(
-                seed=task.noise_seed if task.noise_seed is not None else config.seed
-            )
-            noise = stream.lognormal_array(0.0, sigma, prog.max_draws)
-        results.append(
-            _run_compiled(prog, noise, config.receive_overhead, collect_traces)
-        )
-    return results
+    """Run every task in one pass; the batched engine proper."""
+    compiler = _BatchCompiler(grid, collect_traces)
+    compiled = [compiler.compile(task) for task in tasks]
+    return _run_task_sequence(
+        compiled,
+        _task_seeds(tasks, config),
+        [task.reset_network for task in tasks],
+        config.noise_sigma,
+        config.receive_overhead,
+        collect_traces,
+        grid.num_nodes,
+    )
 
 
 def _execute_scalar(
@@ -520,19 +611,32 @@ def _execute_scalar(
     config: NetworkConfig,
     collect_traces: bool,
 ) -> list[ExecutionResult]:
-    """The reference loop: one scalar execution per task, per-task seeds."""
+    """The reference loop: one scalar execution per task, per-task seeds.
+
+    Chained tasks (``reset_network=False``) reuse the previous task's
+    network object without resetting it, so NIC backlog and the noise stream
+    carry over — the ground truth the batched chain executor is verified
+    against.
+    """
     results = []
+    network: SimulatedNetwork | None = None
     for task in tasks:
-        network = SimulatedNetwork(
-            grid,
-            NetworkConfig(
-                noise_sigma=config.noise_sigma,
-                seed=task.noise_seed if task.noise_seed is not None else config.seed,
-                receive_overhead=config.receive_overhead,
-            ),
-        )
+        if task.reset_network or network is None:
+            network = SimulatedNetwork(
+                grid,
+                NetworkConfig(
+                    noise_sigma=config.noise_sigma,
+                    seed=task.noise_seed
+                    if task.noise_seed is not None
+                    else config.seed,
+                    receive_overhead=config.receive_overhead,
+                ),
+            )
         result = execute_program(
-            network, task.program, initially_active=task.initially_active
+            network,
+            task.program,
+            initially_active=task.initially_active,
+            reset_network=task.reset_network,
         )
         if not collect_traces:
             result.trace = []
@@ -540,11 +644,269 @@ def _execute_scalar(
     return results
 
 
-def _execute_chunk(args) -> tuple[int, list[ExecutionResult]]:
-    """Multiprocessing adapter: run one contiguous slice of the task list."""
+# -- worker fan-out -------------------------------------------------------------------
+
+
+def _validate_tasks(tasks: Sequence[ExecutionTask]) -> None:
+    for index, task in enumerate(tasks):
+        if not task.reset_network:
+            if index == 0:
+                raise ValueError(
+                    "the first task of a batch cannot have reset_network=False "
+                    "(there is no previous network to chain onto)"
+                )
+            if task.noise_seed is not None:
+                raise ValueError(
+                    "a chained task (reset_network=False) continues the chain "
+                    "head's noise stream and cannot carry its own noise_seed"
+                )
+
+
+def _chain_units(tasks: Sequence[ExecutionTask]) -> list[tuple[int, int]]:
+    """Half-open ``[start, end)`` ranges of tasks that must stay together."""
+    units: list[tuple[int, int]] = []
+    start = 0
+    for index in range(1, len(tasks)):
+        if tasks[index].reset_network:
+            units.append((start, index))
+            start = index
+    units.append((start, len(tasks)))
+    return units
+
+
+def _partition_units(
+    units: Sequence[tuple[int, int]], chunk_target: int
+) -> list[tuple[int, int]]:
+    """Merge consecutive units into chunks of roughly ``chunk_target`` tasks.
+
+    Identical to the fixed-size contiguous chunking when every unit is one
+    task (no chains); chains are never split across chunks.
+    """
+    chunks: list[tuple[int, int]] = []
+    start = units[0][0]
+    count = 0
+    for unit_start, unit_end in units:
+        count += unit_end - unit_start
+        if count >= chunk_target:
+            chunks.append((start, unit_end))
+            start = unit_end
+            count = 0
+    if count:
+        chunks.append((start, units[-1][1]))
+    return chunks
+
+
+def _execute_pickled_chunk(args) -> tuple[int, list[ExecutionResult]]:
+    """Legacy multiprocessing adapter: one pickled slice of the task list.
+
+    The pre-runtime dispatch: the grid, the config and the tasks themselves
+    travel through the task pickle and the chunk compiles its own programs.
+    Kept as the worker body of ``transport="legacy"`` (the benchmark
+    baseline) and of the scalar reference engine's fan-out.
+    """
     start, grid, tasks, config, collect_traces, engine = args
     runner = _execute_batch if engine == "batched" else _execute_scalar
     return start, runner(grid, tasks, config, collect_traces)
+
+
+def _ship_compiled(
+    compiled: Sequence[_CompiledProgram],
+    collect_traces: bool,
+    transport: str | None,
+):
+    """Pack the distinct compiled programs of a batch for worker shipping.
+
+    Returns ``(shipment, metas, index_of)``: one
+    :class:`~repro.runtime.transport.ArrayShipment` holding the concatenated
+    message arrays of every distinct compiled program, the per-program
+    reconstruction metadata, and the ``id() -> unique index`` map used to
+    translate per-task compiled references into shipped indices.
+    """
+    from repro.runtime.transport import ArrayShipment
+
+    index_of: dict[int, int] = {}
+    unique: list[_CompiledProgram] = []
+    for prog in compiled:
+        if id(prog) not in index_of:
+            index_of[id(prog)] = len(unique)
+            unique.append(prog)
+
+    metas: list[tuple] = []
+    msg_start = 0
+    ind_start = 0
+    for prog in unique:
+        message_count = len(prog.dest)
+        metas.append(
+            (
+                prog.name,
+                prog.num_ranks,
+                tuple(prog.roots),
+                prog.max_draws,
+                msg_start,
+                message_count,
+                ind_start,
+                None if prog.tag is None else list(prog.tag),
+            )
+        )
+        msg_start += message_count
+        ind_start += prog.num_ranks + 1
+
+    def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate([np.asarray(part, dtype=dtype) for part in parts])
+
+    arrays = {
+        "gap": _concat([prog.gap for prog in unique], np.float64),
+        "latency": _concat([prog.latency for prog in unique], np.float64),
+        "dest": _concat([prog.dest for prog in unique], np.int64),
+        "indptr": _concat([prog.indptr for prog in unique], np.int64),
+    }
+    if collect_traces:
+        arrays["sizes"] = _concat([prog.size for prog in unique], np.float64)
+    shipment = ArrayShipment.pack(arrays, transport=transport)
+    return shipment, metas, index_of
+
+
+def _rebuild_shipped(
+    meta: tuple, arrays: dict[str, np.ndarray], collect_traces: bool
+) -> _CompiledProgram:
+    """Reconstruct a compiled program from shipped arrays (worker side).
+
+    The NumPy ``gap``/``latency`` segments stay zero-copy views into the
+    shipment; the hot-loop list mirrors are materialised locally (a C-level
+    ``tolist``), exactly as the parent-side compiler does.
+    """
+    name, num_ranks, roots, max_draws, msg_start, count, ind_start, tags = meta
+    prog = _CompiledProgram.__new__(_CompiledProgram)
+    prog.program = None
+    prog.name = name
+    prog.num_ranks = num_ranks
+    prog.roots = list(roots)
+    gap = arrays["gap"][msg_start : msg_start + count]
+    latency = arrays["latency"][msg_start : msg_start + count]
+    prog.gap = gap
+    prog.latency = latency
+    prog.gap_list = gap.tolist()
+    prog.latency_list = latency.tolist()
+    prog.dest = arrays["dest"][msg_start : msg_start + count].tolist()
+    prog.indptr = arrays["indptr"][ind_start : ind_start + num_ranks + 1].tolist()
+    prog.size = (
+        arrays["sizes"][msg_start : msg_start + count].tolist()
+        if collect_traces
+        else None
+    )
+    prog.tag = tags
+    prog.max_draws = max_draws
+    return prog
+
+
+def _execute_shipped_chunk(args) -> tuple[int, list[ExecutionResult]]:
+    """Runtime multiprocessing adapter: execute a chunk against a shipment.
+
+    The job carries only the shipment handle, the reconstruction metadata of
+    the programs this chunk actually runs, and per-task ``(unique index,
+    seed, reset)`` entries — never the grid or the programs themselves.
+    """
+    (
+        start,
+        shipment,
+        metas,
+        entries,
+        sigma,
+        overhead,
+        collect_traces,
+        num_nodes,
+    ) = args
+    arrays = shipment.load()
+    rebuilt = {
+        unique_index: _rebuild_shipped(meta, arrays, collect_traces)
+        for unique_index, meta in metas.items()
+    }
+    compiled = [rebuilt[unique_index] for unique_index, _, _ in entries]
+    results = _run_task_sequence(
+        compiled,
+        [seed for _, seed, _ in entries],
+        [reset for _, _, reset in entries],
+        sigma,
+        overhead,
+        collect_traces,
+        num_nodes,
+    )
+    # Drop every view into the shipment before unmapping it.
+    compiled = rebuilt = arrays = None
+    shipment.close()
+    return start, results
+
+
+def _execute_with_legacy_pool(
+    grid: Grid,
+    tasks: list[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+    engine: str,
+    worker_count: int,
+) -> list[ExecutionResult]:
+    """The pre-runtime dispatch: fresh pool, grid and tasks pickled per chunk."""
+    chunk_target = max(1, -(-len(tasks) // (worker_count * 4)))
+    bounds = _partition_units(_chain_units(tasks), chunk_target)
+    jobs = [
+        (start, grid, tasks[start:end], config, collect_traces, engine)
+        for start, end in bounds
+    ]
+    results: list[ExecutionResult | None] = [None] * len(tasks)
+    with multiprocessing.Pool(processes=worker_count) as mp_pool:
+        for start, values in mp_pool.imap_unordered(_execute_pickled_chunk, jobs):
+            results[start : start + len(values)] = values
+    return results  # type: ignore[return-value]
+
+
+def _execute_with_runtime_pool(
+    grid: Grid,
+    tasks: list[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+    worker_count: int,
+    transport: str | None,
+    pool,
+) -> list[ExecutionResult]:
+    """Compile once in the parent, ship to the persistent pool, gather."""
+    from repro.runtime.pool import get_pool
+
+    compiler = _BatchCompiler(grid, collect_traces)
+    compiled = [compiler.compile(task) for task in tasks]
+    shipment, metas, index_of = _ship_compiled(compiled, collect_traces, transport)
+    seeds = _task_seeds(tasks, config)
+    entries = [
+        (index_of[id(prog)], seed, task.reset_network)
+        for prog, seed, task in zip(compiled, seeds, tasks)
+    ]
+    chunk_target = max(1, -(-len(tasks) // (worker_count * 4)))
+    bounds = _partition_units(_chain_units(tasks), chunk_target)
+    study_pool = pool if pool is not None else get_pool(worker_count)
+    results: list[ExecutionResult | None] = [None] * len(tasks)
+    try:
+        pending = []
+        for start, end in bounds:
+            chunk_entries = entries[start:end]
+            needed = {unique_index for unique_index, _, _ in chunk_entries}
+            job = (
+                start,
+                shipment,
+                {unique_index: metas[unique_index] for unique_index in needed},
+                chunk_entries,
+                config.noise_sigma,
+                config.receive_overhead,
+                collect_traces,
+                grid.num_nodes,
+            )
+            pending.append(study_pool.submit(_execute_shipped_chunk, job))
+        for handle in pending:
+            start, values = handle.get()
+            results[start : start + len(values)] = values
+    finally:
+        shipment.unlink()
+    return results  # type: ignore[return-value]
 
 
 def execute_programs(
@@ -555,8 +917,10 @@ def execute_programs(
     collect_traces: bool = True,
     workers: int | None = None,
     engine: str = "batched",
+    transport: str | None = None,
+    pool=None,
 ) -> list[ExecutionResult]:
-    """Execute many independent programs and return their results in order.
+    """Execute many independent (or chained) programs, results in order.
 
     Parameters
     ----------
@@ -564,7 +928,9 @@ def execute_programs(
         The topology every program runs on.
     tasks:
         :class:`ExecutionTask` entries (bare programs are accepted and wrapped
-        with default context).
+        with default context).  Tasks with ``reset_network=False`` chain onto
+        their predecessor's warm network; chains are never split across
+        workers.
     config:
         Shared network behaviour (noise sigma, fallback seed, receive
         overhead); per-task ``noise_seed`` overrides the seed.
@@ -572,33 +938,49 @@ def execute_programs(
         Keep the full message trace of every execution; pass ``False`` for
         makespan-only sweeps (the practical study does).
     workers:
-        Optional :mod:`multiprocessing` fan-out over contiguous chunks of the
-        task list; ``None``/``0``/``1`` run in-process.  Results are identical
-        at any worker count because every task carries its own noise seed.
+        Optional fan-out over chain-respecting chunks of the task list;
+        ``None``/``0``/``1`` run in-process.  Results are identical at any
+        worker count because every task carries its own noise seed.
     engine:
         ``"batched"`` (default) or ``"scalar"`` — the scalar reference loop
         used by the equivalence suite and as the benchmark baseline.
+    transport:
+        How batches reach workers (ignored in-process): ``"auto"`` (default,
+        shared memory when available), ``"shm"``, ``"pickle"``, or
+        ``"legacy"`` — the pre-runtime dispatch (fresh pool per call, grid
+        and tasks re-pickled per chunk), kept as the benchmark baseline.  The
+        batched engine's ``"auto"``/``"shm"``/``"pickle"`` paths compile once
+        in the parent and reuse the persistent runtime pool; the scalar
+        engine always uses the legacy dispatch.
+    pool:
+        An explicit :class:`~repro.runtime.pool.StudyPool` to submit to
+        (defaults to the process-wide persistent pool).
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if transport is not None and transport not in EXECUTE_TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {EXECUTE_TRANSPORTS}, got {transport!r}"
+        )
     config = config if config is not None else NetworkConfig()
     normalized = [
         task if isinstance(task, ExecutionTask) else ExecutionTask(program=task)
         for task in tasks
     ]
+    _validate_tasks(normalized)
     worker_count = max(0, int(workers)) if workers is not None else 0
+    if workers is None and pool is not None:
+        # An explicit pool is an explicit request for fan-out.
+        worker_count = pool.workers
 
     if worker_count > 1 and len(normalized) > 1:
-        chunk = max(1, -(-len(normalized) // (worker_count * 4)))
-        jobs = [
-            (start, grid, normalized[start : start + chunk], config, collect_traces, engine)
-            for start in range(0, len(normalized), chunk)
-        ]
-        results: list[ExecutionResult | None] = [None] * len(normalized)
-        with multiprocessing.Pool(processes=worker_count) as pool:
-            for start, values in pool.imap_unordered(_execute_chunk, jobs):
-                results[start : start + len(values)] = values
-        return results  # type: ignore[return-value]
+        if engine == "scalar" or transport == "legacy":
+            return _execute_with_legacy_pool(
+                grid, normalized, config, collect_traces, engine, worker_count
+            )
+        return _execute_with_runtime_pool(
+            grid, normalized, config, collect_traces, worker_count, transport, pool
+        )
 
     runner = _execute_batch if engine == "batched" else _execute_scalar
     return runner(grid, normalized, config, collect_traces)

@@ -11,6 +11,8 @@ library:
   microseconds, bytes / megabytes) so that the rest of the code can work in a
   single canonical unit (seconds and bytes) while still speaking the paper's
   language (milliseconds and megabytes) at the API boundary.
+* :mod:`repro.utils.workers` -- the one place worker counts are resolved from
+  arguments and the ``REPRO_*_WORKERS`` / ``REPRO_WORKERS`` environment.
 """
 
 from repro.utils.validation import (
@@ -22,6 +24,7 @@ from repro.utils.validation import (
     check_type,
 )
 from repro.utils.rng import RandomStream, spawn_streams
+from repro.utils.workers import SHARED_WORKERS_ENV_VAR, resolve_workers
 from repro.utils.units import (
     BYTES_PER_KIB,
     BYTES_PER_MIB,
@@ -42,6 +45,8 @@ __all__ = [
     "check_type",
     "RandomStream",
     "spawn_streams",
+    "SHARED_WORKERS_ENV_VAR",
+    "resolve_workers",
     "BYTES_PER_KIB",
     "BYTES_PER_MIB",
     "bytes_to_mib",

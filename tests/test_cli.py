@@ -102,6 +102,63 @@ class TestPracticalCommand:
         with pytest.raises(SystemExit):
             main(["practical", "--collective", "gather"])
 
+    def test_practical_replicas_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "practical",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "1048576",
+                    "--replicas",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "mean of 2 replicas" in capsys.readouterr().out
+
+
+class TestChainCommand:
+    def test_chain_table(self, capsys):
+        assert (
+            main(
+                [
+                    "chain",
+                    "--collectives",
+                    "scatter,alltoall",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "16384",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "scatter -> alltoall" in output
+        assert "overlap_gain" in output
+
+    def test_chain_repeated_bcast(self, capsys):
+        assert (
+            main(
+                [
+                    "chain",
+                    "--collectives",
+                    "bcast",
+                    "--repeat",
+                    "2",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "65536",
+                ]
+            )
+            == 0
+        )
+        assert "bcast#1 -> bcast#2" in capsys.readouterr().out
+
 
 class TestParser:
     def test_missing_command_fails(self):

@@ -1,0 +1,500 @@
+"""Tests for the study runtime (repro.runtime): pool, transport, pipeline.
+
+The runtime's contract is that *none* of its machinery changes results:
+pool reuse across studies, pipelined vs sequential drivers, shared-memory vs
+pickle transport, chunking and worker counts are all required to be
+bit-identical, with warm-network chaining verified against the scalar
+reference engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.chained_study import ChainedStudyResult, run_chained_study
+from repro.experiments.config import PracticalStudyConfig, SimulationStudyConfig
+from repro.experiments.practical_study import run_practical_study
+from repro.experiments.simulation_study import run_simulation_study
+from repro.mpi.bcast import binomial_bcast_program
+from repro.mpi.scatter import flat_scatter_program
+from repro.runtime.pool import StudyPool, get_pool, shutdown_pool
+from repro.runtime.transport import (
+    ArrayShipment,
+    resolve_transport,
+    shared_memory_available,
+)
+from repro.runtime.pipeline import PipelinedExecutor
+from repro.simulator.batch import ExecutionTask, execute_programs
+from repro.simulator.network import NetworkConfig
+from repro.utils.rng import derive_seed
+from repro.utils.workers import resolve_workers
+
+
+TRANSPORT_PARAMS = ["pickle"] + (["shm"] if shared_memory_available() else [])
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent pool shared by every test of this module (that is the
+    point: reuse must be invisible in the results)."""
+    pool = get_pool(2)
+    yield pool
+    shutdown_pool()
+
+
+def _makespans(results) -> list[float]:
+    return [result.makespan for result in results]
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3, "REPRO_PRACTICAL_WORKERS") == 3
+
+    def test_specific_env_var_preferred_over_shared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRACTICAL_WORKERS", "2")
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None, "REPRO_PRACTICAL_WORKERS") == 2
+
+    def test_shared_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PRACTICAL_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None, "REPRO_PRACTICAL_WORKERS") == 5
+
+    def test_default_is_in_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MC_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None, "REPRO_MC_WORKERS") == 0
+
+    def test_garbage_env_var_named_in_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None, "REPRO_MC_WORKERS")
+
+    def test_negative_clamps_to_zero(self):
+        assert resolve_workers(-3) == 0
+
+    def test_shared_env_reaches_studies(self, monkeypatch, heterogeneous_grid):
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        config = PracticalStudyConfig(message_sizes=(1_000,), heuristics=("ecef",))
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            run_practical_study(config, grid=heterogeneous_grid)
+
+
+class TestStudyPool:
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            StudyPool(1)
+
+    def test_get_pool_reuses_alive_pool(self, pool):
+        assert get_pool(2) is pool
+
+    def test_closed_pool_rejects_work(self):
+        small = StudyPool(2)
+        small.close()
+        assert not small.alive
+        with pytest.raises(RuntimeError, match="closed"):
+            small.submit(len, ())
+
+
+class TestArrayShipment:
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+    def test_round_trip_is_bitwise(self, transport):
+        arrays = {
+            "floats": np.linspace(0.0, 1.0, 37).reshape(37),
+            "matrix": np.arange(24, dtype=np.float64).reshape(2, 3, 4) * np.pi,
+            "ints": np.arange(11, dtype=np.int64),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        shipment = ArrayShipment.pack(arrays, transport=transport)
+        try:
+            loaded = shipment.load()
+            assert set(loaded) == set(arrays)
+            for name, array in arrays.items():
+                assert loaded[name].dtype == array.dtype
+                assert loaded[name].shape == array.shape
+                assert np.array_equal(loaded[name], array)
+        finally:
+            shipment.close()
+            shipment.unlink()
+
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+    def test_survives_pickling(self, transport):
+        import pickle
+
+        arrays = {"data": np.arange(100, dtype=np.float64) ** 0.5}
+        shipment = ArrayShipment.pack(arrays, transport=transport)
+        try:
+            clone = pickle.loads(pickle.dumps(shipment))
+            assert np.array_equal(clone.load()["data"], arrays["data"])
+            clone.close()
+        finally:
+            shipment.close()
+            shipment.unlink()
+
+    def test_unlink_is_idempotent(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this platform")
+        shipment = ArrayShipment.pack({"x": np.ones(4)}, transport="shm")
+        shipment.unlink()
+        shipment.unlink()
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            resolve_transport("carrier-pigeon")
+
+
+class TestExecuteProgramsTransports:
+    """Shared-memory vs pickle vs legacy shipping is bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def tasks(self, grid5000):
+        programs = [
+            binomial_bcast_program(grid5000, 65_536, root_rank=0),
+            flat_scatter_program(grid5000, 4_096, root_rank=0),
+        ]
+        return [
+            ExecutionTask(
+                programs[index % 2], noise_seed=derive_seed(5, index)
+            )
+            for index in range(10)
+        ]
+
+    @pytest.fixture(scope="class")
+    def reference(self, grid5000, tasks):
+        return execute_programs(
+            grid5000,
+            tasks,
+            config=NetworkConfig(noise_sigma=0.05, seed=5),
+            collect_traces=True,
+        )
+
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS + ["legacy"])
+    def test_worker_transport_bit_identical(
+        self, grid5000, tasks, reference, transport, pool
+    ):
+        fanned = execute_programs(
+            grid5000,
+            tasks,
+            config=NetworkConfig(noise_sigma=0.05, seed=5),
+            collect_traces=True,
+            workers=2,
+            transport=transport,
+        )
+        assert _makespans(fanned) == _makespans(reference)
+        assert [r.completion_times for r in fanned] == [
+            r.completion_times for r in reference
+        ]
+        assert [r.trace for r in fanned] == [r.trace for r in reference]
+
+    def test_rejects_unknown_transport(self, grid5000, tasks):
+        with pytest.raises(ValueError, match="transport"):
+            execute_programs(grid5000, tasks, transport="smoke-signals")
+
+
+class TestWarmChaining:
+    """reset_network=False tasks mirror the scalar engine's warm networks."""
+
+    def _chain(self, grid):
+        stages = [
+            binomial_bcast_program(grid, 65_536, root_rank=0),
+            flat_scatter_program(grid, 2_048, root_rank=0),
+            binomial_bcast_program(grid, 16_384, root_rank=0),
+        ]
+        return [ExecutionTask(stages[0], noise_seed=31)] + [
+            ExecutionTask(program, reset_network=False) for program in stages[1:]
+        ]
+
+    @pytest.mark.parametrize("sigma", [0.0, 0.08])
+    def test_chain_matches_scalar_reference(self, grid5000, sigma):
+        tasks = self._chain(grid5000)
+        config = NetworkConfig(noise_sigma=sigma, seed=9)
+        batched = execute_programs(grid5000, tasks, config=config)
+        scalar = execute_programs(grid5000, tasks, config=config, engine="scalar")
+        assert _makespans(batched) == _makespans(scalar)
+        assert [r.completion_times for r in batched] == [
+            r.completion_times for r in scalar
+        ]
+        assert [r.trace for r in batched] == [r.trace for r in scalar]
+
+    def test_warm_chain_differs_from_fresh_networks(self, grid5000):
+        tasks = self._chain(grid5000)
+        fresh_tasks = [
+            ExecutionTask(task.program, noise_seed=31) for task in tasks
+        ]
+        config = NetworkConfig(noise_sigma=0.0, seed=9)
+        warm = execute_programs(grid5000, tasks, config=config)
+        fresh = execute_programs(grid5000, fresh_tasks, config=config)
+        # The head of the chain starts cold, so it matches its fresh twin;
+        # every later stage queues behind the warm NIC backlog.
+        assert warm[0].makespan == fresh[0].makespan
+        assert all(
+            warm[index].makespan > fresh[index].makespan
+            for index in range(1, len(tasks))
+        )
+
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+    def test_chains_never_split_across_workers(
+        self, grid5000, transport, pool
+    ):
+        tasks = []
+        for chain_index in range(6):
+            chain = self._chain(grid5000)
+            tasks.append(
+                ExecutionTask(
+                    chain[0].program, noise_seed=derive_seed(31, chain_index)
+                )
+            )
+            tasks.extend(chain[1:])
+        config = NetworkConfig(noise_sigma=0.08, seed=9)
+        inline = execute_programs(grid5000, tasks, config=config)
+        fanned = execute_programs(
+            grid5000, tasks, config=config, workers=2, transport=transport
+        )
+        assert _makespans(fanned) == _makespans(inline)
+
+    def test_first_task_cannot_chain(self, grid5000):
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        with pytest.raises(ValueError, match="first task"):
+            execute_programs(
+                grid5000, [ExecutionTask(program, reset_network=False)]
+            )
+
+    def test_chained_task_rejects_own_seed(self, grid5000):
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        tasks = [
+            ExecutionTask(program),
+            ExecutionTask(program, reset_network=False, noise_seed=3),
+        ]
+        with pytest.raises(ValueError, match="noise_seed"):
+            execute_programs(grid5000, tasks)
+
+
+class TestChainedStudy:
+    def test_scalar_reference_and_shapes(self, heterogeneous_grid):
+        config = PracticalStudyConfig(
+            message_sizes=(2_048, 16_384), noise_sigma=0.05
+        )
+        result = run_chained_study(
+            config, grid=heterogeneous_grid, stages=("scatter", "alltoall")
+        )
+        reference = run_chained_study(
+            config,
+            grid=heterogeneous_grid,
+            stages=("scatter", "alltoall"),
+            engine="scalar",
+        )
+        assert isinstance(result, ChainedStudyResult)
+        assert result.warm.shape == (2, 2)
+        assert result.fresh.shape == (2, 2)
+        assert np.array_equal(result.warm, reference.warm)
+        assert np.array_equal(result.fresh, reference.fresh)
+        assert np.all(result.warm[:, 1:] >= result.fresh[:, 1:])
+        table = result.as_table()
+        assert {"message_size", "pipelined", "barrier", "overlap_gain"} == set(
+            table[0]
+        )
+
+    def test_repeat_builds_numbered_stages(self, heterogeneous_grid):
+        config = PracticalStudyConfig(message_sizes=(4_096,), noise_sigma=0.0)
+        result = run_chained_study(
+            config, grid=heterogeneous_grid, stages=("bcast",), repeat=3
+        )
+        assert result.stage_names == ["bcast#1", "bcast#2", "bcast#3"]
+
+    def test_rejects_unknown_stage(self, heterogeneous_grid):
+        with pytest.raises(ValueError, match="unknown collective"):
+            run_chained_study(grid=heterogeneous_grid, stages=("gather",))
+
+
+class TestPipelinedDriver:
+    """Pipelined vs sequential practical study, pool reuse, transports."""
+
+    CONFIG = dict(
+        message_sizes=(65_536, 1_048_576, 4_194_304),
+        noise_sigma=0.08,
+        heuristics=("ecef", "fef", "flat_tree"),
+    )
+
+    def test_pipelined_matches_sequential(self, pool):
+        config = PracticalStudyConfig(**self.CONFIG)
+        sequential = run_practical_study(config, workers=0, pipeline=False)
+        pipelined = run_practical_study(config, workers=2, pipeline=True)
+        assert np.array_equal(sequential.measured, pipelined.measured)
+        assert np.array_equal(
+            sequential.baseline_measured, pipelined.baseline_measured
+        )
+        assert np.array_equal(sequential.predicted, pipelined.predicted)
+
+    def test_pipeline_without_pool_degrades_to_sequential(self):
+        config = PracticalStudyConfig(**self.CONFIG)
+        inline = run_practical_study(config)
+        forced = run_practical_study(config, workers=0, pipeline=True)
+        assert np.array_equal(inline.measured, forced.measured)
+
+    def test_pipeline_requires_batched_engine(self):
+        config = PracticalStudyConfig(**self.CONFIG)
+        with pytest.raises(ValueError, match="batched"):
+            run_practical_study(config, engine="scalar", pipeline=True)
+
+    def test_legacy_transport_forces_sequential_driver(self, pool):
+        """transport='legacy' cannot pipeline; with workers it must fall
+        back to the sequential legacy dispatch, not crash mid-sweep."""
+        config = PracticalStudyConfig(**self.CONFIG)
+        reference = run_practical_study(config)
+        legacy = run_practical_study(config, workers=2, transport="legacy")
+        assert np.array_equal(reference.measured, legacy.measured)
+        with pytest.raises(ValueError, match="legacy"):
+            run_practical_study(config, pipeline=True, transport="legacy")
+
+    def test_explicit_pool_implies_fanout(self, pool):
+        """Passing pool= without workers= must use the pool, not silently
+        run in-process — and stay bit-identical either way."""
+        config = PracticalStudyConfig(**self.CONFIG)
+        reference = run_practical_study(config)
+        pooled = run_practical_study(config, pool=pool)
+        assert np.array_equal(reference.measured, pooled.measured)
+        simulation_config = SimulationStudyConfig(
+            cluster_counts=(3,), iterations=20, seed=29
+        )
+        assert np.array_equal(
+            run_simulation_study(simulation_config).makespans,
+            run_simulation_study(simulation_config, pool=pool).makespans,
+        )
+
+    def test_abort_releases_pending_shipments(self, grid5000, pool):
+        executor = PipelinedExecutor(
+            grid5000, config=NetworkConfig(noise_sigma=0.05, seed=3), pool=pool
+        )
+        for index in range(2):
+            executor.submit(
+                [
+                    ExecutionTask(
+                        binomial_bcast_program(grid5000, 4_096, root_rank=0),
+                        noise_seed=derive_seed(3, index),
+                    )
+                ]
+            )
+        executor.abort()
+        with pytest.raises(RuntimeError, match="finish"):
+            executor.finish()
+
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+    def test_transport_invariance(self, transport, pool):
+        config = PracticalStudyConfig(**self.CONFIG)
+        reference = run_practical_study(config)
+        shipped = run_practical_study(config, workers=2, transport=transport)
+        assert np.array_equal(reference.measured, shipped.measured)
+
+    def test_pool_reuse_across_two_studies_is_bit_identical(self, pool):
+        """Back-to-back studies on one pool == fresh runs of each study."""
+        practical_config = PracticalStudyConfig(**self.CONFIG)
+        simulation_config = SimulationStudyConfig(
+            cluster_counts=(3, 4), iterations=30, seed=17
+        )
+        first = run_practical_study(practical_config, workers=2, pool=pool)
+        second = run_simulation_study(simulation_config, workers=2, pool=pool)
+        third = run_practical_study(practical_config, workers=2, pool=pool)
+        assert np.array_equal(first.measured, third.measured)
+        assert np.array_equal(
+            first.baseline_measured, third.baseline_measured
+        )
+        reference = run_practical_study(practical_config)
+        simulation_reference = run_simulation_study(simulation_config)
+        assert np.array_equal(first.measured, reference.measured)
+        assert np.array_equal(
+            second.makespans, simulation_reference.makespans
+        )
+
+    def test_executor_finish_is_single_use(self, grid5000):
+        executor = PipelinedExecutor(grid5000)
+        executor.submit(
+            [ExecutionTask(binomial_bcast_program(grid5000, 1_024, root_rank=0))]
+        )
+        assert len(executor.finish()) == 1
+        with pytest.raises(RuntimeError, match="finish"):
+            executor.finish()
+        with pytest.raises(RuntimeError, match="finish"):
+            executor.submit([])
+
+
+class TestSimulationStudyTransports:
+    """Seed-shipping vs stack-shipping Monte-Carlo drivers are bit-identical."""
+
+    CONFIG = dict(cluster_counts=(3, 5), iterations=40, seed=23)
+
+    @pytest.mark.parametrize("transport", TRANSPORT_PARAMS)
+    def test_stack_shipping_matches_inline(self, transport, pool):
+        config = SimulationStudyConfig(**self.CONFIG)
+        inline = run_simulation_study(config)
+        shipped = run_simulation_study(config, workers=2, transport=transport)
+        assert np.array_equal(inline.makespans, shipped.makespans)
+
+    def test_stack_shipping_with_fallback_heuristic(self, pool):
+        """A heuristic without a batched kernel routes its chunks through the
+        seed-shipping path; results must still be bit-identical."""
+        config = SimulationStudyConfig(
+            cluster_counts=(3,),
+            iterations=12,
+            seed=23,
+            heuristics=("ecef", "optimal"),
+        )
+        inline = run_simulation_study(config)
+        shipped = run_simulation_study(config, workers=2, transport="pickle")
+        assert np.array_equal(inline.makespans, shipped.makespans)
+
+
+class TestReplicas:
+    CONFIG = dict(
+        message_sizes=(65_536, 1_048_576),
+        noise_sigma=0.08,
+        heuristics=("ecef", "fef"),
+    )
+
+    def test_rejects_bad_replicas(self):
+        config = PracticalStudyConfig(**self.CONFIG)
+        with pytest.raises(ValueError, match="replicas"):
+            run_practical_study(config, replicas=0)
+
+    def test_single_replica_is_backward_compatible(self):
+        """replicas=1 keeps the historical (seed, label, size) noise seeds."""
+        config = PracticalStudyConfig(**self.CONFIG)
+        result = run_practical_study(config, replicas=1)
+        assert result.num_replicas == 1
+        assert np.array_equal(result.measured, result.measured_replicas[0])
+        assert np.all(result.measured_std == 0.0)
+
+    def test_replica_columns_and_aggregation(self, pool):
+        config = PracticalStudyConfig(**self.CONFIG)
+        result = run_practical_study(config, replicas=3)
+        assert result.num_replicas == 3
+        assert result.measured_replicas.shape == (3, 2, 2)
+        assert result.baseline_replicas.shape == (3, 2)
+        assert np.array_equal(
+            result.measured, result.measured_replicas.mean(axis=0)
+        )
+        assert np.array_equal(
+            result.measured_std, result.measured_replicas.std(axis=0)
+        )
+        assert np.all(result.measured_std > 0)
+        # replicas are genuinely independent measurements
+        assert not np.array_equal(
+            result.measured_replicas[0], result.measured_replicas[1]
+        )
+        # and the same at any worker count / driver
+        fanned = run_practical_study(config, replicas=3, workers=2)
+        assert np.array_equal(
+            result.measured_replicas, fanned.measured_replicas
+        )
+        assert np.array_equal(
+            result.baseline_replicas, fanned.baseline_replicas
+        )
+
+    def test_replica_series_accessor(self):
+        config = PracticalStudyConfig(**self.CONFIG)
+        result = run_practical_study(config, replicas=2)
+        series = result.measured_series("ECEF", replica=1)
+        assert series == result.measured_replicas[1, :, 0].tolist()
+        with pytest.raises(ValueError, match="replica"):
+            result.measured_series("ECEF", replica=5)
