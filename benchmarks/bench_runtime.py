@@ -39,8 +39,14 @@ from repro.experiments.config import (
     PracticalStudyConfig,
 )
 from repro.experiments.practical_study import run_practical_study
+from repro.mpi.bcast import binomial_bcast_program
+from repro.mpi.scatter import flat_scatter_program
 from repro.runtime.pool import get_pool
 from repro.runtime.transport import shared_memory_available
+from repro.simulator.batch import ExecutionTask, execute_programs
+from repro.simulator.network import NetworkConfig
+from repro.topology.grid5000 import build_grid5000_topology
+from repro.utils.rng import derive_seed
 
 NOISE_SIGMA = 0.03
 SEED = 20060331
@@ -131,6 +137,87 @@ def test_pipelined_end_to_end():
     # by at least 1.5x end-to-end at the same worker count.
     assert timings["plain"]["speedup_vs_pr2"]["runtime_pipelined"] >= 1.5
     assert timings["replicated"]["speedup_vs_pr2"]["runtime_pipelined"] >= 1.5
+
+
+def test_thread_vs_process_crossover():
+    """The executor crossover: thread lane vs process lane, small and large.
+
+    The thread lane (``executor="thread"``) ships nothing — workers read the
+    parent's compiled arrays in place — so on a *small* batch, whose
+    execution cannot amortise process shipping and result pickling, it must
+    beat the process lane outright; that floor is recorded in
+    ``BENCH_runtime.json`` and enforced by ``check_regression.py``.  The
+    *large* batch is recorded alongside (no floor) so the crossover that
+    ``executor="auto"`` exploits stays visible across PRs.
+    """
+    grid = build_grid5000_topology()
+    config = NetworkConfig(noise_sigma=NOISE_SIGMA, seed=SEED)
+
+    def build_tasks(count: int) -> list[ExecutionTask]:
+        programs = [
+            binomial_bcast_program(grid, 65_536, root_rank=0),
+            flat_scatter_program(grid, 4_096, root_rank=0),
+        ]
+        return [
+            ExecutionTask(
+                programs[index % 2], noise_seed=derive_seed(SEED, index)
+            )
+            for index in range(count)
+        ]
+
+    # 8 tasks ~ one practical-sweep curve point: the canonical small batch.
+    workloads = {"small_batch": build_tasks(8), "large_batch": build_tasks(320)}
+    get_pool(WORKERS)  # warm the process pool
+    get_pool(WORKERS, kind="thread")  # and the thread pool
+
+    def run(tasks, lane: str):
+        return execute_programs(
+            grid,
+            tasks,
+            config=config,
+            collect_traces=False,
+            workers=WORKERS,
+            executor=lane,
+        )
+
+    sections: dict[str, dict] = {}
+    lines = [f"Thread vs process executor lanes (workers={WORKERS}):"]
+    for name, tasks in workloads.items():
+        reference = [r.makespan for r in run(tasks, "thread")]
+        assert [r.makespan for r in run(tasks, "process")] == reference
+        repetitions = 20 if name == "small_batch" else 3
+        seconds = {
+            lane: _best_of(lambda lane=lane: run(tasks, lane), repetitions)
+            for lane in ("thread", "process")
+        }
+        speedup = seconds["process"] / seconds["thread"]
+        sections[name] = {
+            "tasks": len(tasks),
+            "seconds": seconds,
+            "speedup_thread_vs_process": speedup,
+        }
+        lines.append(
+            f"  {name} ({len(tasks)} tasks): thread "
+            f"{seconds['thread'] * 1e3:7.2f} ms, process "
+            f"{seconds['process'] * 1e3:7.2f} ms  "
+            f"(thread {speedup:.2f}x process)"
+        )
+    emit("\n".join(lines))
+    emit_json(
+        "thread_vs_process",
+        {
+            "grid": "grid5000-table3",
+            "noise_sigma": NOISE_SIGMA,
+            "seed": SEED,
+            "workers": WORKERS,
+            "shared_memory": shared_memory_available(),
+            **sections,
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+    # The acceptance bar: on the small batch the shipping-free thread lane
+    # must beat process fan-out.
+    assert sections["small_batch"]["speedup_thread_vs_process"] >= 1.1
 
 
 def test_chained_pipeline_throughput():

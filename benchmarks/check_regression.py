@@ -11,9 +11,15 @@ perf wins of past PRs cannot silently rot:
 * batched measured sweep     >=  5x the per-run scalar loop
   (``BENCH_practical.json``, replicated section),
 * pipelined runtime          >= 1.5x the pre-runtime worker dispatch
-  (``BENCH_runtime.json``, plain and replicated sections).
+  (``BENCH_runtime.json``, plain and replicated sections),
+* thread executor lane       >= 1.1x the process lane on the small-batch
+  workload (``BENCH_runtime.json``, thread_vs_process section — the
+  shipping-free lane must keep beating shipped fan-out where "auto"
+  selects it).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
+The summary printed here is also surfaced by the CI ``docs`` job, so doc
+readers see the currently-enforced floors next to the rendered docs.
 """
 
 from __future__ import annotations
@@ -47,6 +53,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         ("pipelined_end_to_end", "timings", "replicated", "speedup_vs_pr2",
          "runtime_pipelined"),
         1.5,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("thread_vs_process", "small_batch", "speedup_thread_vs_process"),
+        1.1,
     ),
 )
 

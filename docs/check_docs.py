@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Execute every Python code block in README.md and docs/*.md.
+
+The documentation's promise is that its quickstart snippets run as printed;
+this script keeps that promise mechanically checkable.  Every fenced
+```` ```python ```` block is executed in its own namespace (fenced ``bash`` /
+``console`` blocks are shell examples and are skipped), and
+``examples/quickstart.py`` — the longer tour the README points at — is run
+as a subprocess.  CI's ``docs`` job fails if any block raises.
+
+Run from the repository root::
+
+    PYTHONPATH=src python docs/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents whose ```python blocks must execute.
+DOCUMENTS = ("README.md", "docs/architecture.md", "docs/reproducing.md")
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return [match.group(1) for match in _FENCE.finditer(path.read_text())]
+
+
+def main() -> int:
+    failures = 0
+    for name in DOCUMENTS:
+        path = REPO_ROOT / name
+        blocks = python_blocks(path)
+        for index, block in enumerate(blocks):
+            label = f"{name} block {index + 1}/{len(blocks)}"
+            try:
+                exec(compile(block, f"<{label}>", "exec"), {"__name__": "__docs__"})
+            except Exception as exc:  # noqa: BLE001 - report and keep going
+                failures += 1
+                print(f"FAIL  {label}: {exc!r}", file=sys.stderr)
+            else:
+                print(f"  ok  {label}")
+        if not blocks:
+            print(f"  --  {name}: no python blocks")
+
+    quickstart = REPO_ROOT / "examples" / "quickstart.py"
+    result = subprocess.run(
+        [sys.executable, str(quickstart)], cwd=REPO_ROOT, capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        failures += 1
+        print(f"FAIL  examples/quickstart.py:\n{result.stderr}", file=sys.stderr)
+    else:
+        print("  ok  examples/quickstart.py")
+
+    if failures:
+        print(f"\n{failures} documentation block(s) failed.", file=sys.stderr)
+        return 1
+    print("\nAll documentation code blocks execute.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

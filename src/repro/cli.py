@@ -13,9 +13,13 @@
   collectives against its barrier-separated baseline.
 
 Worker counts default to the ``REPRO_MC_WORKERS`` / ``REPRO_PRACTICAL_WORKERS``
-environment variables with the shared ``REPRO_WORKERS`` fallback; worker
-batches ship through the study runtime (shared memory when available, see
-``--transport``).
+environment variables with the shared ``REPRO_WORKERS`` fallback; the fan-out
+lane defaults to ``REPRO_EXECUTOR`` (see ``--executor``: threads skip
+shipping entirely, processes ship through the study runtime — shared memory
+when available, see ``--transport``).
+
+Every option's help string states its effective default; ``tests/test_cli.py``
+asserts help text and parser defaults stay in sync.
 
 The CLI is intentionally a thin shell over :mod:`repro.experiments`; anything
 serious should use the Python API.
@@ -46,6 +50,17 @@ from repro.topology.grid5000 import build_grid5000_topology
 from repro.utils.rng import RandomStream
 
 
+def _add_executor_option(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--executor",
+        choices=("auto", "thread", "process"),
+        default=None,
+        help="worker fan-out lane: threads read parent arrays in place (no "
+        "shipping), processes ship via --transport; auto picks threads for "
+        "small batches (default: REPRO_EXECUTOR, then auto)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bcast",
@@ -54,78 +69,158 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     schedule = sub.add_parser("schedule", help="schedule one broadcast and print it")
-    schedule.add_argument("--heuristic", default="ecef_la", choices=available_heuristics())
-    schedule.add_argument("--message-size", type=int, default=1_048_576)
-    schedule.add_argument("--root", type=int, default=0)
+    schedule.add_argument(
+        "--heuristic",
+        default="ecef_la",
+        choices=available_heuristics(),
+        help="scheduling heuristic to run (default: ecef_la)",
+    )
+    schedule.add_argument(
+        "--message-size",
+        type=int,
+        default=1_048_576,
+        help="broadcast payload in bytes (default: 1048576, the paper's 1 MB)",
+    )
+    schedule.add_argument(
+        "--root", type=int, default=0, help="root cluster id (default: 0)"
+    )
     schedule.add_argument(
         "--clusters",
         type=int,
         default=0,
-        help="use a random grid with this many clusters instead of the Table 3 grid",
+        help="use a random grid with this many clusters instead of the "
+        "Table 3 grid (default: 0 = Table 3 GRID5000)",
     )
-    schedule.add_argument("--seed", type=int, default=1)
+    schedule.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="random-grid generator seed (default: 1)",
+    )
 
     compare = sub.add_parser("compare", help="compare all paper heuristics on one grid")
-    compare.add_argument("--message-size", type=int, default=1_048_576)
-    compare.add_argument("--root", type=int, default=0)
-    compare.add_argument("--clusters", type=int, default=0)
-    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument(
+        "--message-size",
+        type=int,
+        default=1_048_576,
+        help="broadcast payload in bytes (default: 1048576)",
+    )
+    compare.add_argument(
+        "--root", type=int, default=0, help="root cluster id (default: 0)"
+    )
+    compare.add_argument(
+        "--clusters",
+        type=int,
+        default=0,
+        help="random-grid cluster count (default: 0 = Table 3 GRID5000)",
+    )
+    compare.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="random-grid generator seed (default: 1)",
+    )
 
     simulate = sub.add_parser("simulate", help="run a Monte-Carlo study (Figures 1/2)")
-    simulate.add_argument("--iterations", type=int, default=200)
-    simulate.add_argument("--min-clusters", type=int, default=2)
-    simulate.add_argument("--max-clusters", type=int, default=10)
-    simulate.add_argument("--step", type=int, default=1)
-    simulate.add_argument("--seed", type=int, default=20060331)
+    simulate.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="random grids per cluster count (default: 200; the paper used "
+        "10000)",
+    )
+    simulate.add_argument(
+        "--min-clusters",
+        type=int,
+        default=2,
+        help="smallest swept cluster count (default: 2)",
+    )
+    simulate.add_argument(
+        "--max-clusters",
+        type=int,
+        default=10,
+        help="largest swept cluster count (default: 10)",
+    )
+    simulate.add_argument(
+        "--step", type=int, default=1, help="cluster-count stride (default: 1)"
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=20060331,
+        help="study seed (default: 20060331)",
+    )
     simulate.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="fan the Monte-Carlo chunks out over this many processes "
-        "(default: REPRO_MC_WORKERS, then REPRO_WORKERS)",
+        help="fan the Monte-Carlo chunks out over this many workers "
+        "(default: REPRO_MC_WORKERS, then REPRO_WORKERS, then in-process)",
     )
+    _add_executor_option(simulate)
     simulate.add_argument(
         "--transport",
         choices=("auto", "shm", "pickle"),
         default=None,
-        help="ship the stacked (K, n, n) cost matrices to workers over this "
-        "transport instead of letting workers regenerate grids from seeds",
+        help="ship the stacked (K, n, n) cost matrices to process workers "
+        "over this transport instead of letting workers regenerate grids "
+        "from seeds (default: seed shipping; auto = shared memory when "
+        "available)",
     )
 
     practical = sub.add_parser(
         "practical", help="run the predicted-vs-measured study (Figures 5/6)"
     )
-    practical.add_argument("--max-size", type=int, default=4_718_592)
-    practical.add_argument("--points", type=int, default=10)
-    practical.add_argument("--noise", type=float, default=0.03)
+    practical.add_argument(
+        "--max-size",
+        type=int,
+        default=4_718_592,
+        help="largest message size in bytes (default: 4718592, Figure 5/6's "
+        "4.5 MB)",
+    )
+    practical.add_argument(
+        "--points",
+        type=int,
+        default=10,
+        help="number of swept sizes from 0 to --max-size (default: 10)",
+    )
+    practical.add_argument(
+        "--noise",
+        type=float,
+        default=0.03,
+        help="log-normal noise sigma of the measured sweep (default: 0.03)",
+    )
     practical.add_argument(
         "--collective",
         choices=("bcast", "scatter", "alltoall"),
         default="bcast",
-        help="collective pattern to study (scatter/alltoall measure the "
-        "grid-aware strategy against its flat/direct baseline)",
+        help="collective pattern to study; scatter/alltoall measure the "
+        "grid-aware strategy against its flat/direct baseline "
+        "(default: bcast)",
     )
     practical.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="fan the measured sweep out over this many processes "
-        "(default: REPRO_PRACTICAL_WORKERS, then REPRO_WORKERS); with "
-        "workers the bcast study pipelines construction with measurement",
+        help="fan the measured sweep out over this many workers "
+        "(default: REPRO_PRACTICAL_WORKERS, then REPRO_WORKERS, then "
+        "in-process); with workers the bcast study pipelines construction "
+        "with measurement",
     )
+    _add_executor_option(practical)
     practical.add_argument(
         "--replicas",
         type=int,
         default=1,
         help="independent noisy measurements per curve point; the measured "
-        "table reports the replica mean (bcast study only)",
+        "table reports the replica mean (bcast study only; default: 1)",
     )
     practical.add_argument(
         "--transport",
         choices=("auto", "shm", "pickle"),
         default=None,
-        help="how compiled program batches reach workers (default auto: "
-        "shared memory when available, pickle otherwise)",
+        help="how compiled program batches reach process workers "
+        "(default: auto — shared memory when available, pickle otherwise)",
     )
 
     chain = sub.add_parser(
@@ -137,15 +232,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--collectives",
         default="scatter,alltoall",
         help="comma-separated pipeline stages "
-        f"(choices: {', '.join(CHAIN_COLLECTIVES)})",
+        f"(choices: {', '.join(CHAIN_COLLECTIVES)}; "
+        "default: scatter,alltoall)",
     )
     chain.add_argument(
-        "--repeat", type=int, default=1, help="repeat the stage sequence N times"
+        "--repeat",
+        type=int,
+        default=1,
+        help="repeat the stage sequence N times (default: 1)",
     )
-    chain.add_argument("--max-size", type=int, default=262_144)
-    chain.add_argument("--points", type=int, default=4)
-    chain.add_argument("--noise", type=float, default=0.03)
-    chain.add_argument("--workers", type=int, default=None)
+    chain.add_argument(
+        "--max-size",
+        type=int,
+        default=262_144,
+        help="largest per-stage payload/chunk size in bytes (default: 262144)",
+    )
+    chain.add_argument(
+        "--points",
+        type=int,
+        default=4,
+        help="number of swept sizes up to --max-size (default: 4)",
+    )
+    chain.add_argument(
+        "--noise",
+        type=float,
+        default=0.03,
+        help="log-normal noise sigma (default: 0.03)",
+    )
+    chain.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sizes out over this many workers; chains are never split "
+        "(default: REPRO_PRACTICAL_WORKERS, then REPRO_WORKERS, then "
+        "in-process)",
+    )
+    _add_executor_option(chain)
 
     return parser
 
@@ -189,7 +311,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cluster_counts=counts, iterations=args.iterations, seed=args.seed
     )
     result = run_simulation_study(
-        config, workers=args.workers, transport=args.transport
+        config,
+        workers=args.workers,
+        executor=args.executor,
+        transport=args.transport,
     )
     series = {
         name: result.series(name) for name in result.heuristic_names
@@ -213,7 +338,10 @@ def _cmd_practical(args: argparse.Namespace) -> int:
     config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
     if args.collective == "scatter":
         result = run_scatter_study(
-            config, workers=args.workers, transport=args.transport
+            config,
+            workers=args.workers,
+            executor=args.executor,
+            transport=args.transport,
         )
         print(
             render_table(
@@ -223,7 +351,10 @@ def _cmd_practical(args: argparse.Namespace) -> int:
         return 0
     if args.collective == "alltoall":
         result = run_alltoall_study(
-            config, workers=args.workers, transport=args.transport
+            config,
+            workers=args.workers,
+            executor=args.executor,
+            transport=args.transport,
         )
         print(
             render_table(
@@ -234,6 +365,7 @@ def _cmd_practical(args: argparse.Namespace) -> int:
     result = run_practical_study(
         config,
         workers=args.workers,
+        executor=args.executor,
         replicas=args.replicas,
         transport=args.transport,
     )
@@ -259,7 +391,11 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     )
     config = PracticalStudyConfig(message_sizes=sizes, noise_sigma=args.noise)
     result = run_chained_study(
-        config, stages=stages, repeat=args.repeat, workers=args.workers
+        config,
+        stages=stages,
+        repeat=args.repeat,
+        workers=args.workers,
+        executor=args.executor,
     )
     title = (
         "Warm-chained pipeline vs barrier baseline (s): "

@@ -51,6 +51,11 @@ from repro.core.mixed import MixedStrategy
 class BatchedGridCosts:
     """Stacked cost matrices of ``K`` same-sized grids.
 
+    Every batched kernel round touches each stacked cell a constant number
+    of times, so the study runtime prices a Monte-Carlo chunk at
+    ``iterations * clusters**2`` cells when it sizes chunks and picks an
+    executor lane (:mod:`repro.runtime.chunking`).
+
     Attributes
     ----------
     num_grids, num_clusters:
@@ -109,6 +114,7 @@ class BatchedGridCosts:
         if self._transfer_plus_broadcast is None:
             self._transfer_plus_broadcast = self.transfer + self.broadcast[:, None, :]
         return self._transfer_plus_broadcast
+
 
 
 class _BatchedState:

@@ -164,7 +164,9 @@ def run_chained_study(
     repeat: int = 1,
     workers: int | None = None,
     engine: str = "batched",
+    executor: str | None = None,
     transport: str | None = None,
+    chunking: str = "adaptive",
 ) -> ChainedStudyResult:
     """Measure a pipeline of collectives warm-chained versus barrier-separated.
 
@@ -182,13 +184,23 @@ def run_chained_study(
         ``repeat=4`` measures four back-to-back broadcasts).
     workers:
         Fan sizes out over the persistent runtime pool (chains are never
-        split).  ``None`` consults ``REPRO_PRACTICAL_WORKERS`` then
-        ``REPRO_WORKERS``.
+        split).  ``None`` consults the ``REPRO_PRACTICAL_WORKERS``
+        environment variable, then the shared ``REPRO_WORKERS``.
     engine:
         ``"batched"`` (default) or the scalar reference.
+    executor:
+        Fan-out lane — ``"thread"`` / ``"process"`` / ``"auto"`` (default
+        via ``REPRO_EXECUTOR``); see
+        :func:`~repro.simulator.batch.execute_programs`.  Bit-identical
+        either way.
     transport:
-        Worker shipping transport (see
+        Worker shipping transport on the process lane (see
         :func:`~repro.simulator.batch.execute_programs`).
+    chunking:
+        ``"adaptive"`` (default) balances worker chunks by per-stage message
+        cost — exactly what a mixed scatter/all-to-all pipeline needs, an
+        all-to-all stage costs ~20x a scatter stage — ``"fixed"`` keeps the
+        task-count split.  Bit-identical either way.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
@@ -247,7 +259,9 @@ def run_chained_study(
         collect_traces=False,
         workers=worker_count,
         engine=engine,
+        executor=executor,
         transport=transport,
+        chunking=chunking,
     )
     num_stages = len(sequence)
     makespans = np.array(

@@ -45,6 +45,7 @@ from repro.experiments.config import PracticalStudyConfig
 from repro.mpi.alltoall import direct_alltoall_program, grid_aware_alltoall_program
 from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
 from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
+from repro.runtime.chunking import choose_executor
 from repro.runtime.pipeline import PipelinedExecutor
 from repro.runtime.pool import get_pool
 from repro.simulator.batch import ENGINES, ExecutionTask, execute_programs
@@ -213,9 +214,11 @@ def run_practical_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    executor: str | None = None,
     replicas: int = 1,
     pipeline: bool | None = None,
     transport: str | None = None,
+    chunking: str = "adaptive",
     pool=None,
 ) -> PracticalStudyResult:
     """Run the Figure 5 / Figure 6 experiment.
@@ -228,13 +231,20 @@ def run_practical_study(
         The grid to evaluate on; defaults to the Table 3 GRID5000 topology.
     workers:
         Optional fan-out of the measured sweep over the persistent runtime
-        pool.  ``None`` consults ``REPRO_PRACTICAL_WORKERS`` then the shared
-        ``REPRO_WORKERS``; ``0``/``1`` run in-process.  Results are identical
-        at any worker count.
+        pool.  ``None`` consults the ``REPRO_PRACTICAL_WORKERS`` environment
+        variable, then the shared ``REPRO_WORKERS``; ``0``/``1`` run
+        in-process.  Results are identical at any worker count.
     engine:
         ``"batched"`` (default) or ``"scalar"``; both produce bit-identical
         results — the scalar path exists as the reference for equivalence
         tests and benchmarks.
+    executor:
+        Fan-out lane: ``"thread"`` (no shipping — workers read the parent's
+        compiled arrays in place), ``"process"``, or ``"auto"`` (threads for
+        sweeps too small to amortise shipping, processes otherwise; naming a
+        ``transport`` pins auto to processes).  ``None`` consults
+        ``REPRO_EXECUTOR``, then defaults to ``"auto"``.  Every lane is
+        bit-identical.
     replicas:
         Number of independent noisy measurements per curve point.  The
         result's ``measured`` columns become replica means and the raw
@@ -248,17 +258,24 @@ def run_practical_study(
         driver, ``None`` (default) pipelines exactly when a pool is in play
         and the engine is batched.  Both drivers are bit-identical.
     transport:
-        How batches reach workers: ``"auto"`` (default), ``"shm"``,
+        How batches reach process workers: ``"auto"`` (default), ``"shm"``,
         ``"pickle"``, or — sequential driver only — ``"legacy"`` (the
-        pre-runtime dispatch kept as the benchmark baseline).
+        pre-runtime dispatch kept as the benchmark baseline).  Ignored on
+        the thread lane, which ships nothing.
+    chunking:
+        ``"adaptive"`` (default) sizes worker chunks from per-task cost and
+        observed wall time; ``"fixed"`` keeps the historical task-count
+        chunking.  Bit-identical either way.
     pool:
-        An explicit :class:`~repro.runtime.pool.StudyPool`; defaults to the
-        process-wide persistent pool.
+        An explicit :class:`~repro.runtime.pool.StudyPool` /
+        :class:`~repro.runtime.pool.ThreadStudyPool`; defaults to the
+        process-wide persistent pool of the chosen lane (a passed pool's
+        ``kind`` wins over ``executor``).
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
-    # Resolve the fan-out (and implicitly validate the env var) up front so a
-    # bad setting fails before the prediction sweep, not after it.
+    # Resolve the fan-out (and implicitly validate the env vars) up front so
+    # a bad setting fails before the prediction sweep, not after it.
     worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
     if workers is None and worker_count == 0 and pool is not None:
         # An explicit pool is an explicit request for fan-out.
@@ -288,15 +305,26 @@ def run_practical_study(
     )
     network_config = NetworkConfig(noise_sigma=config.noise_sigma, seed=config.seed)
 
-    executor: PipelinedExecutor | None = None
+    pipelined: PipelinedExecutor | None = None
     if use_pipeline:
-        executor = PipelinedExecutor(
+        study_pool = pool
+        if study_pool is None and worker_count >= 2:
+            # Lane prior: one message per reached node per curve point (the
+            # broadcast programs inject ~num_nodes messages each).
+            estimated_units = (
+                len(sizes)
+                * (len(heuristics) + (1 if baseline is not None else 0))
+                * replicas
+                * grid.num_nodes
+            )
+            lane = choose_executor(executor, estimated_units, transport=transport)
+            study_pool = get_pool(worker_count, kind=lane)
+        pipelined = PipelinedExecutor(
             grid,
             config=network_config,
-            pool=pool
-            if pool is not None
-            else (get_pool(worker_count) if worker_count >= 2 else None),
+            pool=study_pool,
             transport=transport,
+            chunking=chunking,
             collect_traces=False,
         )
 
@@ -339,19 +367,19 @@ def run_practical_study(
                         )
                     )
                     slots.append((replica, size_index, heuristic_index))
-            if executor is not None:
-                executor.submit(size_tasks)
+            if pipelined is not None:
+                pipelined.submit(size_tasks)
             else:
                 all_tasks.extend(size_tasks)
     except BaseException:
         # Construction failed mid-sweep: release any batches already shipped
         # to the pool before propagating.
-        if executor is not None:
-            executor.abort()
+        if pipelined is not None:
+            pipelined.abort()
         raise
 
-    if executor is not None:
-        executions = executor.finish()
+    if pipelined is not None:
+        executions = pipelined.finish()
     else:
         executions = execute_programs(
             grid,
@@ -360,7 +388,9 @@ def run_practical_study(
             collect_traces=False,
             workers=worker_count,
             engine=engine,
+            executor=executor,
             transport=transport,
+            chunking=chunking,
             pool=pool,
         )
     for (replica, size_index, heuristic_index), execution in zip(slots, executions):
@@ -445,13 +475,18 @@ def _run_collective_study(
     workers: int | None,
     engine: str,
     transport: str | None = None,
+    executor: str | None = None,
+    chunking: str = "adaptive",
 ) -> CollectiveStudyResult:
     """Shared driver: one ExecutionTask per (strategy, chunk size).
 
     ``strategies`` maps display names to ``builder(grid, chunk_size)``
     callables returning a :class:`CommunicationProgram`; the programs' own
     ``initially_active`` metadata (all ranks for all-to-all) flows through the
-    batched executor untouched.
+    batched executor untouched.  The executor lane and chunk sizes resolve in
+    :func:`~repro.simulator.batch.execute_programs` from the built programs'
+    exact message counts (an all-to-all task is ~20x a scatter task, so
+    adaptive chunking matters most here).
     """
     worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
     _check_engine(engine)
@@ -472,7 +507,9 @@ def _run_collective_study(
         collect_traces=False,
         workers=worker_count,
         engine=engine,
+        executor=executor,
         transport=transport,
+        chunking=chunking,
     )
     measured = np.array(
         [execution.makespan for execution in executions], dtype=float
@@ -492,7 +529,9 @@ def run_scatter_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    executor: str | None = None,
     transport: str | None = None,
+    chunking: str = "adaptive",
 ) -> CollectiveStudyResult:
     """Measure the flat scatter against the grid-aware hierarchical scatters.
 
@@ -500,6 +539,13 @@ def run_scatter_study(
     configured heuristic then drives the inter-cluster order of the
     MagPIe-style aggregated scatter (paper §8's first "future work" pattern).
     ``config.message_sizes`` are interpreted as per-rank chunk sizes.
+
+    ``workers`` defaults from ``REPRO_PRACTICAL_WORKERS`` then the shared
+    ``REPRO_WORKERS``; ``executor`` (``"thread"``/``"process"``/``"auto"``,
+    default from ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``
+    and ``chunking`` behave as in
+    :func:`~repro.simulator.batch.execute_programs`.  Results are
+    bit-identical for every combination.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
@@ -526,7 +572,8 @@ def run_scatter_study(
             (f"Grid-aware [{heuristic.name}]", aware_builder(heuristic))
         )
     return _run_collective_study(
-        "scatter", strategies, config, grid, workers, engine, transport
+        "scatter", strategies, config, grid, workers, engine, transport,
+        executor, chunking,
     )
 
 
@@ -536,7 +583,9 @@ def run_alltoall_study(
     grid: Grid | None = None,
     workers: int | None = None,
     engine: str = "batched",
+    executor: str | None = None,
     transport: str | None = None,
+    chunking: str = "adaptive",
 ) -> CollectiveStudyResult:
     """Measure the direct all-to-all against the grid-aware aggregated one.
 
@@ -546,6 +595,13 @@ def run_alltoall_study(
     §8's second "future work" pattern).  ``config.message_sizes`` are
     per-rank-pair chunk sizes, so keep them modest — the direct strategy
     injects ``n * (n - 1)`` messages per execution.
+
+    ``workers`` defaults from ``REPRO_PRACTICAL_WORKERS`` then the shared
+    ``REPRO_WORKERS``; ``executor`` (``"thread"``/``"process"``/``"auto"``,
+    default from ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``
+    and ``chunking`` behave as in
+    :func:`~repro.simulator.batch.execute_programs`.  Results are
+    bit-identical for every combination.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
@@ -557,5 +613,6 @@ def run_alltoall_study(
         ),
     ]
     return _run_collective_study(
-        "alltoall", strategies, config, grid, workers, engine, transport
+        "alltoall", strategies, config, grid, workers, engine, transport,
+        executor, chunking,
     )

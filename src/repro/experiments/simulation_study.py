@@ -36,6 +36,7 @@ from repro.core.batch import BatchedGridCosts, batched_makespans, has_batched_ke
 from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import SimulationStudyConfig
+from repro.runtime.chunking import choose_executor
 from repro.runtime.pool import get_pool
 from repro.runtime.transport import ArrayShipment
 from repro.topology.generators import RandomGridGenerator
@@ -136,17 +137,22 @@ class SimulationStudyResult:
 
 
 def _chunk_size(num_clusters: int, iterations: int, worker_count: int) -> int:
-    """Iterations per batch chunk.
+    """Iterations per batch chunk, sized from per-iteration *cost*.
 
-    Bounded by memory (the stacked matrices stay small) and, when a worker
-    pool is in play, split so each worker gets several chunks per cluster
-    count — otherwise a single-cluster-count study would collapse into one
-    task and run serially regardless of ``workers``.  Chunking never affects
+    An iteration's cost scales with ``num_clusters**2`` (its stacked-matrix
+    cells), so the memory bound doubles as a cost bound: chunks of a large
+    grid carry fewer iterations than chunks of a small one.  When a worker
+    pool is in play the chunk additionally shrinks so each worker gets
+    several chunks per cluster count (:data:`~repro.runtime.chunking.CHUNKS_PER_WORKER`)
+    — otherwise a single-cluster-count study would collapse into one task
+    and run serially regardless of ``workers``.  Chunking never affects
     results (each iteration owns its seed).
     """
+    from repro.runtime.chunking import CHUNKS_PER_WORKER
+
     chunk = max(1, MAX_BATCH_ELEMENTS // max(1, num_clusters * num_clusters))
     if worker_count > 1:
-        per_worker = -(-iterations // (worker_count * 4))  # ceil division
+        per_worker = -(-iterations // (worker_count * CHUNKS_PER_WORKER))
         chunk = min(chunk, max(1, per_worker))
     return chunk
 
@@ -296,6 +302,7 @@ def run_simulation_study(
     config: SimulationStudyConfig,
     *,
     workers: int | None = None,
+    executor: str | None = None,
     transport: str | None = None,
     pool=None,
 ) -> SimulationStudyResult:
@@ -303,7 +310,8 @@ def run_simulation_study(
 
     Every (cluster count, iteration) pair gets its own deterministic child
     random stream, so results are independent of execution order, chunking,
-    driver, transport and worker count, and reproducible for a fixed seed.
+    driver, executor lane, transport and worker count, and reproducible for
+    a fixed seed.
 
     Parameters
     ----------
@@ -311,18 +319,31 @@ def run_simulation_study(
         The study set-up.
     workers:
         Optional fan-out of the batch chunks over the persistent runtime
-        pool.  ``None`` consults ``REPRO_MC_WORKERS`` then the shared
-        ``REPRO_WORKERS``; ``0``/``1`` run in-process.
+        pool.  ``None`` consults the ``REPRO_MC_WORKERS`` environment
+        variable, then the shared ``REPRO_WORKERS``; ``0``/``1`` run
+        in-process.
+    executor:
+        Fan-out lane: ``"thread"`` (chunks pass to worker threads by
+        reference — no pickling, no shipping), ``"process"``, or ``"auto"``
+        — threads when the study's total estimated cost
+        (``iterations * clusters**2`` stacked-matrix cells) is too small to
+        amortise process shipping, processes otherwise (naming a
+        ``transport`` pins auto to processes).  ``None`` consults
+        ``REPRO_EXECUTOR``, then defaults to ``"auto"``.  Every lane is
+        bit-identical.
     transport:
         ``None`` (default) ships chunk *seeds* and lets each worker
         regenerate its grids — the cheapest payload when generation is
         inexpensive.  ``"auto"``/``"shm"``/``"pickle"`` switch to the
         pipelined stack-shipping driver: the parent generates the grids and
         ships the stacked ``(K, n, n)`` cost matrices zero-copy while workers
-        schedule the previous chunk.  All drivers are bit-identical.
+        schedule the previous chunk (process lane only — the thread lane
+        never ships).  All drivers are bit-identical.
     pool:
-        An explicit :class:`~repro.runtime.pool.StudyPool`; defaults to the
-        process-wide persistent pool.
+        An explicit :class:`~repro.runtime.pool.StudyPool` /
+        :class:`~repro.runtime.pool.ThreadStudyPool`; defaults to the
+        process-wide persistent pool of the chosen lane (a passed pool's
+        ``kind`` wins over ``executor``).
     """
     heuristic_keys = tuple(config.heuristics)
     heuristics = instantiate(heuristic_keys)
@@ -356,10 +377,22 @@ def run_simulation_study(
             )
 
     if worker_count > 1 and len(tasks) > 1:
-        study_pool = pool if pool is not None else get_pool(worker_count)
-        if transport is not None:
+        if pool is not None:
+            lane = getattr(pool, "kind", "process")
+            study_pool = pool
+        else:
+            # Cost prior: one unit per stacked scheduling-matrix cell.
+            total_units = config.iterations * sum(
+                num_clusters * num_clusters for num_clusters in counts
+            )
+            lane = choose_executor(executor, total_units, transport=transport)
+            study_pool = get_pool(worker_count, kind=lane)
+        if transport is not None and lane == "process":
             _run_stack_shipping(tasks, makespans, study_pool, transport, heuristics)
         else:
+            # Seed shipping; on the thread lane "shipping" is a by-reference
+            # argument pass — the worker still regenerates its chunk's grids,
+            # which is what keeps the thread and process lanes bit-identical.
             results = study_pool.imap_unordered(_evaluate_chunk_task, tasks)
             for count_index, start, values in results:
                 makespans[count_index, :, start : start + values.shape[1]] = values

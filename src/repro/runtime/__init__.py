@@ -8,40 +8,72 @@ matrices and compiled programs re-pickled per chunk, and schedule
 construction strictly serialised before measured execution.  This package is
 the subsystem that removes them, shared by every study driver and the CLI:
 
-* :mod:`repro.runtime.pool` — :class:`~repro.runtime.pool.StudyPool`, the
-  persistent worker pool created once per process and reused across studies
-  (per-task seed derivation keeps results bit-identical for any pool
-  lifetime, submission order or worker count);
+* :mod:`repro.runtime.pool` — :class:`~repro.runtime.pool.StudyPool` (the
+  process lane) and :class:`~repro.runtime.pool.ThreadStudyPool` (the thread
+  lane: same submit/collect contract, workers read the parent's arrays in
+  place, nothing ships), both persistent — created once per process and
+  reused across studies (per-task seed derivation keeps results
+  bit-identical for any lane, pool lifetime, submission order or worker
+  count);
 * :mod:`repro.runtime.transport` —
   :class:`~repro.runtime.transport.ArrayShipment`, zero-copy shipping of
   ``(K, n, n)`` cost stacks and compiled program arrays through
   :mod:`multiprocessing.shared_memory` (pickle fallback on platforms
-  without it);
+  without it); process lane only — the thread lane needs no transport;
+* :mod:`repro.runtime.chunking` — cost-aware chunk sizing
+  (:func:`~repro.runtime.chunking.partition_by_cost`,
+  :class:`~repro.runtime.chunking.CostModel`) and executor selection
+  (:func:`~repro.runtime.chunking.choose_executor`,
+  ``executor="thread"|"process"|"auto"``);
 * :mod:`repro.runtime.pipeline` —
   :class:`~repro.runtime.pipeline.PipelinedExecutor`, the overlapped
   construct/measure driver behind the streaming Table 3 sweep.
 
 Worker counts everywhere resolve through
 :func:`repro.utils.workers.resolve_workers` (``REPRO_MC_WORKERS`` /
-``REPRO_PRACTICAL_WORKERS`` with the shared ``REPRO_WORKERS`` fallback).
+``REPRO_PRACTICAL_WORKERS`` with the shared ``REPRO_WORKERS`` fallback);
+executor lanes resolve through
+:func:`repro.runtime.chunking.resolve_executor` (``REPRO_EXECUTOR``, default
+``"auto"``).
 """
 
-from repro.runtime.pool import StudyPool, get_pool, shutdown_pool
+from repro.runtime.pool import StudyPool, ThreadStudyPool, get_pool, shutdown_pool
 from repro.runtime.transport import (
     TRANSPORTS,
     ArrayShipment,
     resolve_transport,
     shared_memory_available,
 )
+from repro.runtime.chunking import (
+    CHUNKINGS,
+    EXECUTORS,
+    CostModel,
+    aggregate_unit_costs,
+    choose_executor,
+    compiled_cost,
+    partition_by_cost,
+    program_cost,
+    resolve_executor,
+)
 from repro.runtime.pipeline import PipelinedExecutor
 
 __all__ = [
     "StudyPool",
+    "ThreadStudyPool",
     "get_pool",
     "shutdown_pool",
     "TRANSPORTS",
     "ArrayShipment",
     "resolve_transport",
     "shared_memory_available",
+    "CHUNKINGS",
+    "EXECUTORS",
+    "CostModel",
+    "aggregate_unit_costs",
+    "choose_executor",
+    "compiled_cost",
+    "partition_by_cost",
+    "program_cost",
+    "resolve_executor",
     "PipelinedExecutor",
 ]

@@ -9,13 +9,22 @@ is compiled it is shipped to the persistent worker pool
 (:mod:`repro.runtime.pool`) and *measured while the next batch constructs*.
 
 The executor keeps one parent-side compiler alive across submissions, so
-every pLogP parameter evaluated for an early batch is reused by later ones,
-and ships each batch's compiled arrays through
-:mod:`repro.runtime.transport` (zero-copy shared memory when available).
+every pLogP parameter evaluated for an early batch is reused by later ones.
+How a batch reaches the workers depends on the pool's lane: a process
+:class:`~repro.runtime.pool.StudyPool` receives each batch's compiled arrays
+through :mod:`repro.runtime.transport` (zero-copy shared memory when
+available), while a :class:`~repro.runtime.pool.ThreadStudyPool` receives the
+parent's compiled programs **by reference** — the thread lane ships nothing.
+
+Chunking is adaptive by default: each submission is split into cost-balanced
+worker chunks (per-task cost = program message count), and every completed
+chunk's wall time feeds the executor's
+:class:`~repro.runtime.chunking.CostModel`, so later batches of the same
+study are split against *observed* throughput rather than the prior.
 Submission order defines result order, every task carries its own derived
 noise seed, and chains are submitted whole — so the pipelined results are
-bit-identical to the sequential driver's, which the determinism suite
-asserts directly.
+bit-identical to the sequential driver's for any lane, transport or chunking
+policy, which the determinism suite asserts directly.
 
 Without a pool the executor degrades to the plain in-process batched engine
 (same results, no overlap), so callers can use one code path for both.
@@ -26,10 +35,31 @@ from __future__ import annotations
 from typing import Sequence
 
 import repro.simulator.batch as _batch
+from repro.runtime.chunking import (
+    CHUNKINGS,
+    CostModel,
+    aggregate_unit_costs,
+    compiled_cost,
+    partition_by_cost,
+)
 from repro.runtime.pool import StudyPool
 from repro.simulator.execution import ExecutionResult
 from repro.simulator.network import NetworkConfig
 from repro.topology.grid import Grid
+
+#: Submissions whose estimated wall time is below this are sent as a single
+#: chunk — splitting them would cost more in per-chunk overhead than the
+#: balance could recover.  A pure performance knob; never affects results.
+SPLIT_MIN_SECONDS = 0.002
+
+#: A submission is split into cost-balanced chunks only when its atomic
+#: units are at least this skewed (max unit cost over min unit cost).
+#: Uniform batches stay whole: inter-batch pipelining already occupies the
+#: pool, so splitting them buys no balance and costs extra round trips and
+#: parent-side contention.  Skewed batches — a chained scatter next to a
+#: ~20x all-to-all — are exactly where one oversized chunk would stall the
+#: collect order.
+SPLIT_MIN_SKEW = 2.0
 
 
 class PipelinedExecutor:
@@ -43,11 +73,21 @@ class PipelinedExecutor:
         Shared network behaviour (noise sigma, fallback seed, receive
         overhead).
     pool:
-        The worker pool to overlap against; ``None`` runs every submission
-        synchronously in-process (bit-identical results, no overlap).
+        The worker pool to overlap against — a process
+        :class:`~repro.runtime.pool.StudyPool` (batches ship through the
+        transport) or a :class:`~repro.runtime.pool.ThreadStudyPool`
+        (batches pass by reference, nothing ships); ``None`` runs every
+        submission synchronously in-process (bit-identical results, no
+        overlap).
     transport:
-        Shipping transport for compiled batches — ``"auto"`` (default),
-        ``"shm"`` or ``"pickle"``; see :mod:`repro.runtime.transport`.
+        Shipping transport for compiled batches on the process lane —
+        ``"auto"`` (default), ``"shm"`` or ``"pickle"``; see
+        :mod:`repro.runtime.transport`.  Ignored on the thread lane.
+    chunking:
+        ``"adaptive"`` (default) splits each submission into cost-balanced
+        worker chunks and refines the cost model from observed chunk wall
+        times; ``"fixed"`` keeps each submission as one chunk (the
+        historical behaviour).  Bit-identical either way.
     collect_traces:
         Keep full message traces (measured sweeps pass ``False``).
     """
@@ -59,16 +99,24 @@ class PipelinedExecutor:
         config: NetworkConfig | None = None,
         pool: StudyPool | None = None,
         transport: str | None = None,
+        chunking: str = "adaptive",
         collect_traces: bool = False,
     ) -> None:
+        if chunking not in CHUNKINGS:
+            raise ValueError(
+                f"chunking must be one of {CHUNKINGS}, got {chunking!r}"
+            )
         self._grid = grid
         self._config = config if config is not None else NetworkConfig()
         self._pool = pool
         self._transport = transport
+        self._chunking = chunking
         self._collect_traces = collect_traces
         self._compiler = _batch._BatchCompiler(grid, collect_traces)
-        # Each entry is ("sync", results) or ("async", handle, shipment,
-        # batch length), in submission order.
+        self._cost_model = CostModel()
+        # Each entry is ("sync", results) or ("async", handles, shipment,
+        # units, task count), in submission order; harvested async entries
+        # collapse back to ("sync", results).
         self._pending: list[tuple] = []
         self._finished = False
 
@@ -77,11 +125,17 @@ class PipelinedExecutor:
         """Whether submissions overlap with pool-side execution."""
         return self._pool is not None
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The executor's estimated-then-observed task cost model."""
+        return self._cost_model
+
     def submit(self, tasks: Sequence[_batch.ExecutionTask]) -> None:
         """Queue one batch of tasks for execution.
 
-        With a pool the batch is compiled, shipped and handed to the workers
-        immediately — the call returns while they execute, so the caller can
+        With a pool the batch is compiled and handed to the workers
+        immediately (shipped on the process lane, by reference on the thread
+        lane) — the call returns while they execute, so the caller can
         construct the next batch in parallel.  Chains must be contained in a
         single submission.
         """
@@ -111,25 +165,112 @@ class PipelinedExecutor:
             )
             self._pending.append(("sync", results))
             return
-        shipment, metas, index_of = _batch._ship_compiled(
-            compiled, self._collect_traces, self._transport
+        # Feed the cost model with whatever already finished, so this
+        # submission's chunk split rests on observed throughput.
+        self._harvest()
+        costs = [compiled_cost(prog) for prog in compiled]
+        units = float(sum(costs))
+        bounds = self._bounds(normalized, costs, units)
+        if getattr(self._pool, "kind", "process") == "thread":
+            handles = [
+                self._pool.submit(
+                    _batch._execute_compiled_chunk,
+                    (
+                        start,
+                        compiled[start:end],
+                        seeds[start:end],
+                        resets[start:end],
+                        self._config.noise_sigma,
+                        self._config.receive_overhead,
+                        self._collect_traces,
+                        self._grid.num_nodes,
+                    ),
+                )
+                for start, end in bounds
+            ]
+            shipment = None
+        else:
+            shipment, metas, index_of = _batch._ship_compiled(
+                compiled, self._collect_traces, self._transport
+            )
+            entries = [
+                (index_of[id(prog)], seed, reset)
+                for prog, seed, reset in zip(compiled, seeds, resets)
+            ]
+            handles = []
+            for start, end in bounds:
+                chunk_entries = entries[start:end]
+                needed = {unique_index for unique_index, _, _ in chunk_entries}
+                job = (
+                    start,
+                    shipment,
+                    {index: metas[index] for index in needed},
+                    chunk_entries,
+                    self._config.noise_sigma,
+                    self._config.receive_overhead,
+                    self._collect_traces,
+                    self._grid.num_nodes,
+                )
+                handles.append(
+                    self._pool.submit(_batch._execute_shipped_chunk, job)
+                )
+        self._pending.append(
+            ("async", handles, shipment, units, len(normalized))
         )
-        entries = [
-            (index_of[id(prog)], seed, reset)
-            for prog, seed, reset in zip(compiled, seeds, resets)
-        ]
-        job = (
-            0,
-            shipment,
-            dict(enumerate(metas)),
-            entries,
-            self._config.noise_sigma,
-            self._config.receive_overhead,
-            self._collect_traces,
-            self._grid.num_nodes,
-        )
-        handle = self._pool.submit(_batch._execute_shipped_chunk, job)
-        self._pending.append(("async", handle, shipment))
+
+    def _bounds(
+        self,
+        tasks: Sequence[_batch.ExecutionTask],
+        costs: Sequence[float],
+        units: float,
+    ) -> list[tuple[int, int]]:
+        """Worker chunk boundaries for one submission.
+
+        Adaptive chunking splits into up to ``pool.workers`` cost-balanced
+        chunks — but only when the batch's estimated wall time (cost model)
+        is worth the per-chunk overhead *and* its unit costs are skewed
+        enough that balancing matters (:data:`SPLIT_MIN_SKEW`); tiny or
+        uniform batches stay whole and ride the inter-batch pipeline.
+        """
+        workers = self._pool.workers
+        if (
+            self._chunking != "adaptive"
+            or workers < 2
+            or self._cost_model.seconds_for(units) < SPLIT_MIN_SECONDS
+        ):
+            return [(0, len(tasks))]
+        chain_units = _batch._chain_units(tasks)
+        if len(chain_units) < 2:
+            return [(0, len(tasks))]
+        unit_costs = aggregate_unit_costs(chain_units, costs)
+        if max(unit_costs) < SPLIT_MIN_SKEW * max(min(unit_costs), 1.0):
+            return [(0, len(tasks))]
+        return partition_by_cost(chain_units, unit_costs, workers)
+
+    def _collect(self, entry: tuple) -> list[ExecutionResult]:
+        """Gather one async entry's chunks (blocking) and feed the model."""
+        _, handles, shipment, units, count = entry
+        results: list[ExecutionResult | None] = [None] * count
+        elapsed = 0.0
+        try:
+            for handle in handles:
+                start, values, seconds = handle.get()
+                results[start : start + len(values)] = values
+                elapsed += seconds
+        finally:
+            if shipment is not None:
+                shipment.unlink()
+        self._cost_model.observe(units, elapsed)
+        return results  # type: ignore[return-value]
+
+    def _harvest(self) -> None:
+        """Collapse finished async entries without blocking on running ones."""
+        for index, entry in enumerate(self._pending):
+            if entry[0] != "async":
+                continue
+            if not all(handle.ready() for handle in entry[1]):
+                continue
+            self._pending[index] = ("sync", self._collect(entry))
 
     def finish(self) -> list[ExecutionResult]:
         """Wait for every submitted batch; results flattened in submit order.
@@ -148,15 +289,18 @@ class PipelinedExecutor:
             if entry[0] == "sync":
                 results.extend(entry[1])
                 continue
-            _, handle, shipment = entry
-            try:
-                if failure is None:
-                    _, values = handle.get()
-                    results.extend(values)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                failure = exc
-            finally:
-                shipment.unlink()
+            if failure is None:
+                try:
+                    results.extend(self._collect(entry))
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failure = exc
+            elif entry[2] is not None:
+                # Draining the remaining shipments is best-effort cleanup;
+                # it must never mask the root-cause failure above.
+                try:
+                    entry[2].unlink()
+                except Exception:
+                    pass
         if failure is not None:
             raise failure
         return results
@@ -172,5 +316,5 @@ class PipelinedExecutor:
         self._finished = True
         pending, self._pending = self._pending, []
         for entry in pending:
-            if entry[0] != "sync":
+            if entry[0] == "async" and entry[2] is not None:
                 entry[2].unlink()

@@ -1,4 +1,4 @@
-"""The persistent study worker pool.
+"""The persistent study worker pools (process lane and thread lane).
 
 Before the runtime layer every study call spawned (and tore down) its own
 :class:`multiprocessing.Pool`; on the Table 3 practical sweep the spawn alone
@@ -8,6 +8,21 @@ invocation (:func:`get_pool`).  Reuse is free correctness-wise: every task
 ships its own derived seed, so results are bit-identical for any pool
 lifetime, submission order or worker count — the determinism suite asserts
 exactly that across back-to-back studies on one pool.
+
+:class:`ThreadStudyPool` is the **thread lane**: the same submit/collect
+contract served by threads in the parent process.  Its win is that threads
+share the parent's address space, so the lane skips
+:class:`~repro.runtime.transport.ArrayShipment` entirely: workers read the
+parent's compiled arrays and cost stacks **in place** — no pickling, no
+shared-memory segment, no per-chunk decode, no cross-process result
+round-trip.  The measured-execution hot loop is largely Python and holds
+the GIL on today's CPython, so the lane buys *saved shipping*, not parallel
+compute — which is exactly why ``executor="auto"`` (see
+:mod:`repro.runtime.chunking`) routes only small batches here: on a batch
+too small to amortise shipping, zero shipping wins outright (a
+free-threaded build would move that crossover sharply upward).  Both lanes
+are bit-identical because the per-task seed-derivation contract is
+lane-independent.
 """
 
 from __future__ import annotations
@@ -16,9 +31,18 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 
+#: ``kind`` values a study pool can report (``executor="auto"`` resolves to
+#: one of these per fan-out; see :func:`repro.runtime.chunking.choose_executor`).
+POOL_KINDS = ("process", "thread")
+
 
 class StudyPool:
     """A reusable multiprocessing pool with an async submission surface.
+
+    Tasks submitted here are pickled to worker *processes*; bulk arrays
+    should travel through :class:`~repro.runtime.transport.ArrayShipment`
+    rather than the task pickle.  See :class:`ThreadStudyPool` for the
+    shipping-free thread lane with the same contract.
 
     Parameters
     ----------
@@ -27,10 +51,17 @@ class StudyPool:
         slower than running in-process, so the studies never build one).
     """
 
+    #: Which lane this pool serves; dispatch code routes shipping-free
+    #: submissions to ``"thread"`` pools and shipped ones to ``"process"``.
+    kind = "process"
+
     def __init__(self, workers: int) -> None:
         if workers < 2:
             raise ValueError(f"a StudyPool needs at least 2 workers, got {workers}")
         self._workers = int(workers)
+        self._pool: multiprocessing.pool.Pool | None = self._make_pool()
+
+    def _make_pool(self) -> multiprocessing.pool.Pool:
         # Start the shared-memory resource tracker *before* forking the
         # workers: children then inherit the parent's tracker, so a worker's
         # attach-registration and the parent's unlink-unregistration meet in
@@ -41,9 +72,7 @@ class StudyPool:
             resource_tracker.ensure_running()
         except Exception:
             pass
-        self._pool: multiprocessing.pool.Pool | None = multiprocessing.Pool(
-            processes=self._workers
-        )
+        return multiprocessing.Pool(processes=self._workers)
 
     @property
     def workers(self) -> int:
@@ -86,35 +115,57 @@ class StudyPool:
         self.close()
 
 
-_global_pool: StudyPool | None = None
+class ThreadStudyPool(StudyPool):
+    """The thread-lane twin of :class:`StudyPool`: same contract, no shipping.
 
-
-def get_pool(workers: int) -> StudyPool:
-    """The process-wide persistent pool, created on first use.
-
-    An alive pool with at least ``workers`` workers is reused as-is (chunking
-    decisions use the *requested* count, so results never depend on the pool
-    that happens to serve them); asking for more workers than the current
-    pool has replaces it.
+    Workers are threads of the parent process, so submitted jobs receive
+    their arguments **by reference** — compiled programs, cost stacks and
+    result lists cross no process boundary and are never pickled.  On
+    CPython the measured hot loop holds the GIL, so the lane's value is the
+    shipping it *doesn't* do, not parallel compute; for small batches that
+    saved shipping dwarfs the lost overlap, which is exactly when
+    ``executor="auto"`` selects this lane.  The per-task seed-derivation
+    contract is untouched, so results are bit-identical to the process lane
+    and the inline path.
     """
-    global _global_pool
-    if (
-        _global_pool is None
-        or not _global_pool.alive
-        or _global_pool.workers < workers
-    ):
-        if _global_pool is not None:
-            _global_pool.close()
-        _global_pool = StudyPool(workers)
-    return _global_pool
+
+    kind = "thread"
+
+    def _make_pool(self) -> multiprocessing.pool.Pool:
+        return multiprocessing.pool.ThreadPool(processes=self._workers)
+
+
+_global_pools: dict[str, StudyPool | None] = {kind: None for kind in POOL_KINDS}
+
+
+def get_pool(workers: int, kind: str = "process") -> StudyPool:
+    """The process-wide persistent pool of one lane, created on first use.
+
+    One pool per ``kind`` (``"process"`` — the default — or ``"thread"``) is
+    kept alive for the life of the process.  An alive pool with at least
+    ``workers`` workers is reused as-is (chunking decisions use the
+    *requested* count, so results never depend on the pool that happens to
+    serve them); asking for more workers than the current pool has replaces
+    it.
+    """
+    if kind not in POOL_KINDS:
+        raise ValueError(f"pool kind must be one of {POOL_KINDS}, got {kind!r}")
+    pool = _global_pools[kind]
+    if pool is None or not pool.alive or pool.workers < workers:
+        if pool is not None:
+            pool.close()
+        pool_class = ThreadStudyPool if kind == "thread" else StudyPool
+        pool = pool_class(workers)
+        _global_pools[kind] = pool
+    return pool
 
 
 def shutdown_pool() -> None:
-    """Tear the persistent pool down (no-op when none exists)."""
-    global _global_pool
-    if _global_pool is not None:
-        _global_pool.close()
-        _global_pool = None
+    """Tear every persistent pool down (no-op when none exists)."""
+    for kind, pool in _global_pools.items():
+        if pool is not None:
+            pool.close()
+            _global_pools[kind] = None
 
 
 # Pool workers are daemonic, so they die with the process either way; the

@@ -19,6 +19,13 @@ Lifecycle: the parent calls :meth:`ArrayShipment.unlink` once every consumer
 is done; workers call :meth:`ArrayShipment.close` (or use the shipment as a
 context manager) when they finish reading.  Loaded arrays are read-only
 views — executing a shipped batch never mutates shipped data.
+
+Shipping is a **process-lane** concern: the thread lane
+(:class:`~repro.runtime.pool.ThreadStudyPool`, ``executor="thread"``) shares
+the parent's address space and bypasses this module entirely — thread
+workers receive the parent's arrays by reference.  That is exactly why
+``executor="auto"`` (:func:`repro.runtime.chunking.choose_executor`) routes
+batches too small to amortise a shipment onto threads.
 """
 
 from __future__ import annotations

@@ -30,13 +30,23 @@ programs in one pass instead:
   which is how back-to-back collective pipelines (scatter→all-to-all,
   repeated broadcasts) are measured as one workload.
 
-Worker fan-out goes through the runtime layer: the batch is compiled **once
-in the parent**, the compiled arrays ship to the persistent
-:class:`~repro.runtime.pool.StudyPool` via shared memory
-(:mod:`repro.runtime.transport`; pickle fallback), and each worker executes a
-chain-respecting slice against zero-copy views.  ``transport="legacy"``
-preserves the pre-runtime dispatch — a fresh pool per call, the grid and
-tasks re-pickled per chunk — as the benchmark baseline.
+Worker fan-out goes through the runtime layer and has two lanes.  On the
+**process lane** the batch is compiled **once in the parent**, the compiled
+arrays ship to the persistent :class:`~repro.runtime.pool.StudyPool` via
+shared memory (:mod:`repro.runtime.transport`; pickle fallback), and each
+worker executes a chain-respecting slice against zero-copy views.  On the
+**thread lane** (:class:`~repro.runtime.pool.ThreadStudyPool`) workers are
+threads of the parent and read the compiled arrays in place — no shipment,
+no pickling, no result round-trip — which beats process fan-out whenever
+the batch is too small to amortise shipping (the hot loop holds the GIL, so
+the lane trades parallel compute for zero shipping); ``executor="auto"``
+picks the lane per call from the batch's estimated cost
+(:mod:`repro.runtime.chunking`).  Worker chunks are
+sized **adaptively** from per-task cost (message counts) rather than task
+counts, so a mixed scatter/all-to-all workload balances across workers;
+``chunking="fixed"`` keeps the historical task-count split.
+``transport="legacy"`` preserves the pre-runtime dispatch — a fresh pool per
+call, the grid and tasks re-pickled per chunk — as the benchmark baseline.
 
 The scalar :func:`~repro.simulator.execution.execute_program` remains the
 reference engine: ``engine="scalar"`` runs it program by program on
@@ -51,6 +61,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -680,7 +691,9 @@ def _partition_units(
     """Merge consecutive units into chunks of roughly ``chunk_target`` tasks.
 
     Identical to the fixed-size contiguous chunking when every unit is one
-    task (no chains); chains are never split across chunks.
+    task (no chains); chains are never split across chunks.  This is the
+    ``chunking="fixed"`` baseline; the default adaptive path sizes chunks
+    from per-task cost instead (:func:`_chunk_bounds`).
     """
     chunks: list[tuple[int, int]] = []
     start = units[0][0]
@@ -694,6 +707,35 @@ def _partition_units(
     if count:
         chunks.append((start, units[-1][1]))
     return chunks
+
+
+def _chunk_bounds(
+    tasks: Sequence[ExecutionTask],
+    costs: Sequence[float] | None,
+    worker_count: int,
+    chunking: str,
+) -> list[tuple[int, int]]:
+    """Chain-respecting worker chunk boundaries for one fan-out.
+
+    ``chunking="adaptive"`` balances the chunks by per-task *cost* (the
+    program message counts of ``costs``) so an all-to-all task — ~20x a
+    bcast task — does not strand a count-balanced chunk; ``"fixed"`` keeps
+    the historical task-count split.  Either way chunks never split a warm
+    chain, and chunking never affects results (each task owns its seed).
+    """
+    from repro.runtime.chunking import CHUNKS_PER_WORKER
+
+    units = _chain_units(tasks)
+    if chunking == "adaptive" and costs is not None:
+        from repro.runtime.chunking import aggregate_unit_costs, partition_by_cost
+
+        return partition_by_cost(
+            units,
+            aggregate_unit_costs(units, costs),
+            worker_count * CHUNKS_PER_WORKER,
+        )
+    chunk_target = max(1, -(-len(tasks) // (worker_count * CHUNKS_PER_WORKER)))
+    return _partition_units(units, chunk_target)
 
 
 def _execute_pickled_chunk(args) -> tuple[int, list[ExecutionResult]]:
@@ -801,12 +843,14 @@ def _rebuild_shipped(
     return prog
 
 
-def _execute_shipped_chunk(args) -> tuple[int, list[ExecutionResult]]:
+def _execute_shipped_chunk(args) -> tuple[int, list[ExecutionResult], float]:
     """Runtime multiprocessing adapter: execute a chunk against a shipment.
 
     The job carries only the shipment handle, the reconstruction metadata of
     the programs this chunk actually runs, and per-task ``(unique index,
     seed, reset)`` entries — never the grid or the programs themselves.
+    Returns the chunk's wall time alongside the results so the caller can
+    feed the runtime's :class:`~repro.runtime.chunking.CostModel`.
     """
     (
         start,
@@ -818,6 +862,7 @@ def _execute_shipped_chunk(args) -> tuple[int, list[ExecutionResult]]:
         collect_traces,
         num_nodes,
     ) = args
+    started = time.perf_counter()
     arrays = shipment.load()
     rebuilt = {
         unique_index: _rebuild_shipped(meta, arrays, collect_traces)
@@ -836,7 +881,24 @@ def _execute_shipped_chunk(args) -> tuple[int, list[ExecutionResult]]:
     # Drop every view into the shipment before unmapping it.
     compiled = rebuilt = arrays = None
     shipment.close()
-    return start, results
+    return start, results, time.perf_counter() - started
+
+
+def _execute_compiled_chunk(args) -> tuple[int, list[ExecutionResult], float]:
+    """Thread-lane adapter: execute already-compiled tasks, no shipment.
+
+    Thread workers share the parent's address space, so the job carries the
+    parent's compiled programs by reference — nothing is packed, pickled or
+    rebuilt — and per-task seeds make the results bit-identical to every
+    other lane.
+    """
+    (start, compiled, seeds, resets, sigma, overhead, collect_traces,
+     num_nodes) = args
+    started = time.perf_counter()
+    results = _run_task_sequence(
+        compiled, seeds, resets, sigma, overhead, collect_traces, num_nodes
+    )
+    return start, results, time.perf_counter() - started
 
 
 def _execute_with_legacy_pool(
@@ -847,9 +909,13 @@ def _execute_with_legacy_pool(
     engine: str,
     worker_count: int,
 ) -> list[ExecutionResult]:
-    """The pre-runtime dispatch: fresh pool, grid and tasks pickled per chunk."""
-    chunk_target = max(1, -(-len(tasks) // (worker_count * 4)))
-    bounds = _partition_units(_chain_units(tasks), chunk_target)
+    """The pre-runtime dispatch: fresh pool, grid and tasks pickled per chunk.
+
+    Kept byte-for-byte as the benchmark baseline — including its fixed
+    task-count chunking — so recorded speedups keep measuring the same
+    thing across PRs.
+    """
+    bounds = _chunk_bounds(tasks, None, worker_count, "fixed")
     jobs = [
         (start, grid, tasks[start:end], config, collect_traces, engine)
         for start, end in bounds
@@ -869,9 +935,12 @@ def _execute_with_runtime_pool(
     worker_count: int,
     transport: str | None,
     pool,
+    chunking: str,
 ) -> list[ExecutionResult]:
-    """Compile once in the parent, ship to the persistent pool, gather."""
+    """Process lane: compile once in the parent, ship to the pool, gather."""
     from repro.runtime.pool import get_pool
+
+    from repro.runtime.chunking import compiled_cost
 
     compiler = _BatchCompiler(grid, collect_traces)
     compiled = [compiler.compile(task) for task in tasks]
@@ -881,8 +950,8 @@ def _execute_with_runtime_pool(
         (index_of[id(prog)], seed, task.reset_network)
         for prog, seed, task in zip(compiled, seeds, tasks)
     ]
-    chunk_target = max(1, -(-len(tasks) // (worker_count * 4)))
-    bounds = _partition_units(_chain_units(tasks), chunk_target)
+    costs = [compiled_cost(prog) for prog in compiled]
+    bounds = _chunk_bounds(tasks, costs, worker_count, chunking)
     study_pool = pool if pool is not None else get_pool(worker_count)
     results: list[ExecutionResult | None] = [None] * len(tasks)
     try:
@@ -902,10 +971,92 @@ def _execute_with_runtime_pool(
             )
             pending.append(study_pool.submit(_execute_shipped_chunk, job))
         for handle in pending:
-            start, values = handle.get()
+            start, values, _ = handle.get()
             results[start : start + len(values)] = values
     finally:
         shipment.unlink()
+    return results  # type: ignore[return-value]
+
+
+def _execute_scalar_with_pool(
+    grid: Grid,
+    tasks: list[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+    worker_count: int,
+    pool,
+    chunking: str,
+    kind: str,
+) -> list[ExecutionResult]:
+    """Scalar-engine fan-out over the persistent pool of either lane.
+
+    The scalar reference engine executes task slices directly (no compiled
+    arrays to ship), so both lanes dispatch the same jobs: the process pool
+    pickles them, the thread pool passes them by reference.  Per-task seeds
+    keep the results bit-identical to the inline loop.
+    """
+    from repro.runtime.chunking import program_cost
+    from repro.runtime.pool import get_pool
+
+    study_pool = pool if pool is not None else get_pool(worker_count, kind=kind)
+    costs = [program_cost(task.program) for task in tasks]
+    bounds = _chunk_bounds(tasks, costs, worker_count, chunking)
+    jobs = [
+        (start, grid, tasks[start:end], config, collect_traces, "scalar")
+        for start, end in bounds
+    ]
+    results: list[ExecutionResult | None] = [None] * len(tasks)
+    for start, values in study_pool.imap_unordered(_execute_pickled_chunk, jobs):
+        results[start : start + len(values)] = values
+    return results  # type: ignore[return-value]
+
+
+def _execute_with_thread_pool(
+    grid: Grid,
+    tasks: list[ExecutionTask],
+    config: NetworkConfig,
+    collect_traces: bool,
+    worker_count: int,
+    pool,
+    chunking: str,
+) -> list[ExecutionResult]:
+    """Thread lane: no shipment — workers read the parent's arrays in place.
+
+    The batch compiles once in the parent and each thread receives a slice
+    of the compiled list by reference (a :class:`ThreadPool` never pickles).
+    Per-task seeds keep the results bit-identical to the process lane and
+    the inline path.
+    """
+    from repro.runtime.chunking import compiled_cost
+    from repro.runtime.pool import get_pool
+
+    study_pool = pool if pool is not None else get_pool(worker_count, kind="thread")
+    results: list[ExecutionResult | None] = [None] * len(tasks)
+    compiler = _BatchCompiler(grid, collect_traces)
+    compiled = [compiler.compile(task) for task in tasks]
+    costs = [compiled_cost(prog) for prog in compiled]
+    bounds = _chunk_bounds(tasks, costs, worker_count, chunking)
+    seeds = _task_seeds(tasks, config)
+    resets = [task.reset_network for task in tasks]
+    pending = [
+        study_pool.submit(
+            _execute_compiled_chunk,
+            (
+                start,
+                compiled[start:end],
+                seeds[start:end],
+                resets[start:end],
+                config.noise_sigma,
+                config.receive_overhead,
+                collect_traces,
+                grid.num_nodes,
+            ),
+        )
+        for start, end in bounds
+    ]
+    for handle in pending:
+        start, values, _ = handle.get()
+        results[start : start + len(values)] = values
     return results  # type: ignore[return-value]
 
 
@@ -917,7 +1068,9 @@ def execute_programs(
     collect_traces: bool = True,
     workers: int | None = None,
     engine: str = "batched",
+    executor: str | None = None,
     transport: str | None = None,
+    chunking: str = "adaptive",
     pool=None,
 ) -> list[ExecutionResult]:
     """Execute many independent (or chained) programs, results in order.
@@ -944,23 +1097,69 @@ def execute_programs(
     engine:
         ``"batched"`` (default) or ``"scalar"`` — the scalar reference loop
         used by the equivalence suite and as the benchmark baseline.
+    executor:
+        Which fan-out lane to use: ``"thread"``
+        (:class:`~repro.runtime.pool.ThreadStudyPool` — no shipping, workers
+        read the parent's compiled arrays in place), ``"process"``
+        (:class:`~repro.runtime.pool.StudyPool` + transport), or ``"auto"``
+        — threads when the batch's total estimated cost is too small to
+        amortise shipping, processes otherwise.  ``None`` consults the
+        ``REPRO_EXECUTOR`` environment variable, then defaults to
+        ``"auto"``.  Naming a transport pins ``"auto"`` to the process lane
+        (the lane that ships).  All lanes are bit-identical.
     transport:
-        How batches reach workers (ignored in-process): ``"auto"`` (default,
-        shared memory when available), ``"shm"``, ``"pickle"``, or
-        ``"legacy"`` — the pre-runtime dispatch (fresh pool per call, grid
-        and tasks re-pickled per chunk), kept as the benchmark baseline.  The
-        batched engine's ``"auto"``/``"shm"``/``"pickle"`` paths compile once
-        in the parent and reuse the persistent runtime pool; the scalar
-        engine always uses the legacy dispatch.
+        How batches reach *process* workers (ignored in-process and on the
+        thread lane, which ships nothing): ``"auto"`` (default, shared
+        memory when available), ``"shm"``, ``"pickle"``, or ``"legacy"`` —
+        the pre-runtime dispatch (fresh pool per call, grid and tasks
+        re-pickled per chunk), kept as the benchmark baseline and always
+        run on a fresh process pool of its own (``"legacy"`` therefore
+        rejects an explicit ``pool=`` and an explicit
+        ``executor="thread"``).  The batched engine's
+        ``"auto"``/``"shm"``/``"pickle"`` paths compile once in the parent
+        and reuse the persistent runtime pool; the scalar engine fans task
+        slices out over the persistent pool of either lane.
+    chunking:
+        ``"adaptive"`` (default) sizes worker chunks from per-task cost
+        (program message counts) so mixed workloads balance; ``"fixed"``
+        keeps the historical task-count chunking.  Bit-identical either way.
     pool:
-        An explicit :class:`~repro.runtime.pool.StudyPool` to submit to
-        (defaults to the process-wide persistent pool).
+        An explicit :class:`~repro.runtime.pool.StudyPool` /
+        :class:`~repro.runtime.pool.ThreadStudyPool` to submit to (defaults
+        to the process-wide persistent pool of the chosen lane).  A passed
+        pool's ``kind`` decides the lane, overriding ``executor``.
     """
+    from repro.runtime.chunking import (
+        CHUNKINGS,
+        EXECUTORS,
+        choose_executor,
+        program_cost,
+        resolve_executor,
+    )
+
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if executor is not None and executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
     if transport is not None and transport not in EXECUTE_TRANSPORTS:
         raise ValueError(
             f"transport must be one of {EXECUTE_TRANSPORTS}, got {transport!r}"
+        )
+    if chunking not in CHUNKINGS:
+        raise ValueError(f"chunking must be one of {CHUNKINGS}, got {chunking!r}")
+    if transport == "legacy" and pool is not None:
+        raise ValueError(
+            "transport='legacy' is the pre-runtime benchmark baseline and "
+            "spawns its own fresh pool per call; it cannot submit to an "
+            "explicit pool="
+        )
+    if transport == "legacy" and executor == "thread":
+        raise ValueError(
+            "transport='legacy' is the fresh-process benchmark baseline and "
+            "cannot run on the thread lane; drop executor='thread' or pick "
+            "another transport"
         )
     config = config if config is not None else NetworkConfig()
     normalized = [
@@ -974,12 +1173,38 @@ def execute_programs(
         worker_count = pool.workers
 
     if worker_count > 1 and len(normalized) > 1:
-        if engine == "scalar" or transport == "legacy":
+        if pool is not None:
+            lane = getattr(pool, "kind", "process")
+        else:
+            lane = resolve_executor(executor)
+            if lane == "auto":
+                # Only an auto decision needs the batch priced; explicit
+                # lanes skip the walk over every program's sends.
+                lane = choose_executor(
+                    "auto",
+                    sum(program_cost(task.program) for task in normalized),
+                    transport=transport,
+                )
+        if transport == "legacy":
+            # The benchmark baseline is a fresh-process dispatch by
+            # definition (validation above rejected pool= and
+            # executor="thread").
             return _execute_with_legacy_pool(
                 grid, normalized, config, collect_traces, engine, worker_count
             )
+        if engine == "scalar":
+            return _execute_scalar_with_pool(
+                grid, normalized, config, collect_traces, worker_count, pool,
+                chunking, lane,
+            )
+        if lane == "thread":
+            return _execute_with_thread_pool(
+                grid, normalized, config, collect_traces, worker_count,
+                pool, chunking,
+            )
         return _execute_with_runtime_pool(
-            grid, normalized, config, collect_traces, worker_count, transport, pool
+            grid, normalized, config, collect_traces, worker_count, transport,
+            pool, chunking,
         )
 
     runner = _execute_batch if engine == "batched" else _execute_scalar

@@ -16,6 +16,11 @@ resolution order is:
 
 Worker counts only change *where* work runs, never *what* it computes: every
 task carries its own derived seed, so results are bit-identical at any count.
+
+The companion knob — *which lane* those workers run on (threads or
+processes) — resolves separately through
+:func:`repro.runtime.chunking.resolve_executor` and its ``REPRO_EXECUTOR``
+environment variable; ``resolve_workers`` only decides how many.
 """
 
 from __future__ import annotations
@@ -39,6 +44,12 @@ def _parse(raw: str, env_var: str) -> int:
 
 def resolve_workers(workers: int | None, *env_vars: str) -> int:
     """Resolve a worker count from an argument and the environment.
+
+    The resolution order is: the explicit ``workers`` argument, then each
+    ``env_vars`` entry in turn (the studies pass their specific variable —
+    ``REPRO_MC_WORKERS`` for the Monte-Carlo study, ``REPRO_PRACTICAL_WORKERS``
+    for the measured sweeps and pipelines), then the shared ``REPRO_WORKERS``,
+    then ``0`` (in-process).
 
     Parameters
     ----------

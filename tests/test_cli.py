@@ -164,3 +164,99 @@ class TestParser:
     def test_missing_command_fails(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExecutorFlag:
+    def test_simulate_with_thread_executor(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--iterations",
+                    "5",
+                    "--min-clusters",
+                    "2",
+                    "--max-clusters",
+                    "3",
+                    "--workers",
+                    "2",
+                    "--executor",
+                    "thread",
+                ]
+            )
+            == 0
+        )
+        assert "Mean completion time" in capsys.readouterr().out
+
+    def test_practical_with_thread_executor(self, capsys):
+        assert (
+            main(
+                [
+                    "practical",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "65536",
+                    "--workers",
+                    "2",
+                    "--executor",
+                    "thread",
+                ]
+            )
+            == 0
+        )
+        assert "Measured completion time" in capsys.readouterr().out
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["practical", "--executor", "carrier-pigeon"])
+
+
+class TestHelpTextDefaults:
+    """Every option with a default documents it, and the documented value is
+    the actual parser default — so `--help` can never silently drift."""
+
+    @staticmethod
+    def _subparsers():
+        from repro.cli import _build_parser
+        import argparse
+
+        parser = _build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                yield from action.choices.items()
+
+    def test_every_defaulted_option_documents_its_default(self):
+        import argparse
+
+        missing = []
+        for command, sub_parser in self._subparsers():
+            for action in sub_parser._actions:
+                if not action.option_strings or isinstance(
+                    action, argparse._HelpAction
+                ):
+                    continue
+                help_text = action.help or ""
+                if "default" not in help_text.lower():
+                    missing.append(f"{command} {action.option_strings[0]}")
+                    continue
+                # Options with a concrete (non-None) default must state the
+                # exact value; env-var-driven options name the variable chain
+                # instead.
+                if action.default is not None:
+                    if str(action.default) not in help_text:
+                        missing.append(
+                            f"{command} {action.option_strings[0]} "
+                            f"(says nothing about {action.default!r})"
+                        )
+        assert not missing, (
+            "CLI options whose --help does not state their default: "
+            + ", ".join(missing)
+        )
+
+    def test_help_renders_for_every_subcommand(self, capsys):
+        for command, _ in self._subparsers():
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            assert "default" in capsys.readouterr().out.lower()

@@ -14,11 +14,24 @@ import pytest
 
 from repro.experiments.chained_study import ChainedStudyResult, run_chained_study
 from repro.experiments.config import PracticalStudyConfig, SimulationStudyConfig
-from repro.experiments.practical_study import run_practical_study
+from repro.experiments.practical_study import (
+    run_alltoall_study,
+    run_practical_study,
+    run_scatter_study,
+)
 from repro.experiments.simulation_study import run_simulation_study
+from repro.mpi.alltoall import grid_aware_alltoall_program
 from repro.mpi.bcast import binomial_bcast_program
 from repro.mpi.scatter import flat_scatter_program
-from repro.runtime.pool import StudyPool, get_pool, shutdown_pool
+from repro.runtime.chunking import (
+    AUTO_THREAD_MAX_UNITS,
+    CostModel,
+    choose_executor,
+    partition_by_cost,
+    program_cost,
+    resolve_executor,
+)
+from repro.runtime.pool import StudyPool, ThreadStudyPool, get_pool, shutdown_pool
 from repro.runtime.transport import (
     ArrayShipment,
     resolve_transport,
@@ -41,6 +54,12 @@ def pool():
     pool = get_pool(2)
     yield pool
     shutdown_pool()
+
+
+@pytest.fixture(scope="module")
+def thread_pool():
+    """The persistent thread-lane pool (shutdown_pool tears both lanes down)."""
+    return get_pool(2, kind="thread")
 
 
 def _makespans(results) -> list[float]:
@@ -498,3 +517,350 @@ class TestReplicas:
         assert series == result.measured_replicas[1, :, 0].tolist()
         with pytest.raises(ValueError, match="replica"):
             result.measured_series("ECEF", replica=5)
+
+
+class TestChunkingUnit:
+    """Unit tests for the cost-aware chunking and executor-selection layer."""
+
+    def test_partition_balances_skewed_workload(self):
+        # Synthetic skew: one task costs 20x the other nineteen (the
+        # all-to-all-vs-bcast ratio on the Table 3 grid).
+        costs = [20.0] + [1.0] * 19
+        units = [(index, index + 1) for index in range(20)]
+        chunks = partition_by_cost(units, costs, 4)
+        loads = [sum(costs[start:end]) for start, end in chunks]
+        # The expensive task gets its own chunk; the cheap tasks spread out.
+        assert max(loads) == 20.0
+        assert min(loads) >= 5.0
+        # A task-count split of the same workload is badly unbalanced.
+        fixed_loads = [sum(costs[start : start + 5]) for start in range(0, 20, 5)]
+        assert max(fixed_loads) == 24.0
+
+    def test_partition_isolates_heavy_tail_unit(self):
+        # Regression: a ~20x unit at the *end* of the batch (where
+        # run_chained_study's scatter->alltoall ordering puts it) must get
+        # its own chunk instead of absorbing every cheap unit before it.
+        costs = [1.0] * 19 + [20.0]
+        units = [(index, index + 1) for index in range(20)]
+        chunks = partition_by_cost(units, costs, 4)
+        loads = [sum(costs[start:end]) for start, end in chunks]
+        assert max(loads) == 20.0
+        assert chunks[-1] == (19, 20)
+
+    def test_partition_splits_two_units_across_two_chunks(self):
+        assert partition_by_cost([(0, 1), (1, 2)], [1.0, 100.0], 2) == [
+            (0, 1),
+            (1, 2),
+        ]
+
+    def test_partition_covers_every_task_in_order(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        units = [(index, index + 1) for index in range(8)]
+        chunks = partition_by_cost(units, costs, 3)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == 8
+        for (_, left_end), (right_start, _) in zip(chunks, chunks[1:]):
+            assert left_end == right_start
+
+    def test_partition_never_splits_chain_units(self):
+        units = [(0, 3), (3, 4), (4, 8)]
+        costs = [30.0, 1.0, 8.0]
+        chunks = partition_by_cost(units, costs, 2)
+        assert chunks == [(0, 3), (3, 8)]
+
+    def test_partition_caps_chunks_at_unit_count(self):
+        assert partition_by_cost([(0, 5)], [7.0], 4) == [(0, 5)]
+
+    def test_partition_rejects_mismatched_costs(self):
+        with pytest.raises(ValueError, match="costs"):
+            partition_by_cost([(0, 1)], [1.0, 2.0], 2)
+
+    def test_cost_model_prior_then_observation(self):
+        model = CostModel()
+        assert not model.observed
+        prior = model.seconds_for(1_000.0)
+        assert prior > 0.0
+        model.observe(1_000.0, 2.0)
+        assert model.observed
+        assert model.units_per_second == 500.0
+        assert model.seconds_for(250.0) == pytest.approx(0.5)
+
+    def test_program_cost_counts_messages(self, grid5000):
+        bcast = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        alltoall = grid_aware_alltoall_program(grid5000, 64)
+        assert program_cost(bcast) == 1 + sum(
+            len(sends) for sends in bcast.sends.values()
+        )
+        # The motivating skew: an all-to-all costs many times a bcast.
+        assert program_cost(alltoall) > 5 * program_cost(bcast)
+
+    def test_resolve_executor_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert resolve_executor(None) == "auto"
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert resolve_executor(None) == "thread"
+        assert resolve_executor("process") == "process"
+        monkeypatch.setenv("REPRO_EXECUTOR", "hamster-wheel")
+        with pytest.raises(ValueError, match="executor"):
+            resolve_executor(None)
+
+    def test_choose_executor_splits_on_cost(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert choose_executor(None, AUTO_THREAD_MAX_UNITS) == "thread"
+        assert choose_executor(None, AUTO_THREAD_MAX_UNITS + 1) == "process"
+        # Naming a transport pins auto to the lane that ships.
+        assert choose_executor(None, 10, transport="pickle") == "process"
+        assert choose_executor("thread", 10**9) == "thread"
+
+
+class TestThreadPool:
+    def test_kind_markers(self, pool, thread_pool):
+        assert pool.kind == "process"
+        assert thread_pool.kind == "thread"
+        assert isinstance(thread_pool, ThreadStudyPool)
+
+    def test_get_pool_keeps_lanes_separate(self, pool, thread_pool):
+        assert get_pool(2) is pool
+        assert get_pool(2, kind="thread") is thread_pool
+        assert get_pool(2, kind="thread") is not pool
+
+    def test_get_pool_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            get_pool(2, kind="fiber")
+
+    def test_thread_pool_passes_arguments_by_reference(self, thread_pool):
+        marker = object()
+        assert thread_pool.submit(lambda value: value, marker).get() is marker
+
+
+class TestExecutorEquivalence:
+    """Thread vs process vs inline bit-identity on all five study drivers."""
+
+    PRACTICAL = dict(
+        message_sizes=(65_536, 1_048_576),
+        noise_sigma=0.08,
+        heuristics=("ecef", "fef"),
+    )
+    COLLECTIVE = dict(message_sizes=(2_048, 16_384), noise_sigma=0.05)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_practical_study(self, executor, pool, thread_pool):
+        config = PracticalStudyConfig(**self.PRACTICAL)
+        inline = run_practical_study(config, workers=0, pipeline=False)
+        fanned = run_practical_study(config, workers=2, executor=executor)
+        assert np.array_equal(inline.measured, fanned.measured)
+        assert np.array_equal(inline.baseline_measured, fanned.baseline_measured)
+        assert np.array_equal(inline.predicted, fanned.predicted)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_simulation_study(self, executor, pool, thread_pool):
+        config = SimulationStudyConfig(cluster_counts=(3, 4), iterations=24, seed=11)
+        inline = run_simulation_study(config)
+        fanned = run_simulation_study(config, workers=2, executor=executor)
+        assert np.array_equal(inline.makespans, fanned.makespans)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_scatter_study(self, executor, heterogeneous_grid, pool, thread_pool):
+        config = PracticalStudyConfig(**self.COLLECTIVE)
+        inline = run_scatter_study(config, grid=heterogeneous_grid)
+        fanned = run_scatter_study(
+            config, grid=heterogeneous_grid, workers=2, executor=executor
+        )
+        assert np.array_equal(inline.measured, fanned.measured)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_alltoall_study(self, executor, heterogeneous_grid, pool, thread_pool):
+        config = PracticalStudyConfig(**self.COLLECTIVE)
+        inline = run_alltoall_study(config, grid=heterogeneous_grid)
+        fanned = run_alltoall_study(
+            config, grid=heterogeneous_grid, workers=2, executor=executor
+        )
+        assert np.array_equal(inline.measured, fanned.measured)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_chained_study(self, executor, heterogeneous_grid, pool, thread_pool):
+        config = PracticalStudyConfig(**self.COLLECTIVE)
+        kwargs = dict(grid=heterogeneous_grid, stages=("scatter", "alltoall"))
+        inline = run_chained_study(config, **kwargs)
+        fanned = run_chained_study(config, workers=2, executor=executor, **kwargs)
+        assert np.array_equal(inline.warm, fanned.warm)
+        assert np.array_equal(inline.fresh, fanned.fresh)
+
+    def test_auto_lane_is_bit_identical_too(self, pool, thread_pool):
+        config = PracticalStudyConfig(**self.PRACTICAL)
+        inline = run_practical_study(config, workers=0, pipeline=False)
+        auto = run_practical_study(config, workers=2, executor="auto")
+        assert np.array_equal(inline.measured, auto.measured)
+
+    def test_explicit_thread_pool_selects_thread_lane(self, grid5000, thread_pool):
+        tasks = [
+            ExecutionTask(
+                binomial_bcast_program(grid5000, 16_384, root_rank=0),
+                noise_seed=derive_seed(7, index),
+            )
+            for index in range(6)
+        ]
+        config = NetworkConfig(noise_sigma=0.05, seed=7)
+        inline = execute_programs(grid5000, tasks, config=config)
+        pooled = execute_programs(grid5000, tasks, config=config, pool=thread_pool)
+        assert _makespans(inline) == _makespans(pooled)
+
+    def test_rejects_unknown_executor(self, grid5000):
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        with pytest.raises(ValueError, match="executor"):
+            execute_programs(grid5000, [program, program], executor="carrier-pigeon")
+
+    def test_legacy_transport_rejects_explicit_pool(self, grid5000, pool):
+        # The legacy dispatch spawns its own fresh pool (that is what it
+        # benchmarks); silently ignoring pool= would contradict the "a
+        # passed pool's kind decides the lane" contract.
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        with pytest.raises(ValueError, match="legacy"):
+            execute_programs(
+                grid5000, [program, program], transport="legacy", pool=pool
+            )
+
+    def test_legacy_transport_rejects_thread_executor(self, grid5000):
+        # Same contract from the other side: an explicit thread request
+        # cannot be silently downgraded to the fresh-process baseline.
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        with pytest.raises(ValueError, match="legacy"):
+            execute_programs(
+                grid5000,
+                [program, program],
+                workers=2,
+                executor="thread",
+                transport="legacy",
+            )
+
+    def test_scalar_engine_honours_explicit_pools_of_either_kind(
+        self, grid5000, pool, thread_pool
+    ):
+        tasks = [
+            ExecutionTask(
+                binomial_bcast_program(grid5000, 2_048, root_rank=0),
+                noise_seed=derive_seed(17, index),
+            )
+            for index in range(6)
+        ]
+        config = NetworkConfig(noise_sigma=0.05, seed=17)
+        inline = execute_programs(grid5000, tasks, config=config, engine="scalar")
+        for explicit in (pool, thread_pool):
+            pooled = execute_programs(
+                grid5000, tasks, config=config, engine="scalar", pool=explicit
+            )
+            assert _makespans(pooled) == _makespans(inline)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_scalar_engine_fans_out_on_both_lanes(
+        self, grid5000, executor, pool, thread_pool
+    ):
+        tasks = [
+            ExecutionTask(
+                flat_scatter_program(grid5000, 1_024, root_rank=0),
+                noise_seed=derive_seed(13, index),
+            )
+            for index in range(6)
+        ]
+        config = NetworkConfig(noise_sigma=0.05, seed=13)
+        inline = execute_programs(grid5000, tasks, config=config, engine="scalar")
+        fanned = execute_programs(
+            grid5000,
+            tasks,
+            config=config,
+            engine="scalar",
+            workers=2,
+            executor=executor,
+        )
+        assert _makespans(inline) == _makespans(fanned)
+
+
+class TestAdaptiveChunking:
+    """Adaptive vs fixed chunking bit-identity, on mixed workloads too."""
+
+    def _mixed_tasks(self, grid):
+        # The motivating skew: cheap broadcasts interleaved with ~20x
+        # all-to-alls, plus a warm chain that must stay atomic.
+        expensive = grid_aware_alltoall_program(grid, 64)
+        cheap = binomial_bcast_program(grid, 16_384, root_rank=0)
+        tasks = []
+        for index in range(6):
+            tasks.append(
+                ExecutionTask(
+                    expensive if index % 3 == 0 else cheap,
+                    noise_seed=derive_seed(21, index),
+                )
+            )
+        tasks.append(ExecutionTask(cheap, noise_seed=derive_seed(21, "chain")))
+        tasks.append(ExecutionTask(expensive, reset_network=False))
+        return tasks
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_adaptive_matches_fixed(self, grid5000, executor, pool, thread_pool):
+        tasks = self._mixed_tasks(grid5000)
+        config = NetworkConfig(noise_sigma=0.08, seed=21)
+        inline = execute_programs(grid5000, tasks, config=config)
+        adaptive = execute_programs(
+            grid5000,
+            tasks,
+            config=config,
+            workers=2,
+            executor=executor,
+            chunking="adaptive",
+        )
+        fixed = execute_programs(
+            grid5000,
+            tasks,
+            config=config,
+            workers=2,
+            executor=executor,
+            chunking="fixed",
+        )
+        assert _makespans(adaptive) == _makespans(inline)
+        assert _makespans(fixed) == _makespans(inline)
+
+    def test_practical_study_chunking_invariance(self, pool):
+        config = PracticalStudyConfig(
+            message_sizes=(65_536, 1_048_576),
+            noise_sigma=0.08,
+            heuristics=("ecef", "fef"),
+        )
+        adaptive = run_practical_study(config, workers=2, chunking="adaptive")
+        fixed = run_practical_study(config, workers=2, chunking="fixed")
+        assert np.array_equal(adaptive.measured, fixed.measured)
+        assert np.array_equal(adaptive.baseline_measured, fixed.baseline_measured)
+
+    def test_chained_study_chunking_invariance(self, heterogeneous_grid, pool):
+        config = PracticalStudyConfig(message_sizes=(2_048, 16_384), noise_sigma=0.05)
+        kwargs = dict(grid=heterogeneous_grid, stages=("scatter", "alltoall"))
+        adaptive = run_chained_study(
+            config, workers=2, chunking="adaptive", **kwargs
+        )
+        fixed = run_chained_study(config, workers=2, chunking="fixed", **kwargs)
+        assert np.array_equal(adaptive.warm, fixed.warm)
+        assert np.array_equal(adaptive.fresh, fixed.fresh)
+
+    def test_rejects_unknown_chunking(self, grid5000):
+        program = binomial_bcast_program(grid5000, 1_024, root_rank=0)
+        with pytest.raises(ValueError, match="chunking"):
+            execute_programs(grid5000, [program, program], chunking="vibes")
+
+    def test_pipelined_cost_model_learns_within_study(self, grid5000, thread_pool):
+        executor = PipelinedExecutor(
+            grid5000,
+            config=NetworkConfig(noise_sigma=0.05, seed=3),
+            pool=thread_pool,
+        )
+        assert not executor.cost_model.observed
+        program = binomial_bcast_program(grid5000, 65_536, root_rank=0)
+        for index in range(4):
+            executor.submit(
+                [
+                    ExecutionTask(program, noise_seed=derive_seed(3, index, inner))
+                    for inner in range(8)
+                ]
+            )
+        results = executor.finish()
+        assert len(results) == 32
+        # finish() collects every chunk's wall time into the model.
+        assert executor.cost_model.observed
