@@ -220,6 +220,77 @@ def test_thread_vs_process_crossover():
     assert sections["small_batch"]["speedup_thread_vs_process"] >= 1.1
 
 
+def test_remote_loopback_lane():
+    """The distributed lane in loopback: remote agents vs the process pool.
+
+    Two auto-spawned loopback agents (one worker each) serve the full
+    practical sweep with ``executor="remote"``; the local process lane runs
+    the same sweep at the same worker count.  Both are bit-identical — the
+    timings measure pure orchestration cost: wire framing plus socket hops
+    versus shared-memory handles plus result pickling.  The recorded floor
+    (enforced by ``check_regression.py``) requires the loopback remote lane
+    to retain at least half the process lane's throughput, so the wire
+    protocol can never silently become the bottleneck; across real machines
+    the lane then *adds* capacity no local pool has.
+    """
+    config = PracticalStudyConfig(noise_sigma=NOISE_SIGMA, seed=SEED)
+    get_pool(WORKERS)  # warm the process pool
+    remote_pool = get_pool(WORKERS, kind="remote")  # spawn loopback agents
+
+    def sweep(replicas: int, lane: str):
+        return run_practical_study(
+            config, replicas=replicas, workers=WORKERS, executor=lane
+        )
+
+    reference = sweep(1, "process")
+    remote = sweep(1, "remote")
+    assert np.array_equal(reference.measured, remote.measured)
+    assert np.array_equal(
+        reference.baseline_measured, remote.baseline_measured
+    )
+
+    sections: dict[str, dict] = {}
+    lines = [
+        "Remote loopback lane (full practical sweep, "
+        f"{len(remote_pool._agents)} agents, workers={WORKERS}):"
+    ]
+    for section, replicas, repetitions in (
+        ("plain", 1, 5),
+        ("replicated", REPLICAS, 3),
+    ):
+        seconds = {
+            lane: _best_of(lambda lane=lane: sweep(replicas, lane), repetitions)
+            for lane in ("process", "remote")
+        }
+        speedup = seconds["process"] / seconds["remote"]
+        sections[section] = {
+            "replicas": replicas,
+            "seconds": seconds,
+            "speedup_remote_vs_process": speedup,
+        }
+        lines.append(
+            f"  {section}: process {seconds['process'] * 1e3:7.1f} ms, "
+            f"remote {seconds['remote'] * 1e3:7.1f} ms  "
+            f"(remote {speedup:.2f}x process)"
+        )
+    emit("\n".join(lines))
+    emit_json(
+        "remote_loopback",
+        {
+            "grid": "grid5000-table3",
+            "noise_sigma": NOISE_SIGMA,
+            "seed": SEED,
+            "workers": WORKERS,
+            "agents": len(remote_pool._agents),
+            **sections,
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+    # The acceptance bar: wire framing + socket hops must cost the loopback
+    # remote lane at most half the process lane's throughput.
+    assert sections["plain"]["speedup_remote_vs_process"] >= 0.5
+
+
 def test_chained_pipeline_throughput():
     """The warm-chaining workload: batched engine vs the scalar reference."""
     config = PracticalStudyConfig(

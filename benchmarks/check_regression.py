@@ -15,7 +15,11 @@ perf wins of past PRs cannot silently rot:
 * thread executor lane       >= 1.1x the process lane on the small-batch
   workload (``BENCH_runtime.json``, thread_vs_process section — the
   shipping-free lane must keep beating shipped fan-out where "auto"
-  selects it).
+  selects it),
+* remote executor lane       >= 0.5x the process lane on the loopback
+  practical sweep (``BENCH_runtime.json``, remote_loopback section — wire
+  framing and socket hops must never halve the lane's throughput; across
+  real machines the lane then adds capacity no local pool has).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
 The summary printed here is also surfaced by the CI ``docs`` job, so doc
@@ -58,6 +62,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         "BENCH_runtime.json",
         ("thread_vs_process", "small_batch", "speedup_thread_vs_process"),
         1.1,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("remote_loopback", "plain", "speedup_remote_vs_process"),
+        0.5,
     ),
 )
 

@@ -23,7 +23,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Documents whose ```python blocks must execute.
-DOCUMENTS = ("README.md", "docs/architecture.md", "docs/reproducing.md")
+DOCUMENTS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/reproducing.md",
+    "docs/distributed.md",
+)
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

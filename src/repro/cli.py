@@ -10,7 +10,10 @@
 * ``repro-bcast practical`` — run the Figure 5/6 predicted-vs-measured study
   (optionally with noise replicas and a pipelined worker fan-out);
 * ``repro-bcast chain`` — measure a warm-network pipeline of back-to-back
-  collectives against its barrier-separated baseline.
+  collectives against its barrier-separated baseline;
+* ``repro-bcast worker serve`` — run a distributed-lane worker agent that
+  executes study chunks shipped by a coordinator running with
+  ``--executor remote`` (see ``--hosts`` / ``REPRO_HOSTS``).
 
 Worker counts default to the ``REPRO_MC_WORKERS`` / ``REPRO_PRACTICAL_WORKERS``
 environment variables with the shared ``REPRO_WORKERS`` fallback; the fan-out
@@ -53,11 +56,19 @@ from repro.utils.rng import RandomStream
 def _add_executor_option(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--executor",
-        choices=("auto", "thread", "process"),
+        choices=("auto", "thread", "process", "remote"),
         default=None,
         help="worker fan-out lane: threads read parent arrays in place (no "
-        "shipping), processes ship via --transport; auto picks threads for "
-        "small batches (default: REPRO_EXECUTOR, then auto)",
+        "shipping), processes ship via --transport, remote ships chunks to "
+        "the worker agents of --hosts; auto picks threads for small batches "
+        "(default: REPRO_EXECUTOR, then auto)",
+    )
+    sub_parser.add_argument(
+        "--hosts",
+        default=None,
+        help="comma-separated worker-agent addresses host:port for "
+        "--executor remote (default: REPRO_HOSTS, then agents auto-spawned "
+        "as loopback subprocesses)",
     )
 
 
@@ -269,6 +280,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_option(chain)
 
+    worker = sub.add_parser(
+        "worker",
+        help="distributed-lane worker agents (serve studies shipped by a "
+        "coordinator running with --executor remote)",
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve",
+        help="run one agent in the foreground: listen for a coordinator and "
+        "execute its study chunks on a local worker pool",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on; port 0 lets the OS pick — the bound "
+        "address is announced on stdout (default: 127.0.0.1:0)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="local worker processes this agent fronts (default: 1 — "
+        "execute chunks in the agent process itself)",
+    )
+    serve.add_argument(
+        "--exit-with-parent",
+        action="store_true",
+        help="exit when the process that spawned this agent dies — loopback "
+        "pools pass this so killed coordinators leave no orphans "
+        "(default: False)",
+    )
+
     return parser
 
 
@@ -315,6 +358,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         transport=args.transport,
+        hosts=args.hosts,
     )
     series = {
         name: result.series(name) for name in result.heuristic_names
@@ -342,6 +386,7 @@ def _cmd_practical(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
             transport=args.transport,
+            hosts=args.hosts,
         )
         print(
             render_table(
@@ -355,6 +400,7 @@ def _cmd_practical(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
             transport=args.transport,
+            hosts=args.hosts,
         )
         print(
             render_table(
@@ -368,6 +414,7 @@ def _cmd_practical(args: argparse.Namespace) -> int:
         executor=args.executor,
         replicas=args.replicas,
         transport=args.transport,
+        hosts=args.hosts,
     )
     print(render_table(result.as_table(which="predicted"), title="Predicted completion time (s)"))
     print()
@@ -396,6 +443,7 @@ def _cmd_chain(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         workers=args.workers,
         executor=args.executor,
+        hosts=args.hosts,
     )
     title = (
         "Warm-chained pipeline vs barrier baseline (s): "
@@ -410,6 +458,15 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.remote import serve_agent
+
+    serve_agent(
+        args.bind, args.workers, exit_with_parent=args.exit_with_parent
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-bcast`` script)."""
     parser = _build_parser()
@@ -420,6 +477,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "practical": _cmd_practical,
         "chain": _cmd_chain,
+        "worker": _cmd_worker,
     }
     return handlers[args.command](args)
 

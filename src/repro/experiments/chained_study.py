@@ -40,6 +40,7 @@ from repro.experiments.practical_study import (
 from repro.mpi.alltoall import grid_aware_alltoall_program
 from repro.mpi.bcast import grid_aware_bcast_program
 from repro.mpi.scatter import grid_aware_scatter_program
+from repro.runtime.pool import engage_remote_lane
 from repro.simulator.batch import ExecutionTask, execute_programs
 from repro.simulator.network import NetworkConfig
 from repro.topology.grid import Grid
@@ -167,6 +168,8 @@ def run_chained_study(
     executor: str | None = None,
     transport: str | None = None,
     chunking: str = "adaptive",
+    hosts: str | None = None,
+    pool=None,
 ) -> ChainedStudyResult:
     """Measure a pipeline of collectives warm-chained versus barrier-separated.
 
@@ -189,10 +192,11 @@ def run_chained_study(
     engine:
         ``"batched"`` (default) or the scalar reference.
     executor:
-        Fan-out lane — ``"thread"`` / ``"process"`` / ``"auto"`` (default
-        via ``REPRO_EXECUTOR``); see
-        :func:`~repro.simulator.batch.execute_programs`.  Bit-identical
-        either way.
+        Fan-out lane — ``"thread"`` / ``"process"`` / ``"remote"`` /
+        ``"auto"`` (default via ``REPRO_EXECUTOR``); see
+        :func:`~repro.simulator.batch.execute_programs`.  Chains stay
+        atomic on every lane — a warm pipeline never spans two workers or
+        two agents.  Bit-identical either way.
     transport:
         Worker shipping transport on the process lane (see
         :func:`~repro.simulator.batch.execute_programs`).
@@ -201,6 +205,14 @@ def run_chained_study(
         cost — exactly what a mixed scatter/all-to-all pipeline needs, an
         all-to-all stage costs ~20x a scatter stage — ``"fixed"`` keeps the
         task-count split.  Bit-identical either way.
+    hosts:
+        Remote-lane agent addresses (``"host:port,host:port"``); only
+        consulted when the remote lane is engaged.  ``None`` falls back to
+        ``REPRO_HOSTS``, then to auto-spawned loopback agents.
+    pool:
+        An explicit runtime pool of any lane; defaults to the process-wide
+        persistent pool of the chosen lane (a passed pool's ``kind`` wins
+        over ``executor``).
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
@@ -215,6 +227,9 @@ def run_chained_study(
     if not stages:
         raise ValueError("stages must not be empty")
     worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
+    pool, worker_count = engage_remote_lane(
+        pool, executor, workers, worker_count, hosts, transport
+    )
 
     sequence = list(stages) * repeat
     counts: dict[str, int] = {}
@@ -262,6 +277,8 @@ def run_chained_study(
         executor=executor,
         transport=transport,
         chunking=chunking,
+        pool=pool,
+        hosts=hosts,
     )
     num_stages = len(sequence)
     makespans = np.array(

@@ -47,7 +47,7 @@ from repro.mpi.bcast import binomial_bcast_program, grid_aware_bcast_program
 from repro.mpi.scatter import flat_scatter_program, grid_aware_scatter_program
 from repro.runtime.chunking import choose_executor
 from repro.runtime.pipeline import PipelinedExecutor
-from repro.runtime.pool import get_pool
+from repro.runtime.pool import engage_remote_lane, get_pool
 from repro.simulator.batch import ENGINES, ExecutionTask, execute_programs
 from repro.simulator.network import NetworkConfig
 from repro.topology.grid import Grid
@@ -220,6 +220,7 @@ def run_practical_study(
     transport: str | None = None,
     chunking: str = "adaptive",
     pool=None,
+    hosts: str | None = None,
 ) -> PracticalStudyResult:
     """Run the Figure 5 / Figure 6 experiment.
 
@@ -240,11 +241,13 @@ def run_practical_study(
         tests and benchmarks.
     executor:
         Fan-out lane: ``"thread"`` (no shipping — workers read the parent's
-        compiled arrays in place), ``"process"``, or ``"auto"`` (threads for
-        sweeps too small to amortise shipping, processes otherwise; naming a
-        ``transport`` pins auto to processes).  ``None`` consults
-        ``REPRO_EXECUTOR``, then defaults to ``"auto"``.  Every lane is
-        bit-identical.
+        compiled arrays in place), ``"process"``, ``"remote"`` (compiled
+        batches framed over sockets to the worker agents named by ``hosts``
+        / ``REPRO_HOSTS``, loopback agents otherwise), or ``"auto"``
+        (threads for sweeps too small to amortise shipping, processes
+        otherwise; naming a ``transport`` pins auto to processes; auto
+        never picks remote).  ``None`` consults ``REPRO_EXECUTOR``, then
+        defaults to ``"auto"``.  Every lane is bit-identical.
     replicas:
         Number of independent noisy measurements per curve point.  The
         result's ``measured`` columns become replica means and the raw
@@ -268,18 +271,23 @@ def run_practical_study(
         chunking.  Bit-identical either way.
     pool:
         An explicit :class:`~repro.runtime.pool.StudyPool` /
-        :class:`~repro.runtime.pool.ThreadStudyPool`; defaults to the
+        :class:`~repro.runtime.pool.ThreadStudyPool` /
+        :class:`~repro.runtime.remote.RemoteStudyPool`; defaults to the
         process-wide persistent pool of the chosen lane (a passed pool's
         ``kind`` wins over ``executor``).
+    hosts:
+        Remote-lane agent addresses (``"host:port,host:port"``); only
+        consulted when the remote lane is engaged.  ``None`` falls back to
+        ``REPRO_HOSTS``, then to auto-spawned loopback agents.
     """
     config = config if config is not None else PracticalStudyConfig()
     grid = grid if grid is not None else build_grid5000_topology()
     # Resolve the fan-out (and implicitly validate the env vars) up front so
     # a bad setting fails before the prediction sweep, not after it.
     worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
-    if workers is None and worker_count == 0 and pool is not None:
-        # An explicit pool is an explicit request for fan-out.
-        worker_count = pool.workers
+    pool, worker_count = engage_remote_lane(
+        pool, executor, workers, worker_count, hosts, transport
+    )
     _check_engine(engine)
     _check_replicas(replicas)
     if pipeline and engine != "batched":
@@ -318,7 +326,7 @@ def run_practical_study(
                 * grid.num_nodes
             )
             lane = choose_executor(executor, estimated_units, transport=transport)
-            study_pool = get_pool(worker_count, kind=lane)
+            study_pool = get_pool(worker_count, kind=lane, hosts=hosts)
         pipelined = PipelinedExecutor(
             grid,
             config=network_config,
@@ -392,6 +400,7 @@ def run_practical_study(
             transport=transport,
             chunking=chunking,
             pool=pool,
+            hosts=hosts,
         )
     for (replica, size_index, heuristic_index), execution in zip(slots, executions):
         if heuristic_index is None:
@@ -477,6 +486,8 @@ def _run_collective_study(
     transport: str | None = None,
     executor: str | None = None,
     chunking: str = "adaptive",
+    hosts: str | None = None,
+    pool=None,
 ) -> CollectiveStudyResult:
     """Shared driver: one ExecutionTask per (strategy, chunk size).
 
@@ -489,6 +500,9 @@ def _run_collective_study(
     adaptive chunking matters most here).
     """
     worker_count = resolve_workers(workers, PRACTICAL_WORKERS_ENV_VAR)
+    pool, worker_count = engage_remote_lane(
+        pool, executor, workers, worker_count, hosts, transport
+    )
     _check_engine(engine)
     sizes = list(config.message_sizes)
     tasks: list[ExecutionTask] = []
@@ -510,6 +524,8 @@ def _run_collective_study(
         executor=executor,
         transport=transport,
         chunking=chunking,
+        pool=pool,
+        hosts=hosts,
     )
     measured = np.array(
         [execution.makespan for execution in executions], dtype=float
@@ -532,6 +548,8 @@ def run_scatter_study(
     executor: str | None = None,
     transport: str | None = None,
     chunking: str = "adaptive",
+    hosts: str | None = None,
+    pool=None,
 ) -> CollectiveStudyResult:
     """Measure the flat scatter against the grid-aware hierarchical scatters.
 
@@ -541,9 +559,10 @@ def run_scatter_study(
     ``config.message_sizes`` are interpreted as per-rank chunk sizes.
 
     ``workers`` defaults from ``REPRO_PRACTICAL_WORKERS`` then the shared
-    ``REPRO_WORKERS``; ``executor`` (``"thread"``/``"process"``/``"auto"``,
-    default from ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``
-    and ``chunking`` behave as in
+    ``REPRO_WORKERS``; ``executor``
+    (``"thread"``/``"process"``/``"remote"``/``"auto"``, default from
+    ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``, ``chunking``,
+    ``hosts`` and ``pool`` behave as in
     :func:`~repro.simulator.batch.execute_programs`.  Results are
     bit-identical for every combination.
     """
@@ -573,7 +592,7 @@ def run_scatter_study(
         )
     return _run_collective_study(
         "scatter", strategies, config, grid, workers, engine, transport,
-        executor, chunking,
+        executor, chunking, hosts, pool,
     )
 
 
@@ -586,6 +605,8 @@ def run_alltoall_study(
     executor: str | None = None,
     transport: str | None = None,
     chunking: str = "adaptive",
+    hosts: str | None = None,
+    pool=None,
 ) -> CollectiveStudyResult:
     """Measure the direct all-to-all against the grid-aware aggregated one.
 
@@ -597,9 +618,10 @@ def run_alltoall_study(
     injects ``n * (n - 1)`` messages per execution.
 
     ``workers`` defaults from ``REPRO_PRACTICAL_WORKERS`` then the shared
-    ``REPRO_WORKERS``; ``executor`` (``"thread"``/``"process"``/``"auto"``,
-    default from ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``
-    and ``chunking`` behave as in
+    ``REPRO_WORKERS``; ``executor``
+    (``"thread"``/``"process"``/``"remote"``/``"auto"``, default from
+    ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``, ``chunking``,
+    ``hosts`` and ``pool`` behave as in
     :func:`~repro.simulator.batch.execute_programs`.  Results are
     bit-identical for every combination.
     """
@@ -614,5 +636,5 @@ def run_alltoall_study(
     ]
     return _run_collective_study(
         "alltoall", strategies, config, grid, workers, engine, transport,
-        executor, chunking,
+        executor, chunking, hosts, pool,
     )

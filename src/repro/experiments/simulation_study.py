@@ -37,7 +37,7 @@ from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import SimulationStudyConfig
 from repro.runtime.chunking import choose_executor
-from repro.runtime.pool import get_pool
+from repro.runtime.pool import engage_remote_lane, get_pool
 from repro.runtime.transport import ArrayShipment
 from repro.topology.generators import RandomGridGenerator
 from repro.utils.rng import RandomStream
@@ -305,6 +305,7 @@ def run_simulation_study(
     executor: str | None = None,
     transport: str | None = None,
     pool=None,
+    hosts: str | None = None,
 ) -> SimulationStudyResult:
     """Run the Monte-Carlo study described by ``config``.
 
@@ -324,26 +325,34 @@ def run_simulation_study(
         in-process.
     executor:
         Fan-out lane: ``"thread"`` (chunks pass to worker threads by
-        reference — no pickling, no shipping), ``"process"``, or ``"auto"``
-        — threads when the study's total estimated cost
+        reference — no pickling, no shipping), ``"process"``, ``"remote"``
+        (chunks framed over sockets to the worker agents named by ``hosts``
+        / ``REPRO_HOSTS``, loopback agents otherwise), or ``"auto"`` —
+        threads when the study's total estimated cost
         (``iterations * clusters**2`` stacked-matrix cells) is too small to
         amortise process shipping, processes otherwise (naming a
-        ``transport`` pins auto to processes).  ``None`` consults
-        ``REPRO_EXECUTOR``, then defaults to ``"auto"``.  Every lane is
-        bit-identical.
+        ``transport`` pins auto to processes; auto never picks remote).
+        ``None`` consults ``REPRO_EXECUTOR``, then defaults to ``"auto"``.
+        Every lane is bit-identical.
     transport:
         ``None`` (default) ships chunk *seeds* and lets each worker
         regenerate its grids — the cheapest payload when generation is
         inexpensive.  ``"auto"``/``"shm"``/``"pickle"`` switch to the
         pipelined stack-shipping driver: the parent generates the grids and
         ships the stacked ``(K, n, n)`` cost matrices zero-copy while workers
-        schedule the previous chunk (process lane only — the thread lane
-        never ships).  All drivers are bit-identical.
+        schedule the previous chunk (process and remote lanes — the thread
+        lane never ships; on the remote lane the stacks are framed over the
+        wire instead of a local segment).  All drivers are bit-identical.
     pool:
         An explicit :class:`~repro.runtime.pool.StudyPool` /
-        :class:`~repro.runtime.pool.ThreadStudyPool`; defaults to the
+        :class:`~repro.runtime.pool.ThreadStudyPool` /
+        :class:`~repro.runtime.remote.RemoteStudyPool`; defaults to the
         process-wide persistent pool of the chosen lane (a passed pool's
         ``kind`` wins over ``executor``).
+    hosts:
+        Remote-lane agent addresses (``"host:port,host:port"``); only
+        consulted when the remote lane is engaged.  ``None`` falls back to
+        ``REPRO_HOSTS``, then to auto-spawned loopback agents.
     """
     heuristic_keys = tuple(config.heuristics)
     heuristics = instantiate(heuristic_keys)
@@ -355,9 +364,9 @@ def run_simulation_study(
     )
 
     worker_count = resolve_workers(workers, WORKERS_ENV_VAR)
-    if workers is None and worker_count == 0 and pool is not None:
-        # An explicit pool is an explicit request for fan-out.
-        worker_count = pool.workers
+    pool, worker_count = engage_remote_lane(
+        pool, executor, workers, worker_count, hosts, transport
+    )
     tasks = []
     for count_index, num_clusters in enumerate(counts):
         seeds = [parent_stream.spawn_seed() for _ in range(config.iterations)]
@@ -386,8 +395,8 @@ def run_simulation_study(
                 num_clusters * num_clusters for num_clusters in counts
             )
             lane = choose_executor(executor, total_units, transport=transport)
-            study_pool = get_pool(worker_count, kind=lane)
-        if transport is not None and lane == "process":
+            study_pool = get_pool(worker_count, kind=lane, hosts=hosts)
+        if transport is not None and lane in ("process", "remote"):
             _run_stack_shipping(tasks, makespans, study_pool, transport, heuristics)
         else:
             # Seed shipping; on the thread lane "shipping" is a by-reference

@@ -27,7 +27,14 @@ the subsystem that removes them, shared by every study driver and the CLI:
   ``executor="thread"|"process"|"auto"``);
 * :mod:`repro.runtime.pipeline` —
   :class:`~repro.runtime.pipeline.PipelinedExecutor`, the overlapped
-  construct/measure driver behind the streaming Table 3 sweep.
+  construct/measure driver behind the streaming Table 3 sweep;
+* :mod:`repro.runtime.wire` / :mod:`repro.runtime.remote` — the
+  **distributed lane** (``executor="remote"``):
+  :class:`~repro.runtime.remote.RemoteStudyPool` serves the same
+  submit/collect contract over a length-prefixed socket protocol to
+  standalone worker agents (``repro-bcast worker serve``), each fronting
+  its own local process pool; agents are named by ``hosts=`` /
+  ``REPRO_HOSTS`` or auto-spawned as loopback subprocesses.
 
 Worker counts everywhere resolve through
 :func:`repro.utils.workers.resolve_workers` (``REPRO_MC_WORKERS`` /
@@ -43,6 +50,7 @@ from repro.runtime.transport import (
     ArrayShipment,
     resolve_transport,
     shared_memory_available,
+    sweep_shipments,
 )
 from repro.runtime.chunking import (
     CHUNKINGS,
@@ -51,11 +59,20 @@ from repro.runtime.chunking import (
     aggregate_unit_costs,
     choose_executor,
     compiled_cost,
+    load_cost_model,
     partition_by_cost,
     program_cost,
     resolve_executor,
+    save_cost_model,
 )
 from repro.runtime.pipeline import PipelinedExecutor
+from repro.runtime.remote import (
+    AgentServer,
+    RemoteStudyPool,
+    parse_hosts,
+    resolve_hosts,
+    serve_agent,
+)
 
 __all__ = [
     "StudyPool",
@@ -66,14 +83,22 @@ __all__ = [
     "ArrayShipment",
     "resolve_transport",
     "shared_memory_available",
+    "sweep_shipments",
     "CHUNKINGS",
     "EXECUTORS",
     "CostModel",
     "aggregate_unit_costs",
     "choose_executor",
     "compiled_cost",
+    "load_cost_model",
     "partition_by_cost",
     "program_cost",
     "resolve_executor",
+    "save_cost_model",
     "PipelinedExecutor",
+    "AgentServer",
+    "RemoteStudyPool",
+    "parse_hosts",
+    "resolve_hosts",
+    "serve_agent",
 ]

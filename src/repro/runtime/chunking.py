@@ -28,14 +28,19 @@ partitions of all sizes on either lane are bit-identical (asserted by
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
+from pathlib import Path
 from typing import Sequence
 
 #: Valid ``executor=`` values accepted by the runtime entry points and every
 #: study driver: ``"auto"`` (cost-based choice), ``"thread"``
-#: (:class:`~repro.runtime.pool.ThreadStudyPool`, no shipping) and
-#: ``"process"`` (:class:`~repro.runtime.pool.StudyPool` + transport).
-EXECUTORS = ("auto", "thread", "process")
+#: (:class:`~repro.runtime.pool.ThreadStudyPool`, no shipping), ``"process"``
+#: (:class:`~repro.runtime.pool.StudyPool` + transport) and ``"remote"``
+#: (:class:`~repro.runtime.remote.RemoteStudyPool` — chunks shipped over
+#: sockets to worker agents; never chosen by ``"auto"``, only explicitly).
+EXECUTORS = ("auto", "thread", "process", "remote")
 
 #: Valid ``chunking=`` values: ``"adaptive"`` (cost-balanced chunks, the
 #: default) and ``"fixed"`` (the historical task-count chunking, kept as the
@@ -63,6 +68,15 @@ DEFAULT_UNITS_PER_SECOND = 200_000.0
 #: a skewed workload still balances, few enough that per-chunk overhead stays
 #: negligible.
 CHUNKS_PER_WORKER = 4
+
+#: Environment variable naming an opt-in on-disk cost cache (a JSON file).
+#: When set, the pipelined driver restores previously observed
+#: units-per-second on start-up and records its own on finish — so the
+#: *first* submission of a study, local or remote, is split against measured
+#: throughput instead of the :data:`DEFAULT_UNITS_PER_SECOND` prior.  Purely
+#: a performance device: like everything in this module it can never change
+#: results, so a stale, missing or unwritable cache file is always safe.
+COST_CACHE_ENV_VAR = "REPRO_COST_CACHE"
 
 
 def resolve_executor(executor: str | None) -> str:
@@ -93,7 +107,9 @@ def choose_executor(
     shipping would have amortised — and the process lane otherwise.  Naming a
     ``transport`` pins ``"auto"`` to the process lane (transports describe
     process shipping; the thread lane ships nothing).  Explicit
-    ``"thread"``/``"process"`` always win.
+    ``"thread"``/``"process"``/``"remote"`` always win; ``"auto"`` never
+    chooses the remote lane on its own (crossing a machine boundary is an
+    explicit decision — via ``executor="remote"`` or ``REPRO_EXECUTOR``).
     """
     resolved = resolve_executor(executor)
     if resolved != "auto":
@@ -165,6 +181,77 @@ class CostModel:
     def seconds_for(self, units: float) -> float:
         """Estimated wall time of ``units`` of work at the current rate."""
         return units / self.units_per_second
+
+    def snapshot(self) -> dict[str, float]:
+        """The model's accumulated observations, as a JSON-friendly dict."""
+        return {"units": self._units, "seconds": self._seconds}
+
+    def restore(self, snapshot: dict) -> "CostModel":
+        """Adopt a :meth:`snapshot` (replacing any current observations).
+
+        Malformed snapshots are rejected with :class:`ValueError`; callers
+        reading from untrusted storage (the on-disk cache) catch and fall
+        back to the prior.
+        """
+        units = float(snapshot["units"])
+        seconds = float(snapshot["seconds"])
+        if units < 0.0 or seconds < 0.0:
+            raise ValueError(f"negative cost-model snapshot {snapshot!r}")
+        self._units = units
+        self._seconds = seconds
+        return self
+
+
+def _cost_cache_path() -> Path | None:
+    raw = os.environ.get(COST_CACHE_ENV_VAR, "").strip()
+    return Path(raw) if raw else None
+
+
+def load_cost_model(key: str) -> CostModel:
+    """A :class:`CostModel` preloaded from the on-disk cache, if enabled.
+
+    Looks ``key`` up in the ``REPRO_COST_CACHE`` JSON file; any failure —
+    variable unset, file missing, unreadable, entry malformed — falls back
+    to a fresh model with the default prior.  Never raises.
+    """
+    model = CostModel()
+    path = _cost_cache_path()
+    if path is None:
+        return model
+    try:
+        model.restore(json.loads(path.read_text())[key])
+    except Exception:  # noqa: BLE001 - a cache miss is always fine
+        pass
+    return model
+
+
+def save_cost_model(key: str, model: CostModel) -> None:
+    """Record ``model``'s observations under ``key`` in the on-disk cache.
+
+    A no-op when ``REPRO_COST_CACHE`` is unset or the model observed
+    nothing.  The write is atomic (temp file + rename) so concurrent studies
+    sharing one cache can only ever read a complete document; write failures
+    are swallowed — the cache is an accelerator, never a dependency.
+    """
+    path = _cost_cache_path()
+    if path is None or not model.observed:
+        return
+    try:
+        try:
+            document = json.loads(path.read_text())
+            if not isinstance(document, dict):
+                document = {}
+        except Exception:  # noqa: BLE001 - first write or corrupt cache
+            document = {}
+        document[key] = model.snapshot()
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        with os.fdopen(handle, "w") as stream:
+            json.dump(document, stream)
+        os.replace(temp_name, path)
+    except Exception:  # noqa: BLE001 - performance device, never fails a study
+        pass
 
 
 def aggregate_unit_costs(

@@ -40,7 +40,9 @@ from repro.runtime.chunking import (
     CostModel,
     aggregate_unit_costs,
     compiled_cost,
+    load_cost_model,
     partition_by_cost,
+    save_cost_model,
 )
 from repro.runtime.pool import StudyPool
 from repro.simulator.execution import ExecutionResult
@@ -51,6 +53,13 @@ from repro.topology.grid import Grid
 #: chunk — splitting them would cost more in per-chunk overhead than the
 #: balance could recover.  A pure performance knob; never affects results.
 SPLIT_MIN_SECONDS = 0.002
+
+#: Key the pipelined driver's observations live under in the opt-in on-disk
+#: cost cache (``REPRO_COST_CACHE``; see
+#: :func:`repro.runtime.chunking.load_cost_model`).  With the cache enabled
+#: the *first* submission of a study splits against the units-per-second a
+#: previous study actually measured instead of the prior.
+COST_MODEL_KEY = "pipeline"
 
 #: A submission is split into cost-balanced chunks only when its atomic
 #: units are at least this skewed (max unit cost over min unit cost).
@@ -75,10 +84,11 @@ class PipelinedExecutor:
     pool:
         The worker pool to overlap against — a process
         :class:`~repro.runtime.pool.StudyPool` (batches ship through the
-        transport) or a :class:`~repro.runtime.pool.ThreadStudyPool`
-        (batches pass by reference, nothing ships); ``None`` runs every
-        submission synchronously in-process (bit-identical results, no
-        overlap).
+        transport), a :class:`~repro.runtime.pool.ThreadStudyPool` (batches
+        pass by reference, nothing ships) or a
+        :class:`~repro.runtime.remote.RemoteStudyPool` (batches framed over
+        the wire to worker agents); ``None`` runs every submission
+        synchronously in-process (bit-identical results, no overlap).
     transport:
         Shipping transport for compiled batches on the process lane —
         ``"auto"`` (default), ``"shm"`` or ``"pickle"``; see
@@ -113,7 +123,10 @@ class PipelinedExecutor:
         self._chunking = chunking
         self._collect_traces = collect_traces
         self._compiler = _batch._BatchCompiler(grid, collect_traces)
-        self._cost_model = CostModel()
+        # Preloaded from the opt-in REPRO_COST_CACHE (a fresh model with the
+        # default prior otherwise) so even the first submission can split
+        # against observed throughput.
+        self._cost_model = load_cost_model(COST_MODEL_KEY)
         # Each entry is ("sync", results) or ("async", handles, shipment,
         # units, task count), in submission order; harvested async entries
         # collapse back to ("sync", results).
@@ -171,7 +184,8 @@ class PipelinedExecutor:
         costs = [compiled_cost(prog) for prog in compiled]
         units = float(sum(costs))
         bounds = self._bounds(normalized, costs, units)
-        if getattr(self._pool, "kind", "process") == "thread":
+        kind = getattr(self._pool, "kind", "process")
+        if kind == "thread":
             handles = [
                 self._pool.submit(
                     _batch._execute_compiled_chunk,
@@ -187,6 +201,23 @@ class PipelinedExecutor:
                     ),
                 )
                 for start, end in bounds
+            ]
+            shipment = None
+        elif kind == "remote":
+            # Per-chunk wire bundles (see _batch._remote_chunk_jobs): every
+            # frame carries only the arrays its chunk runs; nothing to
+            # unlink afterwards, the frames own their bytes.
+            handles = [
+                self._pool.submit(_batch._execute_shipped_chunk, job)
+                for job in _batch._remote_chunk_jobs(
+                    compiled,
+                    seeds,
+                    resets,
+                    bounds,
+                    self._config,
+                    self._collect_traces,
+                    self._grid.num_nodes,
+                )
             ]
             shipment = None
         else:
@@ -301,6 +332,9 @@ class PipelinedExecutor:
                     entry[2].unlink()
                 except Exception:
                     pass
+        # Persist whatever was observed (opt-in via REPRO_COST_CACHE) so the
+        # next study's first split starts from measured throughput.
+        save_cost_model(COST_MODEL_KEY, self._cost_model)
         if failure is not None:
             raise failure
         return results

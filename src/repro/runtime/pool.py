@@ -32,8 +32,10 @@ import multiprocessing
 import multiprocessing.pool
 
 #: ``kind`` values a study pool can report (``executor="auto"`` resolves to
-#: one of these per fan-out; see :func:`repro.runtime.chunking.choose_executor`).
-POOL_KINDS = ("process", "thread")
+#: ``"process"`` or ``"thread"`` per fan-out — see
+#: :func:`repro.runtime.chunking.choose_executor`; ``"remote"`` is only ever
+#: an explicit choice, see :mod:`repro.runtime.remote`).
+POOL_KINDS = ("process", "thread", "remote")
 
 
 class StudyPool:
@@ -138,19 +140,42 @@ class ThreadStudyPool(StudyPool):
 _global_pools: dict[str, StudyPool | None] = {kind: None for kind in POOL_KINDS}
 
 
-def get_pool(workers: int, kind: str = "process") -> StudyPool:
+def get_pool(workers: int, kind: str = "process", hosts=None) -> StudyPool:
     """The process-wide persistent pool of one lane, created on first use.
 
-    One pool per ``kind`` (``"process"`` — the default — or ``"thread"``) is
-    kept alive for the life of the process.  An alive pool with at least
-    ``workers`` workers is reused as-is (chunking decisions use the
-    *requested* count, so results never depend on the pool that happens to
-    serve them); asking for more workers than the current pool has replaces
-    it.
+    One pool per ``kind`` (``"process"`` — the default — ``"thread"`` or
+    ``"remote"``) is kept alive for the life of the process.  An alive pool
+    with at least ``workers`` workers is reused as-is (chunking decisions
+    use the *requested* count, so results never depend on the pool that
+    happens to serve them); asking for more workers than the current pool
+    has replaces it.
+
+    ``hosts`` only applies to the remote lane: a ``"host:port,host:port"``
+    agent list (default: the ``REPRO_HOSTS`` environment variable, then
+    loopback mode — agents auto-spawned as local subprocesses).  A cached
+    remote pool is replaced whenever the requested hosts differ from the
+    ones it is connected to.  When ``hosts`` names real agents, the pool's
+    capacity is whatever those agents advertise — the ``workers`` argument
+    is a loopback-mode sizing hint only.
     """
     if kind not in POOL_KINDS:
         raise ValueError(f"pool kind must be one of {POOL_KINDS}, got {kind!r}")
     pool = _global_pools[kind]
+    if kind == "remote":
+        from repro.runtime.remote import RemoteStudyPool, resolve_hosts
+
+        spec = resolve_hosts(hosts)
+        if (
+            pool is None
+            or not pool.alive
+            or getattr(pool, "hosts_spec", None) != spec
+            or (spec is None and pool.workers < workers)
+        ):
+            if pool is not None:
+                pool.close()
+            pool = RemoteStudyPool(workers, hosts=spec)
+            _global_pools[kind] = pool
+        return pool
     if pool is None or not pool.alive or pool.workers < workers:
         if pool is not None:
             pool.close()
@@ -158,6 +183,45 @@ def get_pool(workers: int, kind: str = "process") -> StudyPool:
         pool = pool_class(workers)
         _global_pools[kind] = pool
     return pool
+
+
+def engage_remote_lane(
+    pool, executor, workers, worker_count: int, hosts, transport: str | None = None
+) -> tuple[object, int]:
+    """Resolve the fan-out preamble of one study call (shared by every driver).
+
+    Returns a possibly-updated ``(pool, worker_count)``, subsuming the two
+    steps every driver needs in the same order:
+
+    * an explicit ``pool=`` with no ``workers=`` is an explicit request for
+      fan-out, so the worker count lifts to the pool's;
+    * when ``executor`` resolves to ``"remote"`` (argument or
+      ``REPRO_EXECUTOR``) and no explicit pool was passed, the persistent
+      remote pool is engaged — and, because remote capacity lives on the
+      agents rather than in a local ``workers=`` knob, a worker count that
+      would otherwise mean "in-process" lifts to the agents' advertised
+      total.  An *explicit* ``workers=0``/``1`` (the ``workers`` argument,
+      as opposed to the resolved ``worker_count``) still means in-process:
+      naming a lane never overrides an explicit request not to fan out.
+      ``transport="legacy"`` — the fresh-process benchmark baseline — never
+      engages the remote lane.
+
+    Every other combination passes through untouched.
+    """
+    from repro.runtime.chunking import resolve_executor
+
+    if workers is None and worker_count == 0 and pool is not None:
+        worker_count = pool.workers
+    if pool is not None or transport == "legacy":
+        return pool, worker_count
+    if resolve_executor(executor) != "remote":
+        return pool, worker_count
+    if workers is not None and worker_count < 2:
+        return pool, worker_count
+    pool = get_pool(max(worker_count, 2), kind="remote", hosts=hosts)
+    if worker_count < 2:
+        worker_count = pool.workers
+    return pool, worker_count
 
 
 def shutdown_pool() -> None:

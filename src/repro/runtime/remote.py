@@ -1,0 +1,798 @@
+"""The distributed executor lane: shard studies across machines.
+
+The runtime's other two lanes place work inside one process tree — threads
+(:class:`~repro.runtime.pool.ThreadStudyPool`) and local processes
+(:class:`~repro.runtime.pool.StudyPool`).  This module adds the third
+``kind``: a :class:`RemoteStudyPool` (``executor="remote"``) that serves the
+exact submit/collect contract of :class:`~repro.runtime.pool.StudyPool`, but
+sends each chunk over a socket to a standalone **worker agent** —
+``repro-bcast worker serve --bind HOST:PORT --workers N`` — where the agent
+fans it out over its own local process pool.  Because every task derives its
+own seed, sharding a study over any number of agents, in any join order,
+with any mid-run agent loss, is bit-identical to the inline path — the same
+invariant the thread and process lanes already carry, extended across
+machines.
+
+**Topology.**  One coordinator (the study process), N agents.  Agents are
+named by ``hosts=`` / ``--hosts a:port,b:port`` / the ``REPRO_HOSTS``
+environment variable; when none are named the pool runs in **loopback
+mode**: it spawns :data:`LOOPBACK_AGENTS` agents as local subprocesses of
+this machine, so tests, benchmarks and a first try need no second box.
+
+**Dispatch.**  Chunk jobs are routed to the least-loaded alive agent
+(outstanding jobs weighted by the agent's worker count).  The chunks
+themselves are cut by the callers through the shared cost-balanced
+partitioner (:func:`repro.runtime.chunking.partition_by_cost`), which never
+splits a warm chain — so a chain executes whole on one agent, exactly as it
+executes whole on one local worker.
+
+**Failure semantics.**  Every in-flight job keeps its encoded frame.  When
+an agent's connection drops mid-run (process killed, network cut), the
+coordinator marks it dead and re-sends that agent's outstanding frames to
+the surviving agents; only when *no* agent survives does the study fail.  A
+result that arrives twice for one job — an agent raced its own loss — is
+counted and discarded (first delivery wins; both deliveries carry bitwise
+the same numbers, so which one wins is unobservable).
+
+**Trust model.**  An agent executes functions its coordinator names (by
+``module:qualname``), so it must only be exposed to coordinators you trust
+— bind agents to loopback or a private interconnect, exactly like any
+``multiprocessing`` worker endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+from importlib import import_module
+from pathlib import Path
+
+import multiprocessing
+import multiprocessing.pool
+
+from repro.runtime import wire
+from repro.runtime.transport import ArrayShipment
+
+#: Environment variable naming the agents (``host:port,host:port``) consulted
+#: when no ``hosts=`` argument is given; unset means loopback mode.
+HOSTS_ENV_VAR = "REPRO_HOSTS"
+
+#: Port an agent listens on when a host is named without one.
+DEFAULT_AGENT_PORT = 7029
+
+#: Number of agents a loopback pool spawns (each fronting an equal share of
+#: the requested workers).  Two agents is the smallest topology that
+#: exercises cross-agent routing, requeueing and join order.
+LOOPBACK_AGENTS = 2
+
+#: Seconds to wait for an agent connection / hello / loopback announce.
+CONNECT_TIMEOUT = 30.0
+
+_ANNOUNCE = re.compile(r"listening on ([^\s:]+):(\d+)")
+
+
+def parse_hosts(spec: str) -> tuple[tuple[str, int], ...]:
+    """Parse ``"a:7029,b"`` into ``(("a", 7029), ("b", DEFAULT_AGENT_PORT))``.
+
+    IPv6 literals use the bracket convention (``[::1]:7029``); a bare
+    multi-colon address (``::1``) is taken as a host with the default port
+    rather than misreading its last hextet as one.
+    """
+    entries: list[tuple[str, int]] = []
+    for raw in spec.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        port_text = ""
+        if raw.startswith("["):
+            host, bracket, rest = raw[1:].partition("]")
+            if not bracket or (rest and not rest.startswith(":")):
+                raise ValueError(
+                    f"bad agent address {raw!r}: IPv6 literals are "
+                    "[address] or [address]:port"
+                )
+            port_text = rest[1:]
+        elif raw.count(":") == 1:
+            host, _, port_text = raw.partition(":")
+        else:  # hostname/IPv4, or a bare (port-less) IPv6 literal
+            host = raw
+        if not host:
+            raise ValueError(f"bad agent address {raw!r}: empty host")
+        if port_text:
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad agent address {raw!r}: port must be an integer"
+                ) from exc
+        else:
+            port = DEFAULT_AGENT_PORT
+        entries.append((host, port))
+    if not entries:
+        raise ValueError(f"no agent addresses in hosts spec {spec!r}")
+    return tuple(entries)
+
+
+def resolve_hosts(hosts) -> tuple[tuple[str, int], ...] | None:
+    """Normalise a ``hosts=`` argument to an address tuple (or loopback).
+
+    ``None`` consults the ``REPRO_HOSTS`` environment variable; an unset
+    variable resolves to ``None`` — loopback mode.  Strings are parsed with
+    :func:`parse_hosts`; pre-parsed address sequences pass through.
+    """
+    if hosts is None:
+        hosts = os.environ.get(HOSTS_ENV_VAR, "").strip() or None
+        if hosts is None:
+            return None
+    if isinstance(hosts, str):
+        return parse_hosts(hosts)
+    return tuple((str(host), int(port)) for host, port in hosts)
+
+
+def _function_name(fn) -> str:
+    """The importable ``module:qualname`` of a worker body."""
+    name = f"{fn.__module__}:{fn.__qualname__}"
+    if "<" in name:
+        raise ValueError(
+            f"remote jobs need an importable module-level function, got {name}"
+        )
+    return name
+
+
+def _resolve_function(name: str):
+    """Import the worker body an incoming job names (agent side)."""
+    module_name, _, qualname = name.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed remote function name {name!r}")
+    target = import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def _localise(obj, repacked: list):
+    """Replace wire shipments with freshly packed local shipments.
+
+    The agent fans jobs out over its own process pool, so the arrays that
+    crossed the wire take their last hop through the local shared-memory
+    transport (pickle fallback included) instead of being re-pickled per
+    worker.  ``repacked`` collects the shipments so the agent can unlink
+    them once the job completes.
+    """
+    if isinstance(obj, wire.WireShipment):
+        shipment = ArrayShipment.pack(obj.load(), transport="auto")
+        repacked.append(shipment)
+        return shipment
+    if isinstance(obj, tuple):
+        return tuple(_localise(item, repacked) for item in obj)
+    if isinstance(obj, list):
+        return [_localise(item, repacked) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _localise(value, repacked) for key, value in obj.items()}
+    return obj
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, a faithful stand-in otherwise."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+# -- the agent (server side) ----------------------------------------------------------
+
+
+class AgentServer:
+    """One study agent: a socket front on a local worker pool.
+
+    Serves one coordinator connection at a time (reconnects are accepted —
+    the local pool persists across connections, like every runtime pool).
+    Each incoming job frame is dispatched to the local pool immediately, so
+    an agent keeps all its workers busy while more chunks stream in; results
+    are framed back in completion order.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; port ``0`` lets the OS pick (the bound address is
+        available as :attr:`address` after :meth:`bind`).
+    workers:
+        Local worker processes this agent fronts.  With one worker, jobs
+        execute in-process (no pool spawn) — the loopback default.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"an agent needs at least 1 worker, got {workers}")
+        self._host = host
+        self._port = port
+        self.workers = int(workers)
+        self._listener: socket.socket | None = None
+        self._pool = None
+        self._stopped = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    def bind(self) -> tuple[str, int]:
+        """Bind the listen socket and return the concrete ``(host, port)``."""
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            listener.listen(8)
+            self._listener = listener
+            self.address = listener.getsockname()[:2]
+        return self.address
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.workers >= 2:
+                self._pool = multiprocessing.Pool(processes=self.workers)
+            else:
+                self._pool = multiprocessing.pool.ThreadPool(processes=1)
+        return self._pool
+
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until :meth:`close` is called."""
+        self.bind()
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break
+            try:
+                self._serve_connection(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
+
+        def reply(message: dict) -> None:
+            # Unpicklable results/errors degrade to a descriptive error
+            # frame; an unreachable coordinator is simply gone (it will
+            # requeue elsewhere), so send failures are swallowed.
+            try:
+                frame = wire.encode_message(message)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                frame = wire.encode_message(
+                    {
+                        "job": message.get("job"),
+                        "error": RuntimeError(
+                            f"agent could not serialise the reply: {exc}"
+                        ),
+                    }
+                )
+            try:
+                with send_lock:
+                    conn.sendall(frame)
+            except OSError:
+                pass
+
+        wire.send_message(
+            conn, {"hello": wire.WIRE_VERSION, "workers": self.workers}
+        )
+        pool = self._ensure_pool()
+        repack_locally = self.workers >= 2
+        while not self._stopped.is_set():
+            try:
+                message = wire.recv_message(conn)
+            except Exception:  # noqa: BLE001 - a frame that cannot be
+                # decoded (truncation, version skew, a class this agent's
+                # build cannot import) poisons the stream: drop the
+                # connection — the coordinator requeues elsewhere — and go
+                # back to accepting instead of crashing the whole agent.
+                break
+            if (
+                message is None
+                or not isinstance(message, dict)
+                or message.get("op") == "shutdown"
+                or "job" not in message
+            ):
+                break
+            job_id = message["job"]
+            try:
+                fn = _resolve_function(message["fn"])
+                args = message["args"]
+                repacked: list[ArrayShipment] = []
+                if repack_locally:
+                    args = _localise(args, repacked)
+            except Exception as exc:  # noqa: BLE001 - reported to coordinator
+                reply({"job": job_id, "error": _picklable_error(exc)})
+                continue
+
+            def _done(value, job_id=job_id, repacked=repacked):
+                reply({"job": job_id, "result": value})
+                for shipment in repacked:
+                    shipment.unlink()
+
+            def _failed(exc, job_id=job_id, repacked=repacked):
+                reply({"job": job_id, "error": _picklable_error(exc)})
+                for shipment in repacked:
+                    shipment.unlink()
+
+            pool.apply_async(
+                fn, (args,), callback=_done, error_callback=_failed
+            )
+
+    def close(self) -> None:
+        """Stop accepting, tear the local pool down (idempotent)."""
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def serve_agent(
+    bind: str = "127.0.0.1:0",
+    workers: int = 1,
+    *,
+    exit_with_parent: bool = False,
+) -> None:
+    """Run one agent in the foreground (the ``worker serve`` CLI body).
+
+    Announces the concrete listen address on stdout (``listening on
+    host:port``) so loopback spawners — and humans — can read the
+    OS-assigned port back.  ``exit_with_parent`` arms a watchdog that exits
+    the agent when the spawning process dies, which is how loopback agents
+    avoid outliving a killed coordinator.
+    """
+    import signal
+
+    host, _, port_text = bind.rpartition(":")
+    if not host or not port_text:
+        raise ValueError(f"--bind must be HOST:PORT, got {bind!r}")
+    server = AgentServer(host, int(port_text), workers)
+    # Turn SIGTERM (coordinator close(), `kill`) into a clean interpreter
+    # exit so atexit hooks — notably the shared-memory shipment sweep —
+    # still run.  SIGKILL remains uncatchable; those segments fall to the
+    # multiprocessing resource tracker.
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    bound_host, bound_port = server.bind()
+    print(
+        f"repro-agent listening on {bound_host}:{bound_port} "
+        f"(workers={workers}, wire v{wire.WIRE_VERSION})",
+        flush=True,
+    )
+    if exit_with_parent:
+        parent = os.getppid()
+
+        def _watchdog() -> None:
+            while True:
+                time.sleep(1.0)
+                if os.getppid() != parent:
+                    os._exit(0)
+
+        threading.Thread(target=_watchdog, daemon=True).start()
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+
+
+# -- loopback spawning ----------------------------------------------------------------
+
+
+def _split_workers(total: int, agents: int) -> list[int]:
+    """Split ``total`` workers across ``agents`` agents, largest share first."""
+    agents = max(1, min(agents, total))
+    base, extra = divmod(total, agents)
+    return [base + (1 if index < extra else 0) for index in range(agents)]
+
+
+def _spawn_loopback_agent(workers: int) -> tuple[subprocess.Popen, tuple[str, int]]:
+    """Start one agent subprocess on this machine and read its address back."""
+    import repro
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "serve",
+        "--bind",
+        "127.0.0.1:0",
+        "--workers",
+        str(workers),
+        "--exit-with-parent",
+    ]
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, text=True, env=env
+    )
+    # Read the announce line through a helper thread instead of select():
+    # select on a pipe is Unix-only, and a plain readline could block past
+    # the deadline if the agent wedges during start-up.
+    announced: queue.SimpleQueue = queue.SimpleQueue()
+    threading.Thread(
+        target=lambda: announced.put(process.stdout.readline()),
+        daemon=True,
+    ).start()
+    deadline = time.monotonic() + CONNECT_TIMEOUT
+    line = ""
+    while time.monotonic() < deadline:
+        try:
+            line = announced.get(timeout=0.2)
+            break
+        except queue.Empty:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"loopback agent exited with code {process.returncode} "
+                    "before announcing its address"
+                )
+    match = _ANNOUNCE.search(line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(
+            f"loopback agent announced {line!r} instead of its address"
+        )
+    return process, (match.group(1), int(match.group(2)))
+
+
+# -- the coordinator (client side) ----------------------------------------------------
+
+
+class RemoteAsyncResult:
+    """The remote twin of :class:`multiprocessing.pool.AsyncResult`."""
+
+    __slots__ = ("_event", "_value", "_error", "_callbacks", "_lock", "job_id")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._lock = threading.Lock()
+        #: The wire-level job id this handle tracks (set by ``submit``).
+        self.job_id: int | None = None
+
+    def ready(self) -> bool:
+        """Whether the job's result (or failure) has arrived."""
+        return self._event.is_set()
+
+    def get(self, timeout: float | None = None):
+        """Block until the result arrives; re-raise the job's failure."""
+        if not self._event.wait(timeout):
+            raise multiprocessing.TimeoutError("remote job still running")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _settle(self, value, error: BaseException | None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._value = value
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _on_done(self, callback) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+
+class _Job:
+    """One submitted chunk: its frame is kept until the result lands, so a
+    lost agent's in-flight work can be re-sent verbatim elsewhere."""
+
+    __slots__ = ("job_id", "frame", "handle")
+
+    def __init__(self, job_id: int, frame: bytes, handle: RemoteAsyncResult):
+        self.job_id = job_id
+        self.frame = frame
+        self.handle = handle
+
+
+class _AgentLink:
+    """Coordinator-side connection to one agent."""
+
+    def __init__(
+        self,
+        pool: "RemoteStudyPool",
+        host: str,
+        port: int,
+        process: subprocess.Popen | None = None,
+    ) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.process = process
+        self.sock: socket.socket | None = None
+        self.workers = 0
+        self.alive = False
+        self.inflight: dict[int, _Job] = {}
+        self._send_lock = threading.Lock()
+        self._receiver: threading.Thread | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self, timeout: float = CONNECT_TIMEOUT) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = sock
+        hello = wire.recv_message(sock)
+        if not isinstance(hello, dict) or "workers" not in hello:
+            sock.close()
+            raise wire.WireError(
+                f"agent {self.name} opened with {hello!r} instead of a hello"
+            )
+        sock.settimeout(None)
+        self.workers = max(1, int(hello["workers"]))
+        self.alive = True
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name=f"repro-agent-rx-{self.name}",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    def _receive_loop(self) -> None:
+        try:
+            while True:
+                message = wire.recv_message(self.sock)
+                if message is None:
+                    break
+                if isinstance(message, dict) and "job" in message:
+                    self.pool._deliver(self, message)
+        except Exception:  # noqa: BLE001 - any decode failure (WireError,
+            # OSError, a pickle/zlib error from a corrupt or version-skewed
+            # frame) means the stream can no longer be trusted.
+            pass
+        finally:
+            # Unconditional: however this loop ends, the link's in-flight
+            # jobs must be requeued (or failed) — never left to hang their
+            # waiters forever.
+            self.pool._agent_lost(self)
+
+    def send(self, frame: bytes) -> None:
+        with self._send_lock:
+            self.sock.sendall(frame)
+
+    def close(self, graceful: bool = True) -> None:
+        self.alive = False
+        if self.sock is not None:
+            if graceful:
+                try:
+                    self.send(wire.encode_message({"op": "shutdown"}))
+                except OSError:
+                    pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        if self.process is not None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck agent
+                self.process.kill()
+                self.process.wait()
+            if self.process.stdout is not None:
+                self.process.stdout.close()
+
+
+class RemoteStudyPool:
+    """The remote lane: :class:`~repro.runtime.pool.StudyPool`'s contract,
+    served by worker agents over sockets.
+
+    Parameters
+    ----------
+    workers:
+        Total worker target in loopback mode (split across
+        :data:`LOOPBACK_AGENTS` auto-spawned local agents); ignored when
+        ``hosts`` names real agents, whose advertised worker counts add up
+        to the pool's capacity instead.
+    hosts:
+        Agent addresses — a ``"host:port,host:port"`` string or a parsed
+        address sequence.  ``None`` consults ``REPRO_HOSTS`` and falls back
+        to loopback mode.
+
+    The pool is used through the same three members as every other lane:
+    :meth:`submit`, :meth:`imap_unordered`, :meth:`close` — which is what
+    lets every study driver run remotely unchanged.
+    """
+
+    kind = "remote"
+
+    def __init__(self, workers: int | None = None, *, hosts=None) -> None:
+        self.hosts_spec = resolve_hosts(hosts)
+        self._lock = threading.RLock()
+        self._jobs: dict[int, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._closed = False
+        #: Results that arrived for already-settled jobs (an agent racing its
+        #: own loss); discarded, counted for observability and tests.
+        self.duplicates_ignored = 0
+        self._agents: list[_AgentLink] = []
+        try:
+            if self.hosts_spec is not None:
+                for host, port in self.hosts_spec:
+                    link = _AgentLink(self, host, port)
+                    link.connect()
+                    self._agents.append(link)
+            else:
+                total = max(2, int(workers or 0))
+                for share in _split_workers(total, LOOPBACK_AGENTS):
+                    process, (host, port) = _spawn_loopback_agent(share)
+                    link = _AgentLink(self, host, port, process=process)
+                    link.connect()
+                    self._agents.append(link)
+        except BaseException:
+            for link in self._agents:
+                link.close(graceful=False)
+            raise
+
+    # -- the StudyPool contract ---------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Total advertised workers across the currently alive agents."""
+        return sum(link.workers for link in self._agents if link.alive)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the pool can still accept work."""
+        return not self._closed and any(link.alive for link in self._agents)
+
+    def submit(self, fn, args) -> RemoteAsyncResult:
+        """Frame ``fn(args)`` and send it to the least-loaded agent."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("RemoteStudyPool is closed")
+            job_id = next(self._job_ids)
+        frame = wire.encode_message(
+            {"job": job_id, "fn": _function_name(fn), "args": args}
+        )
+        handle = RemoteAsyncResult()
+        handle.job_id = job_id
+        job = _Job(job_id, frame, handle)
+        with self._lock:
+            agent = self._pick_agent()  # before registering: a raise here
+            self._jobs[job_id] = job    # must not strand the job record
+            agent.inflight[job_id] = job
+        try:
+            agent.send(frame)
+        except OSError:
+            self._agent_lost(agent)
+        return handle
+
+    def imap_unordered(self, fn, iterable):
+        """Submit every job now; yield results in completion order."""
+        handles = [self.submit(fn, args) for args in iterable]
+        done: queue.SimpleQueue = queue.SimpleQueue()
+        for handle in handles:
+            handle._on_done(done.put)
+
+        def _results():
+            for _ in range(len(handles)):
+                yield done.get().get()
+
+        return _results()
+
+    def close(self) -> None:
+        """Disconnect every agent, stop loopback subprocesses (idempotent).
+
+        Jobs still pending fail with a descriptive error rather than
+        hanging their waiters forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            orphaned = list(self._jobs.values())
+            self._jobs.clear()
+            agents = list(self._agents)
+        for job in orphaned:
+            job.handle._settle(
+                None, RuntimeError("RemoteStudyPool closed with jobs pending")
+            )
+        for link in agents:
+            link.close()
+
+    def __enter__(self) -> "RemoteStudyPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _pick_agent(self) -> _AgentLink:
+        """The alive agent with the lowest load per advertised worker."""
+        alive = [link for link in self._agents if link.alive]
+        if not alive:
+            raise RuntimeError("no remote agents available")
+        return min(
+            alive, key=lambda link: len(link.inflight) / link.workers
+        )
+
+    def _deliver(self, agent: _AgentLink, message: dict) -> None:
+        """Settle one job from a result frame (first delivery wins)."""
+        job_id = message["job"]
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is None:
+                self.duplicates_ignored += 1
+                return
+            for link in self._agents:
+                link.inflight.pop(job_id, None)
+        error = message.get("error")
+        if error is not None and not isinstance(error, BaseException):
+            error = RuntimeError(str(error))
+        job.handle._settle(message.get("result"), error)
+
+    def _agent_lost(self, agent: _AgentLink) -> None:
+        """Mark ``agent`` dead and re-send its in-flight frames elsewhere."""
+        with self._lock:
+            if not agent.alive:
+                return
+            agent.alive = False
+            orphaned = [
+                job
+                for job in agent.inflight.values()
+                if job.job_id in self._jobs
+            ]
+            agent.inflight.clear()
+        try:
+            agent.sock.close()
+        except OSError:
+            pass
+        if self._closed:
+            return
+        for job in orphaned:
+            with self._lock:
+                if job.job_id not in self._jobs:
+                    continue  # delivered while we were requeueing
+                try:
+                    target = self._pick_agent()
+                except RuntimeError:
+                    self._jobs.pop(job.job_id, None)
+                    job.handle._settle(
+                        None,
+                        RuntimeError(
+                            f"agent {agent.name} was lost with no surviving "
+                            "agents to requeue onto"
+                        ),
+                    )
+                    continue
+                target.inflight[job.job_id] = job
+            try:
+                target.send(job.frame)
+            except OSError:
+                self._agent_lost(target)

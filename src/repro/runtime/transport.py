@@ -30,6 +30,8 @@ batches too small to amortise a shipment onto threads.
 
 from __future__ import annotations
 
+import atexit
+import os
 import pickle
 from dataclasses import dataclass, field
 
@@ -48,6 +50,39 @@ TRANSPORTS = ("auto", "shm", "pickle")
 _ALIGN = 64
 
 _shm_probe_result: bool | None = None
+
+#: Shared-memory segments packed by this process and not yet unlinked,
+#: mapped to the pid that owns them.  The pid guards forked children (pool
+#: workers inherit the dict but own none of the segments) from sweeping
+#: their parent's segments.
+_owned_segments: dict[str, int] = {}
+
+
+def sweep_shipments() -> None:
+    """Unlink every segment this process packed and never unlinked.
+
+    The normal lifecycle (:meth:`ArrayShipment.unlink` in a ``finally``)
+    leaves nothing for this sweep; it exists for *aborted* runs — a study
+    process dying mid-pipeline on an exception, a remote agent terminated
+    with chunks in flight (agents convert SIGTERM into a clean exit exactly
+    so this sweep still runs) — where leaked segments would otherwise
+    outlive the process and trigger resource-tracker warnings.  A SIGKILL
+    skips every exit path by definition; those segments fall to the
+    :mod:`multiprocessing` resource tracker.  Registered with
+    :mod:`atexit`; safe to call any time, idempotent.
+    """
+    pid = os.getpid()
+    for name in [n for n, owner in _owned_segments.items() if owner == pid]:
+        _owned_segments.pop(name, None)
+        try:
+            segment = _attach(name)
+            segment.unlink()
+            segment.close()
+        except Exception:  # noqa: BLE001 - already gone is the good case
+            pass
+
+
+atexit.register(sweep_shipments)
 
 
 def shared_memory_available() -> bool:
@@ -143,6 +178,7 @@ class ArrayShipment:
         for (name, dtype, shape, start), array in zip(specs, contiguous.values()):
             view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
             view[...] = array
+        _owned_segments[shm.name] = os.getpid()
         return cls(transport="shm", specs=specs, shm_name=shm.name, _shm=shm)
 
     # -- pickling ---------------------------------------------------------------------
@@ -203,9 +239,14 @@ class ArrayShipment:
                 pass
 
     def unlink(self) -> None:
-        """Destroy the shared block; the owner calls this exactly once."""
+        """Destroy the shared block (idempotent — extra calls are no-ops).
+
+        The owner calls this once every consumer is done; the atexit sweep
+        (:func:`sweep_shipments`) covers shipments whose owner died first.
+        """
         if self.transport != "shm" or self.shm_name is None:
             return
+        _owned_segments.pop(self.shm_name, None)
         if self._shm is None:
             try:
                 self._shm = _attach(self.shm_name)

@@ -751,21 +751,20 @@ def _execute_pickled_chunk(args) -> tuple[int, list[ExecutionResult]]:
     return start, runner(grid, tasks, config, collect_traces)
 
 
-def _ship_compiled(
-    compiled: Sequence[_CompiledProgram],
-    collect_traces: bool,
-    transport: str | None,
+def _bundle_compiled(
+    compiled: Sequence[_CompiledProgram], collect_traces: bool
 ):
-    """Pack the distinct compiled programs of a batch for worker shipping.
+    """Concatenate the distinct compiled programs of a batch for shipping.
 
-    Returns ``(shipment, metas, index_of)``: one
-    :class:`~repro.runtime.transport.ArrayShipment` holding the concatenated
-    message arrays of every distinct compiled program, the per-program
-    reconstruction metadata, and the ``id() -> unique index`` map used to
-    translate per-task compiled references into shipped indices.
+    Returns ``(arrays, metas, index_of)``: the named message-array bundle of
+    every distinct compiled program, the per-program reconstruction
+    metadata, and the ``id() -> unique index`` map used to translate
+    per-task compiled references into shipped indices.  :func:`_ship_compiled`
+    packs the bundle into an :class:`~repro.runtime.transport.ArrayShipment`
+    for the local process lane; the remote lane bundles per *chunk* instead
+    and wraps each bundle in a :class:`~repro.runtime.wire.WireShipment`, so
+    a chunk's frame carries only the arrays that chunk actually runs.
     """
-    from repro.runtime.transport import ArrayShipment
-
     index_of: dict[int, int] = {}
     unique: list[_CompiledProgram] = []
     for prog in compiled:
@@ -806,8 +805,67 @@ def _ship_compiled(
     }
     if collect_traces:
         arrays["sizes"] = _concat([prog.size for prog in unique], np.float64)
-    shipment = ArrayShipment.pack(arrays, transport=transport)
-    return shipment, metas, index_of
+    return arrays, metas, index_of
+
+
+def _ship_compiled(
+    compiled: Sequence[_CompiledProgram],
+    collect_traces: bool,
+    transport: str | None,
+):
+    """Pack one batch-wide :func:`_bundle_compiled` bundle for the local
+    process lane (shared memory when available, pickle fallback)."""
+    from repro.runtime.transport import ArrayShipment
+
+    arrays, metas, index_of = _bundle_compiled(compiled, collect_traces)
+    return ArrayShipment.pack(arrays, transport=transport), metas, index_of
+
+
+def _remote_chunk_jobs(
+    compiled: Sequence[_CompiledProgram],
+    seeds: Sequence[int],
+    resets: Sequence[bool],
+    bounds: Sequence[tuple[int, int]],
+    config: NetworkConfig,
+    collect_traces: bool,
+    num_nodes: int,
+) -> list[tuple]:
+    """One :func:`_execute_shipped_chunk` job per chunk, arrays per chunk.
+
+    On the remote lane every job is framed and sent separately (and may be
+    re-sent verbatim to another agent after a loss), so sharing one
+    batch-wide shipment would copy the *whole batch's* arrays into every
+    chunk's frame.  Each chunk instead gets its own
+    :class:`~repro.runtime.wire.WireShipment` bundling exactly the distinct
+    programs it runs — the wire protocol ships it as raw buffers and the
+    agent re-packs it into local shared memory for its own workers.
+    """
+    from repro.runtime.wire import WireShipment
+
+    jobs: list[tuple] = []
+    for start, end in bounds:
+        arrays, metas, index_of = _bundle_compiled(
+            compiled[start:end], collect_traces
+        )
+        entries = [
+            (index_of[id(prog)], seed, reset)
+            for prog, seed, reset in zip(
+                compiled[start:end], seeds[start:end], resets[start:end]
+            )
+        ]
+        jobs.append(
+            (
+                start,
+                WireShipment(arrays),
+                dict(enumerate(metas)),
+                entries,
+                config.noise_sigma,
+                config.receive_overhead,
+                collect_traces,
+                num_nodes,
+            )
+        )
+    return jobs
 
 
 def _rebuild_shipped(
@@ -937,23 +995,35 @@ def _execute_with_runtime_pool(
     pool,
     chunking: str,
 ) -> list[ExecutionResult]:
-    """Process lane: compile once in the parent, ship to the pool, gather."""
+    """Process/remote lane: compile once in the parent, ship to the pool."""
     from repro.runtime.pool import get_pool
 
     from repro.runtime.chunking import compiled_cost
 
     compiler = _BatchCompiler(grid, collect_traces)
     compiled = [compiler.compile(task) for task in tasks]
-    shipment, metas, index_of = _ship_compiled(compiled, collect_traces, transport)
     seeds = _task_seeds(tasks, config)
-    entries = [
-        (index_of[id(prog)], seed, task.reset_network)
-        for prog, seed, task in zip(compiled, seeds, tasks)
-    ]
+    resets = [task.reset_network for task in tasks]
     costs = [compiled_cost(prog) for prog in compiled]
     bounds = _chunk_bounds(tasks, costs, worker_count, chunking)
     study_pool = pool if pool is not None else get_pool(worker_count)
     results: list[ExecutionResult | None] = [None] * len(tasks)
+    if getattr(study_pool, "kind", "process") == "remote":
+        # Per-chunk wire bundles: each frame carries only its own arrays.
+        jobs = _remote_chunk_jobs(
+            compiled, seeds, resets, bounds, config, collect_traces,
+            grid.num_nodes,
+        )
+        pending = [study_pool.submit(_execute_shipped_chunk, job) for job in jobs]
+        for handle in pending:
+            start, values, _ = handle.get()
+            results[start : start + len(values)] = values
+        return results  # type: ignore[return-value]
+    shipment, metas, index_of = _ship_compiled(compiled, collect_traces, transport)
+    entries = [
+        (index_of[id(prog)], seed, reset)
+        for prog, seed, reset in zip(compiled, seeds, resets)
+    ]
     try:
         pending = []
         for start, end in bounds:
@@ -1072,6 +1142,7 @@ def execute_programs(
     transport: str | None = None,
     chunking: str = "adaptive",
     pool=None,
+    hosts: str | None = None,
 ) -> list[ExecutionResult]:
     """Execute many independent (or chained) programs, results in order.
 
@@ -1101,12 +1172,14 @@ def execute_programs(
         Which fan-out lane to use: ``"thread"``
         (:class:`~repro.runtime.pool.ThreadStudyPool` — no shipping, workers
         read the parent's compiled arrays in place), ``"process"``
-        (:class:`~repro.runtime.pool.StudyPool` + transport), or ``"auto"``
-        — threads when the batch's total estimated cost is too small to
-        amortise shipping, processes otherwise.  ``None`` consults the
-        ``REPRO_EXECUTOR`` environment variable, then defaults to
-        ``"auto"``.  Naming a transport pins ``"auto"`` to the process lane
-        (the lane that ships).  All lanes are bit-identical.
+        (:class:`~repro.runtime.pool.StudyPool` + transport), ``"remote"``
+        (:class:`~repro.runtime.remote.RemoteStudyPool` — chunks shipped
+        over sockets to worker agents, see ``hosts``), or ``"auto"`` —
+        threads when the batch's total estimated cost is too small to
+        amortise shipping, processes otherwise (never remote).  ``None``
+        consults the ``REPRO_EXECUTOR`` environment variable, then defaults
+        to ``"auto"``.  Naming a transport pins ``"auto"`` to the process
+        lane (the lane that ships).  All lanes are bit-identical.
     transport:
         How batches reach *process* workers (ignored in-process and on the
         thread lane, which ships nothing): ``"auto"`` (default, shared
@@ -1125,9 +1198,15 @@ def execute_programs(
         keeps the historical task-count chunking.  Bit-identical either way.
     pool:
         An explicit :class:`~repro.runtime.pool.StudyPool` /
-        :class:`~repro.runtime.pool.ThreadStudyPool` to submit to (defaults
-        to the process-wide persistent pool of the chosen lane).  A passed
-        pool's ``kind`` decides the lane, overriding ``executor``.
+        :class:`~repro.runtime.pool.ThreadStudyPool` /
+        :class:`~repro.runtime.remote.RemoteStudyPool` to submit to
+        (defaults to the process-wide persistent pool of the chosen lane).
+        A passed pool's ``kind`` decides the lane, overriding ``executor``.
+    hosts:
+        Remote-lane agent addresses (``"host:port,host:port"``); only
+        consulted when the remote lane is engaged.  ``None`` falls back to
+        the ``REPRO_HOSTS`` environment variable, then to loopback mode
+        (agents auto-spawned as local subprocesses).
     """
     from repro.runtime.chunking import (
         CHUNKINGS,
@@ -1155,11 +1234,11 @@ def execute_programs(
             "spawns its own fresh pool per call; it cannot submit to an "
             "explicit pool="
         )
-    if transport == "legacy" and executor == "thread":
+    if transport == "legacy" and executor in ("thread", "remote"):
         raise ValueError(
             "transport='legacy' is the fresh-process benchmark baseline and "
-            "cannot run on the thread lane; drop executor='thread' or pick "
-            "another transport"
+            f"cannot run on the {executor} lane; drop executor={executor!r} "
+            "or pick another transport"
         )
     config = config if config is not None else NetworkConfig()
     normalized = [
@@ -1168,9 +1247,16 @@ def execute_programs(
     ]
     _validate_tasks(normalized)
     worker_count = max(0, int(workers)) if workers is not None else 0
-    if workers is None and pool is not None:
-        # An explicit pool is an explicit request for fan-out.
-        worker_count = pool.workers
+    if len(normalized) > 1:
+        # The shared fan-out preamble: an explicit pool lifts the worker
+        # count, and the remote lane (argument or REPRO_EXECUTOR) engages
+        # without requiring a local workers= — its capacity lives on the
+        # agents.  Single-task batches always run inline, so they skip it.
+        from repro.runtime.pool import engage_remote_lane
+
+        pool, worker_count = engage_remote_lane(
+            pool, executor, workers, worker_count, hosts, transport
+        )
 
     if worker_count > 1 and len(normalized) > 1:
         if pool is not None:

@@ -218,13 +218,32 @@ class TestHelpTextDefaults:
 
     @staticmethod
     def _subparsers():
+        """Yield every *leaf* subcommand as ("space joined path", parser).
+
+        Command groups (like ``worker``, which only routes to ``worker
+        serve``) are walked through recursively, so nested subcommands get
+        the same defaults-documented guarantee as top-level ones.
+        """
         from repro.cli import _build_parser
         import argparse
+
+        def walk(prefix, sub_parser):
+            nested = [
+                action
+                for action in sub_parser._actions
+                if isinstance(action, argparse._SubParsersAction)
+            ]
+            if nested:
+                for name, child in nested[0].choices.items():
+                    yield from walk(f"{prefix} {name}", child)
+            else:
+                yield prefix.strip(), sub_parser
 
         parser = _build_parser()
         for action in parser._actions:
             if isinstance(action, argparse._SubParsersAction):
-                yield from action.choices.items()
+                for name, child in action.choices.items():
+                    yield from walk(name, child)
 
     def test_every_defaulted_option_documents_its_default(self):
         import argparse
@@ -257,6 +276,6 @@ class TestHelpTextDefaults:
     def test_help_renders_for_every_subcommand(self, capsys):
         for command, _ in self._subparsers():
             with pytest.raises(SystemExit) as excinfo:
-                main([command, "--help"])
+                main([*command.split(), "--help"])
             assert excinfo.value.code == 0
             assert "default" in capsys.readouterr().out.lower()
