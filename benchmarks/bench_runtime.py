@@ -331,3 +331,88 @@ def test_chained_pipeline_throughput():
         path=BENCH_RUNTIME_JSON_FILE,
     )
     assert speedup >= 2.0
+
+
+def test_remote_skewed_fleet():
+    """Throughput-proportional routing on a skewed fleet: cost vs count.
+
+    Two loopback agents, one worker each — but one agent runs with
+    ``--slowdown 8``, emulating a box an eighth as fast.  Both balancing
+    modes drain the same batch of fixed-duration diagnostic jobs:
+
+    * **count** — the PR 5 router: lowest in-flight count per worker, so
+      the slow agent receives half the jobs and the drain ends at its pace;
+    * **cost** — the default: ETA routing over each agent's estimated
+      throughput, bounded per-agent queues and work stealing, so the fast
+      agent absorbs the slow agent's backlog as it drains.
+
+    Results are identical either way (asserted); the recorded
+    ``speedup_cost_vs_count`` floor of **>= 1.3x** (enforced by
+    ``check_regression.py``) guarantees weighted routing keeps paying on
+    skewed fleets.
+    """
+    from repro.runtime.remote import (
+        RemoteStudyPool,
+        _diagnostic_sleep,
+        _spawn_loopback_agent,
+    )
+
+    SLOWDOWN = 8.0
+    JOBS = 24
+    NAP = 0.02  # seconds per job at full speed
+
+    fast_process, fast_address = _spawn_loopback_agent(1)
+    slow_process, slow_address = _spawn_loopback_agent(1, slowdown=SLOWDOWN)
+    try:
+
+        def drain(balancing: str) -> None:
+            pool = RemoteStudyPool(
+                hosts=(fast_address, slow_address),
+                balancing=balancing,
+                heartbeat=0.0,
+            )
+            try:
+                handles = [
+                    pool.submit(_diagnostic_sleep, (NAP, index), units=1.0)
+                    for index in range(JOBS)
+                ]
+                assert [handle.get(timeout=120) for handle in handles] == list(
+                    range(JOBS)
+                )
+            finally:
+                pool.close()
+
+        for mode in ("count", "cost"):
+            drain(mode)  # warm both paths (agent pools, import caches)
+        seconds = {
+            mode: _best_of(lambda mode=mode: drain(mode), 3)
+            for mode in ("count", "cost")
+        }
+        speedup = seconds["count"] / seconds["cost"]
+    finally:
+        for process in (fast_process, slow_process):
+            process.terminate()
+            process.wait(timeout=15)
+
+    emit(
+        f"Remote skewed fleet ({JOBS} x {NAP * 1e3:.0f} ms jobs, "
+        f"1 agent at 1/{SLOWDOWN:.0f} speed): "
+        f"count {seconds['count'] * 1e3:7.1f} ms, "
+        f"cost {seconds['cost'] * 1e3:7.1f} ms  "
+        f"(cost {speedup:.2f}x count)"
+    )
+    emit_json(
+        "remote_skewed",
+        {
+            "jobs": JOBS,
+            "job_seconds": NAP,
+            "slowdown": SLOWDOWN,
+            "agents": 2,
+            "seconds": seconds,
+            "speedup_cost_vs_count": speedup,
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+    # The acceptance bar: cost balancing must keep beating count balancing
+    # on a skewed fleet by at least 1.3x.
+    assert speedup >= 1.3

@@ -19,7 +19,11 @@ perf wins of past PRs cannot silently rot:
 * remote executor lane       >= 0.5x the process lane on the loopback
   practical sweep (``BENCH_runtime.json``, remote_loopback section — wire
   framing and socket hops must never halve the lane's throughput; across
-  real machines the lane then adds capacity no local pool has).
+  real machines the lane then adds capacity no local pool has),
+* cost-balanced remote routing >= 1.3x count-based routing on the skewed
+  two-agent fleet (``BENCH_runtime.json``, remote_skewed section —
+  throughput-proportional routing plus work stealing must keep paying when
+  agents differ in speed).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
 The summary printed here is also surfaced by the CI ``docs`` job, so doc
@@ -67,6 +71,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         "BENCH_runtime.json",
         ("remote_loopback", "plain", "speedup_remote_vs_process"),
         0.5,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("remote_skewed", "speedup_cost_vs_count"),
+        1.3,
     ),
 )
 

@@ -305,6 +305,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "execute chunks in the agent process itself)",
     )
     serve.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.0,
+        help="stretch every job's execution by this factor to emulate a "
+        "slower box — a benchmarking/testing device for skewed fleets "
+        "(default: 1.0, full speed)",
+    )
+    serve.add_argument(
         "--exit-with-parent",
         action="store_true",
         help="exit when the process that spawned this agent dies — loopback "
@@ -462,7 +470,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.runtime.remote import serve_agent
 
     serve_agent(
-        args.bind, args.workers, exit_with_parent=args.exit_with_parent
+        args.bind,
+        args.workers,
+        slowdown=args.slowdown,
+        exit_with_parent=args.exit_with_parent,
     )
     return 0
 

@@ -334,6 +334,7 @@ def run_practical_study(
             transport=transport,
             chunking=chunking,
             collect_traces=False,
+            workload="bcast",
         )
 
     # Build the measured sweep size by size.  Each task's noise stream is

@@ -275,14 +275,26 @@ def _run_stack_shipping(
                 shipment = ArrayShipment.pack(
                     BatchedGridCosts(caches).to_arrays(), transport=transport
                 )
+                # One scheduling chunk costs ~seeds x clusters^2 stacked
+                # cells — the same prior _chunk_size works from — so the
+                # remote lane can route it throughput-proportionally.
+                chunk_units = float(len(seeds) * num_clusters**2)
                 handle = study_pool.submit(
                     _schedule_shipped_chunk,
                     (count_index, start, shipment, heuristic_keys, root),
+                    units=chunk_units,
                 )
                 pending.append((handle, shipment))
             else:
                 pending.append(
-                    (study_pool.submit(_evaluate_chunk_task, task), None)
+                    (
+                        study_pool.submit(
+                            _evaluate_chunk_task,
+                            task,
+                            units=float(len(seeds) * num_clusters**2),
+                        ),
+                        None,
+                    )
                 )
             while len(pending) > max_inflight:
                 collect()

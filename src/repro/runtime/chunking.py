@@ -78,6 +78,28 @@ CHUNKS_PER_WORKER = 4
 #: results, so a stale, missing or unwritable cache file is always safe.
 COST_CACHE_ENV_VAR = "REPRO_COST_CACHE"
 
+#: A fleet of remote agents is *skewed* when the fastest chunk slot's
+#: estimated throughput is at least this multiple of the slowest's — the
+#: point where weighted (throughput-proportional) chunk splitting starts to
+#: pay for its extra frames.  Below it, agents are near-enough identical
+#: that the historical uniform split behaves the same.
+FLEET_SKEW_MIN = 1.5
+
+
+def cost_model_key(workload: str, num_clusters: int, num_nodes: int) -> str:
+    """The shaped on-disk cost-cache key of one workload.
+
+    Observed units-per-second depends on *what* is being measured — an
+    all-to-all message costs the same unit as a bcast message, but grids of
+    different sizes compile and execute at different per-unit rates.  Keying
+    cache entries by ``(workload label, grid shape)`` keeps a 45-node bcast
+    sweep's throughput from mispricing a 6-node scatter study.  Readers pass
+    the legacy shared ``"pipeline"`` record as a fallback
+    (:func:`load_cost_model`), so cache files written before shaped keys
+    existed still seed the model.
+    """
+    return f"pipeline/{workload}/c{num_clusters}-n{num_nodes}"
+
 
 def resolve_executor(executor: str | None) -> str:
     """Normalise an ``executor=`` argument to one of :data:`EXECUTORS`.
@@ -207,21 +229,29 @@ def _cost_cache_path() -> Path | None:
     return Path(raw) if raw else None
 
 
-def load_cost_model(key: str) -> CostModel:
+def load_cost_model(key: str, fallback_keys: Sequence[str] = ()) -> CostModel:
     """A :class:`CostModel` preloaded from the on-disk cache, if enabled.
 
-    Looks ``key`` up in the ``REPRO_COST_CACHE`` JSON file; any failure —
-    variable unset, file missing, unreadable, entry malformed — falls back
-    to a fresh model with the default prior.  Never raises.
+    Looks ``key`` up in the ``REPRO_COST_CACHE`` JSON file, then each of
+    ``fallback_keys`` in order — the migration path for cache files written
+    before shaped keys existed (a reader passes the legacy ``"pipeline"``
+    record as its fallback and re-saves under the shaped key).  Any failure
+    — variable unset, file missing, unreadable, every entry malformed —
+    falls back to a fresh model with the default prior.  Never raises.
     """
     model = CostModel()
     path = _cost_cache_path()
     if path is None:
         return model
     try:
-        model.restore(json.loads(path.read_text())[key])
+        document = json.loads(path.read_text())
     except Exception:  # noqa: BLE001 - a cache miss is always fine
-        pass
+        return model
+    for candidate in (key, *fallback_keys):
+        try:
+            return model.restore(document[candidate])
+        except Exception:  # noqa: BLE001 - try the next candidate
+            continue
     return model
 
 
@@ -275,9 +305,10 @@ def partition_by_cost(
     units: Sequence[tuple[int, int]],
     unit_costs: Sequence[float],
     num_chunks: int,
+    weights: Sequence[float] | None = None,
 ) -> list[tuple[int, int]]:
     """Merge contiguous atomic units into at most ``num_chunks`` chunks of
-    roughly equal total cost.
+    roughly equal (or weighted) total cost.
 
     ``units`` are half-open ``[start, end)`` task ranges that must stay
     together (warm chains; single tasks otherwise — see
@@ -287,7 +318,17 @@ def partition_by_cost(
     whenever stopping short lands closer to that share than overshooting
     would — so an oversized unit gets its own chunk wherever it sits in the
     sequence (a ~20x all-to-all at the *tail* of a batch must not absorb
-    every cheap unit before it).  Partitioning never affects results — only
+    every cheap unit before it).
+
+    ``weights`` makes the split *throughput-proportional*: chunk ``i``
+    targets the share ``weights[i] / sum(weights[i:])`` of the remaining
+    cost instead of an equal share, which is how a heterogeneous remote
+    fleet receives chunks sized to each agent's observed units-per-second
+    (:meth:`repro.runtime.remote.RemoteStudyPool.partition_weights`).  With
+    fewer units than weights, the leading weights are used — callers pass
+    them fastest-first so the capable slots keep their chunks.  Every chunk
+    lands within one unit's cost of its weighted target (chains are atomic,
+    so no split can do better).  Partitioning never affects results — only
     which worker executes which tasks.
     """
     if len(units) != len(unit_costs):
@@ -296,15 +337,29 @@ def partition_by_cost(
         )
     if not units:
         return []
+    if weights is not None:
+        num_chunks = min(int(num_chunks), len(weights))
     num_chunks = max(1, min(int(num_chunks), len(units)))
+    if weights is None:
+        shares = [1.0] * num_chunks
+    else:
+        shares = [float(weight) for weight in weights[:num_chunks]]
+        if any(share <= 0.0 for share in shares):
+            raise ValueError(f"chunk weights must be positive, got {weights!r}")
+    # Suffix sums: share_left[i] is the total weight of chunks i onwards,
+    # so the open chunk's target is remaining * shares[i] / share_left[i].
+    share_left = list(shares)
+    for index in range(num_chunks - 2, -1, -1):
+        share_left[index] += share_left[index + 1]
     chunks: list[tuple[int, int]] = []
     remaining = float(sum(unit_costs))
     start = units[0][0]
     accumulated = 0.0
     for unit_index, (unit_start, unit_end) in enumerate(units):
         cost = float(unit_costs[unit_index])
-        chunks_left = num_chunks - len(chunks)
-        target = remaining / chunks_left
+        open_chunk = len(chunks)
+        chunks_left = num_chunks - open_chunk
+        target = remaining * shares[open_chunk] / share_left[open_chunk]
         # Close before adding when the open chunk is non-empty and
         # overshooting the fair share by `cost` is worse than undershooting
         # by what is already accumulated.  (num_chunks is a ceiling, not a

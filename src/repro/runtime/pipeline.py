@@ -37,9 +37,11 @@ from typing import Sequence
 import repro.simulator.batch as _batch
 from repro.runtime.chunking import (
     CHUNKINGS,
+    FLEET_SKEW_MIN,
     CostModel,
     aggregate_unit_costs,
     compiled_cost,
+    cost_model_key,
     load_cost_model,
     partition_by_cost,
     save_cost_model,
@@ -100,6 +102,13 @@ class PipelinedExecutor:
         historical behaviour).  Bit-identical either way.
     collect_traces:
         Keep full message traces (measured sweeps pass ``False``).
+    workload:
+        Optional label of the collective mix this executor runs (e.g.
+        ``"bcast"``).  When given, the on-disk cost cache is read and
+        written under a key shaped by ``(workload, grid)`` — see
+        :func:`repro.runtime.chunking.cost_model_key` — with the legacy
+        shared ``"pipeline"`` record as the read fallback, so differently
+        shaped studies stop mispricing each other's throughput.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class PipelinedExecutor:
         transport: str | None = None,
         chunking: str = "adaptive",
         collect_traces: bool = False,
+        workload: str | None = None,
     ) -> None:
         if chunking not in CHUNKINGS:
             raise ValueError(
@@ -125,8 +135,19 @@ class PipelinedExecutor:
         self._compiler = _batch._BatchCompiler(grid, collect_traces)
         # Preloaded from the opt-in REPRO_COST_CACHE (a fresh model with the
         # default prior otherwise) so even the first submission can split
-        # against observed throughput.
-        self._cost_model = load_cost_model(COST_MODEL_KEY)
+        # against observed throughput.  A workload label shapes the cache
+        # key; the legacy shared record seeds shaped readers until their
+        # own record exists.
+        if workload is not None:
+            self._cost_key = cost_model_key(
+                workload, grid.num_clusters, grid.num_nodes
+            )
+            self._cost_model = load_cost_model(
+                self._cost_key, fallback_keys=(COST_MODEL_KEY,)
+            )
+        else:
+            self._cost_key = COST_MODEL_KEY
+            self._cost_model = load_cost_model(self._cost_key)
         # Each entry is ("sync", results) or ("async", handles, shipment,
         # units, task count), in submission order; harvested async entries
         # collapse back to ("sync", results).
@@ -185,6 +206,7 @@ class PipelinedExecutor:
         units = float(sum(costs))
         bounds = self._bounds(normalized, costs, units)
         kind = getattr(self._pool, "kind", "process")
+        chunk_units = [float(sum(costs[start:end])) for start, end in bounds]
         if kind == "thread":
             handles = [
                 self._pool.submit(
@@ -199,8 +221,9 @@ class PipelinedExecutor:
                         self._collect_traces,
                         self._grid.num_nodes,
                     ),
+                    units=chunk_units[index],
                 )
-                for start, end in bounds
+                for index, (start, end) in enumerate(bounds)
             ]
             shipment = None
         elif kind == "remote":
@@ -208,15 +231,19 @@ class PipelinedExecutor:
             # frame carries only the arrays its chunk runs; nothing to
             # unlink afterwards, the frames own their bytes.
             handles = [
-                self._pool.submit(_batch._execute_shipped_chunk, job)
-                for job in _batch._remote_chunk_jobs(
-                    compiled,
-                    seeds,
-                    resets,
-                    bounds,
-                    self._config,
-                    self._collect_traces,
-                    self._grid.num_nodes,
+                self._pool.submit(
+                    _batch._execute_shipped_chunk, job, units=chunk_units[index]
+                )
+                for index, job in enumerate(
+                    _batch._remote_chunk_jobs(
+                        compiled,
+                        seeds,
+                        resets,
+                        bounds,
+                        self._config,
+                        self._collect_traces,
+                        self._grid.num_nodes,
+                    )
                 )
             ]
             shipment = None
@@ -229,7 +256,7 @@ class PipelinedExecutor:
                 for prog, seed, reset in zip(compiled, seeds, resets)
             ]
             handles = []
-            for start, end in bounds:
+            for chunk_index, (start, end) in enumerate(bounds):
                 chunk_entries = entries[start:end]
                 needed = {unique_index for unique_index, _, _ in chunk_entries}
                 job = (
@@ -243,7 +270,11 @@ class PipelinedExecutor:
                     self._grid.num_nodes,
                 )
                 handles.append(
-                    self._pool.submit(_batch._execute_shipped_chunk, job)
+                    self._pool.submit(
+                        _batch._execute_shipped_chunk,
+                        job,
+                        units=chunk_units[chunk_index],
+                    )
                 )
         self._pending.append(
             ("async", handles, shipment, units, len(normalized))
@@ -262,6 +293,15 @@ class PipelinedExecutor:
         is worth the per-chunk overhead *and* its unit costs are skewed
         enough that balancing matters (:data:`SPLIT_MIN_SKEW`); tiny or
         uniform batches stay whole and ride the inter-batch pipeline.
+
+        On a remote pool whose fleet is heterogeneous (estimated per-slot
+        throughputs skewed at least
+        :data:`~repro.runtime.chunking.FLEET_SKEW_MIN` apart —
+        ``partition_weights``), the split is *weighted*: chunks are sized
+        proportionally to the slots' throughput, and even a cost-uniform
+        batch is split, because on a skewed fleet equal chunks are exactly
+        the imbalance.  Homogeneous fleets and local pools keep the
+        historical uniform behaviour.
         """
         workers = self._pool.workers
         if (
@@ -273,7 +313,18 @@ class PipelinedExecutor:
         chain_units = _batch._chain_units(tasks)
         if len(chain_units) < 2:
             return [(0, len(tasks))]
+        fleet = getattr(self._pool, "partition_weights", None)
+        weights = fleet() if fleet is not None else None
+        if weights is not None and (
+            min(weights) <= 0.0
+            or max(weights) < FLEET_SKEW_MIN * min(weights)
+        ):
+            weights = None
         unit_costs = aggregate_unit_costs(chain_units, costs)
+        if weights is not None:
+            return partition_by_cost(
+                chain_units, unit_costs, len(weights), weights=weights
+            )
         if max(unit_costs) < SPLIT_MIN_SKEW * max(min(unit_costs), 1.0):
             return [(0, len(tasks))]
         return partition_by_cost(chain_units, unit_costs, workers)
@@ -334,7 +385,7 @@ class PipelinedExecutor:
                     pass
         # Persist whatever was observed (opt-in via REPRO_COST_CACHE) so the
         # next study's first split starts from measured throughput.
-        save_cost_model(COST_MODEL_KEY, self._cost_model)
+        save_cost_model(self._cost_key, self._cost_model)
         if failure is not None:
             raise failure
         return results

@@ -91,11 +91,15 @@ class StudyPool:
             raise RuntimeError("StudyPool is closed")
         return self._pool
 
-    def submit(self, fn, args) -> multiprocessing.pool.AsyncResult:
+    def submit(self, fn, args, units: float | None = None):
         """Submit ``fn(args)`` and return the :class:`AsyncResult` handle.
 
         This is the pipelining primitive: the caller keeps constructing the
-        next batch while the workers chew on this one.
+        next batch while the workers chew on this one.  ``units`` is the
+        job's estimated cost in the shared cost-unit scale — local lanes
+        ignore it (their workers are identical by construction); the remote
+        lane uses it for throughput-proportional routing, so drivers pass
+        it on every lane and stay lane-agnostic.
         """
         return self._require().apply_async(fn, (args,))
 

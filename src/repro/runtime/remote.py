@@ -18,21 +18,42 @@ named by ``hosts=`` / ``--hosts a:port,b:port`` / the ``REPRO_HOSTS``
 environment variable; when none are named the pool runs in **loopback
 mode**: it spawns :data:`LOOPBACK_AGENTS` agents as local subprocesses of
 this machine, so tests, benchmarks and a first try need no second box.
+Membership is **elastic**: agents may join a running pool mid-study through
+:meth:`RemoteStudyPool.add_host` or a :meth:`RemoteStudyPool.rescan_hosts`
+of ``REPRO_HOSTS``, and immediately receive work stolen from the backlogs
+of the incumbents.
 
-**Dispatch.**  Chunk jobs are routed to the least-loaded alive agent
-(outstanding jobs weighted by the agent's worker count).  The chunks
-themselves are cut by the callers through the shared cost-balanced
-partitioner (:func:`repro.runtime.chunking.partition_by_cost`), which never
-splits a warm chain — so a chain executes whole on one agent, exactly as it
-executes whole on one local worker.
+**Dispatch.**  The source paper's lesson — heterogeneous speeds must drive
+the schedule — applies to the runtime itself.  Every link keeps a per-agent
+:class:`~repro.runtime.chunking.CostModel` (seeded from the
+``REPRO_COST_CACHE`` snapshot, refined from the worker-side wall time every
+result frame reports), and under the default ``balancing="cost"`` each job
+is routed to the agent with the lowest *estimated completion time* —
+backlog units over estimated throughput — rather than the lowest job count.
+Only up to :data:`PREFETCH_PER_WORKER` frames per worker are actually on
+the wire per agent; the rest wait in coordinator-side queues where they can
+still be **stolen**: an agent that drains early takes queued (never
+in-flight) jobs from the most backlogged peer, so one slow box degrades the
+sweep by its share of throughput instead of stalling it.  Chunks themselves
+are cut by the callers through the shared cost-balanced partitioner
+(:func:`repro.runtime.chunking.partition_by_cost`) — sized to the fleet's
+throughput skew via :meth:`RemoteStudyPool.partition_weights` — and a warm
+chain is never split: it executes whole on one agent, exactly as it
+executes whole on one local worker.  ``balancing="count"`` keeps the
+historical workers-only routing (eager send, no queues, no stealing) as the
+benchmark baseline.
 
-**Failure semantics.**  Every in-flight job keeps its encoded frame.  When
-an agent's connection drops mid-run (process killed, network cut), the
-coordinator marks it dead and re-sends that agent's outstanding frames to
-the surviving agents; only when *no* agent survives does the study fail.  A
-result that arrives twice for one job — an agent raced its own loss — is
-counted and discarded (first delivery wins; both deliveries carry bitwise
-the same numbers, so which one wins is unobservable).
+**Failure semantics.**  Every in-flight job keeps its encoded frame.  The
+coordinator pings each agent every :data:`HEARTBEAT_INTERVAL` seconds
+(``REPRO_HEARTBEAT``) and the agent answers from its serve loop, outside
+the job path — so when an agent's connection drops *or* its host freezes
+while the socket stays open, the coordinator marks it dead (after
+:data:`HEARTBEAT_MISS_FACTOR` silent intervals) and re-routes that agent's
+outstanding frames to the survivors; only when *no* agent survives does the
+study fail.  A result that arrives twice for one job — an agent raced its
+own loss, or executed a frame that had also been stolen — is counted and
+discarded (first delivery wins; both deliveries carry bitwise the same
+numbers, so which one wins is unobservable).
 
 **Trust model.**  An agent executes functions its coordinator names (by
 ``module:qualname``), so it must only be exposed to coordinators you trust
@@ -45,12 +66,14 @@ from __future__ import annotations
 import itertools
 import os
 import queue
+import random
 import re
 import socket
 import subprocess
 import sys
 import threading
 import time
+from collections import deque
 from importlib import import_module
 from pathlib import Path
 
@@ -58,6 +81,7 @@ import multiprocessing
 import multiprocessing.pool
 
 from repro.runtime import wire
+from repro.runtime.chunking import load_cost_model, save_cost_model
 from repro.runtime.transport import ArrayShipment
 
 #: Environment variable naming the agents (``host:port,host:port``) consulted
@@ -74,6 +98,43 @@ LOOPBACK_AGENTS = 2
 
 #: Seconds to wait for an agent connection / hello / loopback announce.
 CONNECT_TIMEOUT = 30.0
+
+#: First and largest pause between connect retries (exponential backoff,
+#: jittered, capped) while an agent is still starting up.  Retrying inside
+#: :meth:`_AgentLink.connect` means a ``--hosts`` fleet can be launched in
+#: any order without the coordinator failing on first contact.
+CONNECT_RETRY_BASE = 0.1
+CONNECT_RETRY_CAP = 2.0
+
+#: Frames kept on the wire per agent worker under ``balancing="cost"``:
+#: enough that an agent never starves between results, few enough that the
+#: coordinator's queues — where jobs are still stealable — hold the rest.
+PREFETCH_PER_WORKER = 2
+
+#: Default seconds between coordinator pings (override: ``REPRO_HEARTBEAT``;
+#: zero or negative disables heartbeats).
+HEARTBEAT_INTERVAL = 5.0
+
+#: Environment variable overriding :data:`HEARTBEAT_INTERVAL`.
+HEARTBEAT_ENV_VAR = "REPRO_HEARTBEAT"
+
+#: An agent silent for this many heartbeat intervals is declared dead and
+#: its outstanding frames re-routed.  Three intervals tolerates one lost
+#: ping and ordinary scheduling jitter without false positives.
+HEARTBEAT_MISS_FACTOR = 3.0
+
+#: Valid ``balancing=`` values of :class:`RemoteStudyPool`: ``"cost"`` —
+#: throughput-proportional routing with queues and stealing, the default —
+#: and ``"count"`` — the historical workers-only routing, kept as the
+#: benchmark baseline (see ``benchmarks/bench_runtime.py``, section
+#: ``remote_skewed``).
+BALANCINGS = ("cost", "count")
+
+#: Cost-cache key a fresh agent link seeds its model from when no
+#: per-agent record exists yet (``"pipeline"`` is the legacy shared record
+#: and the same per-worker units-per-second scale the pipelined driver
+#: observes — see :func:`repro.runtime.chunking.cost_model_key`).
+_LEGACY_COST_KEY = "pipeline"
 
 _ANNOUNCE = re.compile(r"listening on ([^\s:]+):(\d+)")
 
@@ -136,6 +197,19 @@ def resolve_hosts(hosts) -> tuple[tuple[str, int], ...] | None:
     return tuple((str(host), int(port)) for host, port in hosts)
 
 
+def _resolve_heartbeat(heartbeat: float | None) -> float:
+    """Normalise a ``heartbeat=`` argument (``None`` consults the env var)."""
+    if heartbeat is None:
+        raw = os.environ.get(HEARTBEAT_ENV_VAR, "").strip()
+        if raw:
+            try:
+                return float(raw)
+            except ValueError:
+                return HEARTBEAT_INTERVAL
+        return HEARTBEAT_INTERVAL
+    return float(heartbeat)
+
+
 def _function_name(fn) -> str:
     """The importable ``module:qualname`` of a worker body."""
     name = f"{fn.__module__}:{fn.__qualname__}"
@@ -190,6 +264,36 @@ def _picklable_error(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
+def _timed_execute(fn, args, slowdown: float = 1.0):
+    """Run one job on an agent worker and time it: ``(value, elapsed)``.
+
+    The elapsed wall time rides back in the result frame and feeds the
+    coordinator's per-agent cost model.  ``slowdown`` emulates a
+    proportionally slower box (the job's own work is stretched by the
+    factor, so finer chunks stay proportionally cheaper — unlike a fixed
+    per-job sleep, which would mis-price small chunks); it exists for the
+    skewed-fleet benchmark and tests, the production default is ``1.0``.
+    """
+    started = time.perf_counter()
+    value = fn(args)
+    elapsed = time.perf_counter() - started
+    if slowdown > 1.0:
+        time.sleep((slowdown - 1.0) * elapsed)
+        elapsed = time.perf_counter() - started
+    return value, elapsed
+
+
+def _diagnostic_sleep(args):
+    """``(seconds, value)`` → sleep, then return ``value``.
+
+    An importable stand-in job with a controllable duration, used by tests
+    and the skewed-fleet benchmark to occupy agents for a known time.
+    """
+    seconds, value = args
+    time.sleep(float(seconds))
+    return value
+
+
 # -- the agent (server side) ----------------------------------------------------------
 
 
@@ -200,7 +304,9 @@ class AgentServer:
     the local pool persists across connections, like every runtime pool).
     Each incoming job frame is dispatched to the local pool immediately, so
     an agent keeps all its workers busy while more chunks stream in; results
-    are framed back in completion order.
+    are framed back in completion order, each carrying the job's worker-side
+    wall time.  Heartbeat pings are answered inline from the serve loop —
+    never queued behind jobs — so a busy agent still proves it is alive.
 
     Parameters
     ----------
@@ -210,14 +316,29 @@ class AgentServer:
     workers:
         Local worker processes this agent fronts.  With one worker, jobs
         execute in-process (no pool spawn) — the loopback default.
+    slowdown:
+        Stretch every job's execution by this factor (``1.0`` — the default
+        — is full speed).  A benchmarking/testing device for emulating a
+        heterogeneous fleet on one machine; see :func:`_timed_execute`.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, workers: int = 1):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        slowdown: float = 1.0,
+    ):
         if workers < 1:
             raise ValueError(f"an agent needs at least 1 worker, got {workers}")
+        if slowdown < 1.0:
+            raise ValueError(
+                f"--slowdown is a throttle factor >= 1.0, got {slowdown}"
+            )
         self._host = host
         self._port = port
         self.workers = int(workers)
+        self.slowdown = float(slowdown)
         self._listener: socket.socket | None = None
         self._pool = None
         self._stopped = threading.Event()
@@ -297,12 +418,15 @@ class AgentServer:
                 # connection — the coordinator requeues elsewhere — and go
                 # back to accepting instead of crashing the whole agent.
                 break
-            if (
-                message is None
-                or not isinstance(message, dict)
-                or message.get("op") == "shutdown"
-                or "job" not in message
-            ):
+            if message is None or not isinstance(message, dict):
+                break
+            op = message.get("op")
+            if op == wire.OP_PING:
+                # Answered here, from the serve loop, not through the pool:
+                # pings must come back even while every worker is busy.
+                reply(wire.control_message(wire.OP_PONG, seq=message.get("seq")))
+                continue
+            if op == wire.OP_SHUTDOWN or "job" not in message:
                 break
             job_id = message["job"]
             try:
@@ -315,8 +439,9 @@ class AgentServer:
                 reply({"job": job_id, "error": _picklable_error(exc)})
                 continue
 
-            def _done(value, job_id=job_id, repacked=repacked):
-                reply({"job": job_id, "result": value})
+            def _done(timed, job_id=job_id, repacked=repacked):
+                value, elapsed = timed
+                reply({"job": job_id, "result": value, "elapsed": elapsed})
                 for shipment in repacked:
                     shipment.unlink()
 
@@ -326,7 +451,10 @@ class AgentServer:
                     shipment.unlink()
 
             pool.apply_async(
-                fn, (args,), callback=_done, error_callback=_failed
+                _timed_execute,
+                (fn, args, self.slowdown),
+                callback=_done,
+                error_callback=_failed,
             )
 
     def close(self) -> None:
@@ -347,6 +475,7 @@ def serve_agent(
     bind: str = "127.0.0.1:0",
     workers: int = 1,
     *,
+    slowdown: float = 1.0,
     exit_with_parent: bool = False,
 ) -> None:
     """Run one agent in the foreground (the ``worker serve`` CLI body).
@@ -362,7 +491,7 @@ def serve_agent(
     host, _, port_text = bind.rpartition(":")
     if not host or not port_text:
         raise ValueError(f"--bind must be HOST:PORT, got {bind!r}")
-    server = AgentServer(host, int(port_text), workers)
+    server = AgentServer(host, int(port_text), workers, slowdown=slowdown)
     # Turn SIGTERM (coordinator close(), `kill`) into a clean interpreter
     # exit so atexit hooks — notably the shared-memory shipment sweep —
     # still run.  SIGKILL remains uncatchable; those segments fall to the
@@ -403,7 +532,9 @@ def _split_workers(total: int, agents: int) -> list[int]:
     return [base + (1 if index < extra else 0) for index in range(agents)]
 
 
-def _spawn_loopback_agent(workers: int) -> tuple[subprocess.Popen, tuple[str, int]]:
+def _spawn_loopback_agent(
+    workers: int, slowdown: float = 1.0
+) -> tuple[subprocess.Popen, tuple[str, int]]:
     """Start one agent subprocess on this machine and read its address back."""
     import repro
 
@@ -419,6 +550,8 @@ def _spawn_loopback_agent(workers: int) -> tuple[subprocess.Popen, tuple[str, in
         str(workers),
         "--exit-with-parent",
     ]
+    if slowdown != 1.0:
+        command += ["--slowdown", str(slowdown)]
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parents[1])
     existing = env.get("PYTHONPATH", "")
@@ -508,18 +641,29 @@ class RemoteAsyncResult:
 
 class _Job:
     """One submitted chunk: its frame is kept until the result lands, so a
-    lost agent's in-flight work can be re-sent verbatim elsewhere."""
+    lost agent's outstanding work can be re-sent verbatim elsewhere, and its
+    estimated cost in units prices it for routing and model feedback."""
 
-    __slots__ = ("job_id", "frame", "handle")
+    __slots__ = ("job_id", "frame", "handle", "units")
 
-    def __init__(self, job_id: int, frame: bytes, handle: RemoteAsyncResult):
+    def __init__(
+        self, job_id: int, frame: bytes, handle: RemoteAsyncResult, units: float
+    ):
         self.job_id = job_id
         self.frame = frame
         self.handle = handle
+        self.units = units
 
 
 class _AgentLink:
-    """Coordinator-side connection to one agent."""
+    """Coordinator-side connection to one agent.
+
+    Besides the socket, the link owns the agent's share of the dispatch
+    state: ``inflight`` (frames on the wire, keyed by job id), ``queued``
+    (jobs routed here but not yet sent — the stealable backlog) and a
+    per-agent :class:`~repro.runtime.chunking.CostModel` observed from the
+    wall times the agent reports.
+    """
 
     def __init__(
         self,
@@ -536,6 +680,18 @@ class _AgentLink:
         self.workers = 0
         self.alive = False
         self.inflight: dict[int, _Job] = {}
+        self.queued: deque[_Job] = deque()
+        #: Jobs this link delivered results for (observability and tests).
+        self.completed = 0
+        #: Monotonic time of the last frame received from this agent; the
+        #: heartbeat loop declares the agent dead when it goes stale.
+        self.last_heard = 0.0
+        #: Observed per-worker throughput of this agent, seeded from the
+        #: cost cache (a named agent's own record first, then the legacy
+        #: shared record).
+        self.cost_model = load_cost_model(
+            f"agent/{host}:{port}", fallback_keys=(_LEGACY_COST_KEY,)
+        )
         self._send_lock = threading.Lock()
         self._receiver: threading.Thread | None = None
 
@@ -543,8 +699,50 @@ class _AgentLink:
     def name(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def capacity(self) -> int | None:
+        """Max frames on the wire (``None``: unbounded — count balancing)."""
+        if self.pool.balancing == "count":
+            return None
+        return max(1, self.workers) * PREFETCH_PER_WORKER
+
+    @property
+    def throughput(self) -> float:
+        """Estimated units per second across this agent's workers."""
+        return max(1, self.workers) * self.cost_model.units_per_second
+
+    def backlog_units(self) -> float:
+        """Estimated units outstanding on this link (queued + in-flight)."""
+        return sum(job.units for job in self.inflight.values()) + sum(
+            job.units for job in self.queued
+        )
+
+    def eta(self, extra_units: float = 0.0) -> float:
+        """Estimated seconds to drain the backlog plus ``extra_units``."""
+        return (self.backlog_units() + extra_units) / self.throughput
+
     def connect(self, timeout: float = CONNECT_TIMEOUT) -> None:
-        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=max(0.05, remaining)
+                )
+                break
+            except OSError:
+                # The agent may simply not be up yet (fleets launch in any
+                # order): back off exponentially with jitter and retry
+                # until the deadline.
+                attempt += 1
+                delay = min(
+                    CONNECT_RETRY_CAP, CONNECT_RETRY_BASE * 2 ** (attempt - 1)
+                )
+                delay *= 0.5 + random.random()
+                if time.monotonic() + delay >= deadline:
+                    raise
+                time.sleep(delay)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.sock = sock
         hello = wire.recv_message(sock)
@@ -556,6 +754,7 @@ class _AgentLink:
         sock.settimeout(None)
         self.workers = max(1, int(hello["workers"]))
         self.alive = True
+        self.last_heard = time.monotonic()
         self._receiver = threading.Thread(
             target=self._receive_loop, name=f"repro-agent-rx-{self.name}",
             daemon=True,
@@ -568,14 +767,17 @@ class _AgentLink:
                 message = wire.recv_message(self.sock)
                 if message is None:
                     break
+                self.last_heard = time.monotonic()
                 if isinstance(message, dict) and "job" in message:
                     self.pool._deliver(self, message)
+                # Pongs need no further handling: receiving *any* frame
+                # refreshed last_heard, which is all a heartbeat proves.
         except Exception:  # noqa: BLE001 - any decode failure (WireError,
             # OSError, a pickle/zlib error from a corrupt or version-skewed
             # frame) means the stream can no longer be trusted.
             pass
         finally:
-            # Unconditional: however this loop ends, the link's in-flight
+            # Unconditional: however this loop ends, the link's outstanding
             # jobs must be requeued (or failed) — never left to hang their
             # waiters forever.
             self.pool._agent_lost(self)
@@ -589,7 +791,7 @@ class _AgentLink:
         if self.sock is not None:
             if graceful:
                 try:
-                    self.send(wire.encode_message({"op": "shutdown"}))
+                    self.send(wire.encode_message({"op": wire.OP_SHUTDOWN}))
                 except OSError:
                     pass
             try:
@@ -622,24 +824,55 @@ class RemoteStudyPool:
         Agent addresses — a ``"host:port,host:port"`` string or a parsed
         address sequence.  ``None`` consults ``REPRO_HOSTS`` and falls back
         to loopback mode.
+    balancing:
+        ``"cost"`` (default) — throughput-proportional routing against
+        per-agent cost models, with bounded prefetch and work stealing;
+        ``"count"`` — the historical workers-only routing, kept as the
+        benchmark baseline.
+    heartbeat:
+        Seconds between liveness pings (``None`` consults
+        ``REPRO_HEARTBEAT`` and falls back to
+        :data:`HEARTBEAT_INTERVAL`; zero or negative disables the
+        heartbeat loop — agent loss is then detected on socket errors
+        only).
 
     The pool is used through the same three members as every other lane:
     :meth:`submit`, :meth:`imap_unordered`, :meth:`close` — which is what
-    lets every study driver run remotely unchanged.
+    lets every study driver run remotely unchanged.  Balancing, stealing,
+    heartbeats and membership changes never affect study results — every
+    task carries its own derived seed — only where and when chunks run.
     """
 
     kind = "remote"
 
-    def __init__(self, workers: int | None = None, *, hosts=None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        hosts=None,
+        balancing: str = "cost",
+        heartbeat: float | None = None,
+    ) -> None:
+        if balancing not in BALANCINGS:
+            raise ValueError(
+                f"balancing must be one of {BALANCINGS}, got {balancing!r}"
+            )
         self.hosts_spec = resolve_hosts(hosts)
+        self.balancing = balancing
+        self._heartbeat = _resolve_heartbeat(heartbeat)
         self._lock = threading.RLock()
         self._jobs: dict[int, _Job] = {}
         self._job_ids = itertools.count(1)
         self._closed = False
-        #: Results that arrived for already-settled jobs (an agent racing its
-        #: own loss); discarded, counted for observability and tests.
+        #: Results that arrived for already-settled jobs (an agent racing
+        #: its own loss, or a stolen frame's first execution); discarded,
+        #: counted for observability and tests.
         self.duplicates_ignored = 0
+        #: Queued jobs re-routed to an agent that drained early.
+        self.steals = 0
         self._agents: list[_AgentLink] = []
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
         try:
             if self.hosts_spec is not None:
                 for host, port in self.hosts_spec:
@@ -657,6 +890,13 @@ class RemoteStudyPool:
             for link in self._agents:
                 link.close(graceful=False)
             raise
+        if self._heartbeat > 0:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-remote-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
 
     # -- the StudyPool contract ---------------------------------------------------
 
@@ -670,8 +910,15 @@ class RemoteStudyPool:
         """Whether the pool can still accept work."""
         return not self._closed and any(link.alive for link in self._agents)
 
-    def submit(self, fn, args) -> RemoteAsyncResult:
-        """Frame ``fn(args)`` and send it to the least-loaded agent."""
+    def submit(self, fn, args, units: float | None = None) -> RemoteAsyncResult:
+        """Frame ``fn(args)`` and route it to the best agent.
+
+        ``units`` is the job's estimated cost in the shared cost-unit scale
+        (messages / stacked-matrix cells — see
+        :mod:`repro.runtime.chunking`); it prices the job for routing and
+        for the delivering agent's model feedback.  ``None`` prices every
+        job equally.  Like all balancing state it can never change results.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("RemoteStudyPool is closed")
@@ -681,15 +928,12 @@ class RemoteStudyPool:
         )
         handle = RemoteAsyncResult()
         handle.job_id = job_id
-        job = _Job(job_id, frame, handle)
+        job = _Job(job_id, frame, handle, units=float(units or 0) or 1.0)
         with self._lock:
-            agent = self._pick_agent()  # before registering: a raise here
-            self._jobs[job_id] = job    # must not strand the job record
-            agent.inflight[job_id] = job
-        try:
-            agent.send(frame)
-        except OSError:
-            self._agent_lost(agent)
+            agent = self._route(job)  # before registering: a raise here
+            self._jobs[job_id] = job  # must not strand the job record
+            agent.queued.append(job)
+        self._pump(agent)
         return handle
 
     def imap_unordered(self, fn, iterable):
@@ -709,8 +953,11 @@ class RemoteStudyPool:
         """Disconnect every agent, stop loopback subprocesses (idempotent).
 
         Jobs still pending fail with a descriptive error rather than
-        hanging their waiters forever.
+        hanging their waiters forever.  Named agents' observed cost models
+        are persisted to the cost cache (when enabled) so the next study
+        routes its *first* chunks against measured throughput.
         """
+        self._hb_stop.set()
         with self._lock:
             if self._closed:
                 return
@@ -723,6 +970,11 @@ class RemoteStudyPool:
                 None, RuntimeError("RemoteStudyPool closed with jobs pending")
             )
         for link in agents:
+            # Loopback agents get fresh OS-assigned ports every run, so a
+            # per-agent record would never be read back — only named agents
+            # persist their models.
+            if link.process is None and link.cost_model.observed:
+                save_cost_model(f"agent/{link.name}", link.cost_model)
             link.close()
 
     def __enter__(self) -> "RemoteStudyPool":
@@ -731,16 +983,182 @@ class RemoteStudyPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- elastic membership -------------------------------------------------------
+
+    def add_host(self, host: str, port: int | None = None) -> _AgentLink:
+        """Connect one more agent mid-study; it immediately steals work.
+
+        ``host`` may be a bare hostname (``port`` applying, default
+        :data:`DEFAULT_AGENT_PORT`) or a ``"host:port"`` string.  Adding an
+        address that is already connected and alive is a no-op returning
+        the existing link.
+        """
+        if port is None:
+            ((host, port),) = parse_hosts(host)
+        address = (str(host), int(port))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("RemoteStudyPool is closed")
+            for link in self._agents:
+                if link.alive and (link.host, link.port) == address:
+                    return link
+        link = _AgentLink(self, *address)
+        link.connect()
+        with self._lock:
+            if self._closed:
+                link.close(graceful=False)
+                raise RuntimeError("RemoteStudyPool is closed")
+            self._agents.append(link)
+        self._replenish(link)
+        return link
+
+    def rescan_hosts(self) -> list[_AgentLink]:
+        """Re-read ``REPRO_HOSTS`` and connect any newly named agents.
+
+        Returns the links added.  Unreachable new hosts are skipped (they
+        can be rescanned again later); already-connected hosts are left
+        untouched.  A pool in loopback mode joins named agents too — the
+        variable simply names more capacity.
+        """
+        spec = resolve_hosts(None)
+        if spec is None:
+            return []
+        added: list[_AgentLink] = []
+        for host, port in spec:
+            try:
+                with self._lock:
+                    known = any(
+                        link.alive and (link.host, link.port) == (host, port)
+                        for link in self._agents
+                    )
+                if not known:
+                    added.append(self.add_host(host, port))
+            except (OSError, wire.WireError):
+                continue
+        if self.hosts_spec is not None:
+            self.hosts_spec = spec
+        return added
+
+    def partition_weights(self) -> list[float] | None:
+        """Per-chunk-slot throughput weights of the current fleet.
+
+        One entry per worker of each alive agent — the agent's estimated
+        per-worker units-per-second — sorted fastest first, ready to pass
+        to :func:`repro.runtime.chunking.partition_by_cost` so chunk sizes
+        track the fleet's skew.  ``None`` under ``balancing="count"`` (the
+        baseline must keep the historical uniform split) or when no agent
+        is alive.
+        """
+        if self.balancing != "cost":
+            return None
+        weights: list[float] = []
+        with self._lock:
+            for link in self._agents:
+                if not link.alive:
+                    continue
+                rate = link.cost_model.units_per_second
+                weights.extend([rate] * max(1, link.workers))
+        if not weights:
+            return None
+        weights.sort(reverse=True)
+        return weights
+
     # -- internals ----------------------------------------------------------------
 
-    def _pick_agent(self) -> _AgentLink:
-        """The alive agent with the lowest load per advertised worker."""
+    def _route(self, job: _Job) -> _AgentLink:
+        """The alive agent this job should wait on (call holding the lock).
+
+        Cost balancing picks the lowest estimated completion time —
+        current backlog plus this job, over estimated throughput — so a
+        fast agent absorbs proportionally more work; count balancing keeps
+        the historical lowest-load-per-worker rule.
+        """
         alive = [link for link in self._agents if link.alive]
         if not alive:
             raise RuntimeError("no remote agents available")
-        return min(
-            alive, key=lambda link: len(link.inflight) / link.workers
-        )
+        if self.balancing == "count":
+            return min(
+                alive,
+                key=lambda link: (len(link.inflight) + len(link.queued))
+                / link.workers,
+            )
+        return min(alive, key=lambda link: link.eta(job.units))
+
+    def _pump(self, agent: _AgentLink) -> None:
+        """Move sendable jobs from ``agent``'s queue onto the wire."""
+        batch: list[_Job] = []
+        with self._lock:
+            if not agent.alive:
+                return
+            capacity = agent.capacity
+            while agent.queued and (
+                capacity is None or len(agent.inflight) < capacity
+            ):
+                job = agent.queued.popleft()
+                if job.job_id not in self._jobs:
+                    continue  # settled while queued (a stolen twin won)
+                agent.inflight[job.job_id] = job
+                batch.append(job)
+        for job in batch:
+            try:
+                agent.send(job.frame)
+            except OSError:
+                self._agent_lost(agent)
+                return
+
+    def _replenish(self, agent: _AgentLink) -> None:
+        """Refill a draining agent: its own queue first, then stealing.
+
+        Steals take the *most recently routed* job (queue tail) from the
+        peer with the largest estimated backlog, and only while that peer
+        is worse off than the thief — so work moves strictly from slower
+        to faster agents.  In-flight frames are never stolen, and a job is
+        a whole chain-atomic chunk, so stealing can never split a chain.
+        """
+        if self.balancing == "cost":
+            with self._lock:
+                if not agent.alive:
+                    return
+                capacity = agent.capacity
+                while len(agent.inflight) + len(agent.queued) < capacity:
+                    victims = [
+                        link
+                        for link in self._agents
+                        if link.alive and link is not agent and link.queued
+                    ]
+                    if not victims:
+                        break
+                    victim = max(victims, key=lambda link: link.eta())
+                    if victim.eta() <= agent.eta():
+                        break
+                    job = victim.queued.pop()
+                    if job.job_id not in self._jobs:
+                        continue
+                    agent.queued.append(job)
+                    self.steals += 1
+        self._pump(agent)
+
+    def _heartbeat_loop(self) -> None:
+        """Ping every alive agent; declare the silent ones dead."""
+        sequence = itertools.count(1)
+        while not self._hb_stop.wait(self._heartbeat):
+            now = time.monotonic()
+            stale = self._heartbeat * HEARTBEAT_MISS_FACTOR
+            for link in list(self._agents):
+                if not link.alive:
+                    continue
+                if now - link.last_heard > stale:
+                    # The socket may still look healthy (a frozen host's
+                    # kernel keeps ACKing) — silence is the only signal.
+                    self._agent_lost(link)
+                    continue
+                frame = wire.encode_message(
+                    wire.control_message(wire.OP_PING, seq=next(sequence))
+                )
+                try:
+                    link.send(frame)
+                except OSError:
+                    self._agent_lost(link)
 
     def _deliver(self, agent: _AgentLink, message: dict) -> None:
         """Settle one job from a result frame (first delivery wins)."""
@@ -752,13 +1170,18 @@ class RemoteStudyPool:
                 return
             for link in self._agents:
                 link.inflight.pop(job_id, None)
+            agent.completed += 1
+            elapsed = message.get("elapsed")
+            if isinstance(elapsed, (int, float)) and elapsed > 0:
+                agent.cost_model.observe(job.units, float(elapsed))
         error = message.get("error")
         if error is not None and not isinstance(error, BaseException):
             error = RuntimeError(str(error))
         job.handle._settle(message.get("result"), error)
+        self._replenish(agent)
 
     def _agent_lost(self, agent: _AgentLink) -> None:
-        """Mark ``agent`` dead and re-send its in-flight frames elsewhere."""
+        """Mark ``agent`` dead and re-route its outstanding jobs elsewhere."""
         with self._lock:
             if not agent.alive:
                 return
@@ -768,31 +1191,40 @@ class RemoteStudyPool:
                 for job in agent.inflight.values()
                 if job.job_id in self._jobs
             ]
+            orphaned += [
+                job for job in agent.queued if job.job_id in self._jobs
+            ]
             agent.inflight.clear()
-        try:
-            agent.sock.close()
-        except OSError:
-            pass
+            agent.queued.clear()
+        if agent.sock is not None:
+            try:
+                agent.sock.close()
+            except OSError:
+                pass
         if self._closed:
             return
+        targets: list[_AgentLink] = []
+        failed: list[_Job] = []
         for job in orphaned:
             with self._lock:
                 if job.job_id not in self._jobs:
                     continue  # delivered while we were requeueing
                 try:
-                    target = self._pick_agent()
+                    target = self._route(job)
                 except RuntimeError:
                     self._jobs.pop(job.job_id, None)
-                    job.handle._settle(
-                        None,
-                        RuntimeError(
-                            f"agent {agent.name} was lost with no surviving "
-                            "agents to requeue onto"
-                        ),
-                    )
+                    failed.append(job)
                     continue
-                target.inflight[job.job_id] = job
-            try:
-                target.send(job.frame)
-            except OSError:
-                self._agent_lost(target)
+                target.queued.append(job)
+                if target not in targets:
+                    targets.append(target)
+        for job in failed:
+            job.handle._settle(
+                None,
+                RuntimeError(
+                    f"agent {agent.name} was lost with no surviving "
+                    "agents to requeue onto"
+                ),
+            )
+        for target in targets:
+            self._pump(target)

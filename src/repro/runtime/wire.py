@@ -44,6 +44,23 @@ Frames at least :data:`COMPRESS_MIN_BYTES` long are zlib-compressed when
 that actually shrinks them (cost stacks compress well; already-dense noise
 arrays are sent as-is).  Compression, like everything else in the runtime,
 never changes results — the determinism suite round-trips both paths.
+
+**Control and timing frames.**  Besides job frames (``{"job": id, "fn":
+name, "args": ...}``) and result frames (``{"job": id, "result": ...}``)
+the protocol carries two lightweight message families:
+
+* **heartbeats** — the coordinator sends :data:`OP_PING` control frames on
+  an interval and the agent answers each with an :data:`OP_PONG` echoing
+  the sequence number, *outside* the job path, so a wedged or frozen agent
+  is detected even while its socket stays open;
+* **timing reports** — every result frame carries the job's worker-side
+  wall time under ``"elapsed"``, which is what feeds the coordinator's
+  per-agent :class:`~repro.runtime.chunking.CostModel` and makes routing
+  throughput-proportional.
+
+Both were added in wire version 2; version 1 peers are refused at the
+handshake (failing loudly beats a coordinator pinging an agent that will
+drop the connection).
 """
 
 from __future__ import annotations
@@ -62,10 +79,19 @@ from repro.runtime.transport import ArrayShipment
 #: not speaking this protocol and is dropped immediately.
 MAGIC = b"RBWP"
 
-#: Protocol version; bumped on any frame-layout change.  Agents and
-#: coordinators refuse to talk across versions (failing loudly beats
-#: deserialising garbage).
-WIRE_VERSION = 1
+#: Protocol version; bumped on any frame-layout or message-contract change.
+#: Agents and coordinators refuse to talk across versions (failing loudly
+#: beats deserialising garbage).  v2 added heartbeat control frames and the
+#: ``"elapsed"`` timing report in result frames.
+WIRE_VERSION = 2
+
+#: Control-frame operations (the ``"op"`` key of a control message).
+#: ``OP_PING``/``OP_PONG`` are the heartbeat pair — answered by the agent's
+#: serve loop directly, never queued behind jobs; ``OP_SHUTDOWN`` asks the
+#: agent to drop the connection gracefully.
+OP_PING = "ping"
+OP_PONG = "pong"
+OP_SHUTDOWN = "shutdown"
 
 #: Flag bit: the payload section is zlib-compressed.
 FLAG_ZLIB = 0x01
@@ -85,6 +111,18 @@ _U64 = struct.Struct("!Q")
 
 class WireError(ConnectionError):
     """A malformed, truncated or protocol-incompatible frame."""
+
+
+def control_message(op: str, **fields) -> dict:
+    """A control frame body (``{"op": op, **fields}``).
+
+    Control frames ride the same frame layout as job frames; the ``"op"``
+    key is what distinguishes them.  Heartbeats pass their sequence number
+    as ``seq=``.
+    """
+    message = {"op": op}
+    message.update(fields)
+    return message
 
 
 class WireShipment:

@@ -1014,7 +1014,14 @@ def _execute_with_runtime_pool(
             compiled, seeds, resets, bounds, config, collect_traces,
             grid.num_nodes,
         )
-        pending = [study_pool.submit(_execute_shipped_chunk, job) for job in jobs]
+        pending = [
+            study_pool.submit(
+                _execute_shipped_chunk,
+                job,
+                units=float(sum(costs[start:end])),
+            )
+            for job, (start, end) in zip(jobs, bounds)
+        ]
         for handle in pending:
             start, values, _ = handle.get()
             results[start : start + len(values)] = values

@@ -243,3 +243,259 @@ class TestScheduleProperties:
         schedule = get_heuristic("ecef_lat_max").schedule(grid, size, root=root)
         schedule.validate()
         assert schedule.arrival_times[root] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# wire protocol properties
+# ---------------------------------------------------------------------------
+
+
+import numpy as np
+
+from repro.runtime import wire
+from repro.runtime.chunking import partition_by_cost
+from repro.runtime.transport import ArrayShipment
+
+wire_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16),
+    st.binary(max_size=32),
+)
+
+
+@st.composite
+def wire_arrays(draw):
+    dtype = np.dtype(draw(st.sampled_from(["f8", "f4", "i8", "i4", "u2"])))
+    shape = tuple(draw(st.lists(st.integers(0, 4), min_size=1, max_size=3)))
+    count = int(np.prod(shape))
+    if np.issubdtype(dtype, np.floating):
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+                ),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    else:
+        values = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=60_000),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    return np.array(values, dtype=dtype).reshape(shape)
+
+
+wire_messages = st.recursive(
+    wire_scalars | wire_arrays(),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+def _deep_equal(a, b) -> bool:
+    """Structural equality that is exact on arrays (dtype, shape, bits)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(_deep_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_deep_equal(value, b[key]) for key, value in a.items())
+        )
+    return type(a) is type(b) and a == b
+
+
+def _wire_round_trip(message):
+    frame = wire.encode_message(message)
+    import struct
+
+    magic, version, flags, length = struct.unpack("!4sBBxxQ", frame[:16])
+    assert magic == wire.MAGIC
+    assert version == wire.WIRE_VERSION
+    assert length == len(frame) - 16
+    return wire.decode_payload(frame[16:], flags)
+
+
+class TestWireRoundTripProperties:
+    """encode_message/decode_payload must be the identity on any payload the
+    remote lane can carry — including the out-of-band hoisting of every
+    NumPy array and the v2 control/timing frames."""
+
+    @given(message=wire_messages)
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_payloads_round_trip(self, message):
+        assert _deep_equal(_wire_round_trip(message), message)
+
+    @given(
+        arrays=st.dictionaries(
+            st.text(min_size=1, max_size=8), wire_arrays(), min_size=1, max_size=3
+        ),
+        job=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shipments_cross_as_wire_shipments(self, arrays, job):
+        shipment = ArrayShipment.pack(arrays, transport="pickle")
+        try:
+            decoded = _wire_round_trip({"job": job, "args": (shipment,)})
+        finally:
+            shipment.unlink()
+        crossed = decoded["args"][0]
+        assert isinstance(crossed, wire.WireShipment)
+        assert _deep_equal(dict(crossed.load()), dict(arrays))
+
+    @given(
+        op=st.sampled_from([wire.OP_PING, wire.OP_PONG, wire.OP_SHUTDOWN]),
+        seq=st.integers(min_value=0, max_value=2**62),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_control_frames_round_trip(self, op, seq):
+        message = wire.control_message(op, seq=seq)
+        assert message["op"] == op
+        assert _wire_round_trip(message) == {"op": op, "seq": seq}
+
+    @given(
+        job=st.integers(min_value=1, max_value=2**31),
+        elapsed=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        value=wire_scalars,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_timing_reports_round_trip(self, job, elapsed, value):
+        decoded = _wire_round_trip(
+            {"job": job, "result": value, "elapsed": elapsed}
+        )
+        assert decoded["job"] == job
+        assert decoded["elapsed"] == elapsed
+        assert _deep_equal(decoded["result"], value)
+
+
+# ---------------------------------------------------------------------------
+# weighted partition properties
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chain_partition_inputs(draw):
+    sizes = draw(st.lists(st.integers(1, 4), min_size=1, max_size=12))
+    units, start = [], 0
+    for size in sizes:
+        units.append((start, start + size))
+        start += size
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=len(units),
+            max_size=len(units),
+        )
+    )
+    return units, costs
+
+
+chunk_weights = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestWeightedPartitionProperties:
+    """partition_by_cost with weights: still a chain-atomic cover, reduces to
+    the uniform split on equal weights, and lands every closed chunk within
+    one unit's cost of its throughput-proportional target."""
+
+    @given(
+        inputs=chain_partition_inputs(),
+        num_chunks=st.integers(1, 8),
+        weights=st.one_of(st.none(), chunk_weights),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_partition_is_a_chain_atomic_cover(self, inputs, num_chunks, weights):
+        units, costs = inputs
+        chunks = partition_by_cost(units, costs, num_chunks, weights=weights)
+        # Non-empty chunks, contiguous, covering every task exactly once.
+        assert chunks[0][0] == units[0][0]
+        assert chunks[-1][1] == units[-1][1]
+        for (_, left_end), (right_start, _) in zip(chunks, chunks[1:]):
+            assert left_end == right_start
+        assert all(start < end for start, end in chunks)
+        # Ceiling: never more chunks than asked, than units, than weights.
+        limit = min(num_chunks, len(units))
+        if weights is not None:
+            limit = min(limit, len(weights))
+        assert len(chunks) <= limit
+        # Chains atomic: every boundary coincides with a unit boundary.
+        unit_starts = {start for start, _ in units}
+        assert all(start in unit_starts for start, _ in chunks)
+
+    @given(
+        inputs=chain_partition_inputs(),
+        num_chunks=st.integers(1, 8),
+        weight=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_equal_weights_reduce_to_uniform_split(
+        self, inputs, num_chunks, weight
+    ):
+        units, costs = inputs
+        uniform = partition_by_cost(units, costs, num_chunks)
+        weighted = partition_by_cost(
+            units, costs, num_chunks, weights=[weight] * num_chunks
+        )
+        assert weighted == uniform
+
+    @given(
+        inputs=chain_partition_inputs(),
+        weights=chunk_weights,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_weights_respected_within_one_unit(self, inputs, weights):
+        units, costs = inputs
+        chunks = partition_by_cost(units, costs, len(weights), weights=weights)
+        num_chunks = min(len(weights), len(units))
+        shares = weights[:num_chunks]
+        chunk_costs = [
+            sum(
+                cost
+                for (u_start, _), cost in zip(units, costs)
+                if start <= u_start < end
+            )
+            for start, end in chunks
+        ]
+        max_unit = max(costs)
+        remaining = sum(costs)
+        # Each closed (non-final) chunk's cost sits within one unit's cost
+        # of its remaining-based weighted target — chains are atomic, so no
+        # partition can do better than one unit of slack.
+        for index, chunk_cost in enumerate(chunk_costs[:-1]):
+            suffix = sum(shares[index:num_chunks])
+            target = remaining * shares[index] / suffix
+            assert abs(chunk_cost - target) <= max_unit + 1e-6 * (1 + target)
+            remaining -= chunk_cost
+
+    def test_rejects_non_positive_weights(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="positive"):
+            partition_by_cost([(0, 1), (1, 2)], [1.0, 1.0], 2, weights=[1.0, 0.0])

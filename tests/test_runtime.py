@@ -11,6 +11,12 @@ against the scalar reference engine.
 
 from __future__ import annotations
 
+import os
+import signal
+import socket
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -45,7 +51,10 @@ from repro.runtime.pool import (
 )
 from repro.runtime.remote import (
     DEFAULT_AGENT_PORT,
+    AgentServer,
     RemoteStudyPool,
+    _diagnostic_sleep,
+    _spawn_loopback_agent,
     parse_hosts,
     resolve_hosts,
 )
@@ -1367,3 +1376,201 @@ class TestRemoteLane:
                 pool.submit(derive_seed, 9).get(timeout=60)
         finally:
             pool.close()
+
+
+class TestElasticRemoteLane:
+    """Cost balancing, stealing, heartbeats and membership — none of which
+    may ever change results."""
+
+    COLLECTIVE = dict(message_sizes=(2_048, 16_384), noise_sigma=0.05)
+
+    @staticmethod
+    def _terminate(process) -> None:
+        process.terminate()
+        process.wait(timeout=15)
+
+    def test_work_stealing_drains_a_skewed_fleet(self):
+        """A 30x-slower agent's queued frames migrate to the fast agent;
+        results stay correct and the fleet weights reflect the skew."""
+        fast_proc, fast_addr = _spawn_loopback_agent(1)
+        slow_proc, slow_addr = _spawn_loopback_agent(1, slowdown=30.0)
+        pool = RemoteStudyPool(hosts=(fast_addr, slow_addr))
+        try:
+            handles = [
+                pool.submit(_diagnostic_sleep, (0.01, index), units=1.0)
+                for index in range(16)
+            ]
+            assert [handle.get(timeout=120) for handle in handles] == list(
+                range(16)
+            )
+            by_address = {(link.host, link.port): link for link in pool._agents}
+            fast, slow = by_address[fast_addr], by_address[slow_addr]
+            assert fast.completed + slow.completed == 16
+            assert fast.completed > slow.completed
+            assert pool.steals > 0
+            weights = pool.partition_weights()
+            assert weights is not None and len(weights) == 2
+            assert weights[0] > 2.0 * weights[1]  # skew observed, sorted
+        finally:
+            pool.close()
+            self._terminate(fast_proc)
+            self._terminate(slow_proc)
+
+    def test_mid_study_join_steals_queued_work(self, heterogeneous_grid):
+        """An agent joined via add_host while jobs are queued immediately
+        receives stolen work — and two drivers stay bit-identical on the
+        grown fleet."""
+        slow_proc, slow_addr = _spawn_loopback_agent(1, slowdown=30.0)
+        fast_proc = None
+        pool = RemoteStudyPool(hosts=(slow_addr,))
+        try:
+            handles = [
+                pool.submit(_diagnostic_sleep, (0.01, index), units=1.0)
+                for index in range(16)
+            ]
+            fast_proc, fast_addr = _spawn_loopback_agent(1)
+            joined = pool.add_host(f"{fast_addr[0]}:{fast_addr[1]}")
+            # Re-adding a connected address is a no-op returning the link.
+            assert pool.add_host(*fast_addr) is joined
+            assert [handle.get(timeout=120) for handle in handles] == list(
+                range(16)
+            )
+            assert joined.completed > 0
+            assert pool.steals > 0
+            config = PracticalStudyConfig(**self.COLLECTIVE)
+            inline = run_scatter_study(config, grid=heterogeneous_grid)
+            grown = run_scatter_study(
+                config, grid=heterogeneous_grid, workers=2, pool=pool
+            )
+            assert np.array_equal(inline.measured, grown.measured)
+            kwargs = dict(grid=heterogeneous_grid, stages=("scatter", "alltoall"))
+            inline_chain = run_chained_study(config, **kwargs)
+            grown_chain = run_chained_study(config, workers=2, pool=pool, **kwargs)
+            assert np.array_equal(inline_chain.warm, grown_chain.warm)
+            assert np.array_equal(inline_chain.fresh, grown_chain.fresh)
+        finally:
+            pool.close()
+            self._terminate(slow_proc)
+            if fast_proc is not None:
+                self._terminate(fast_proc)
+
+    def test_missed_heartbeats_mark_agent_dead_and_requeue(
+        self, heterogeneous_grid
+    ):
+        """SIGSTOP an agent (socket stays open — only the heartbeat can tell
+        it is gone): its frames land on the survivor and two drivers stay
+        bit-identical."""
+        config = PracticalStudyConfig(**self.COLLECTIVE)
+        inline = run_scatter_study(config, grid=heterogeneous_grid)
+        chain_kwargs = dict(
+            grid=heterogeneous_grid, stages=("scatter", "alltoall")
+        )
+        inline_chain = run_chained_study(config, **chain_kwargs)
+        pool = RemoteStudyPool(2, heartbeat=0.15)
+        victim = pool._agents[0]
+        try:
+            os.kill(victim.process.pid, signal.SIGSTOP)
+            survived = run_scatter_study(
+                config, grid=heterogeneous_grid, workers=2, pool=pool
+            )
+            assert np.array_equal(inline.measured, survived.measured)
+            assert not victim.alive and pool.alive
+            survived_chain = run_chained_study(
+                config, workers=2, pool=pool, **chain_kwargs
+            )
+            assert np.array_equal(inline_chain.warm, survived_chain.warm)
+            assert np.array_equal(inline_chain.fresh, survived_chain.fresh)
+        finally:
+            try:
+                os.kill(victim.process.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+            pool.close()
+
+    def test_agent_answers_pings_inline(self):
+        """A raw ping frame comes back as a pong echoing the sequence."""
+        process, (host, port) = _spawn_loopback_agent(1)
+        try:
+            with socket.create_connection((host, port), timeout=30) as sock:
+                hello = wire.recv_message(sock)
+                assert hello["hello"] == wire.WIRE_VERSION
+                wire.send_message(sock, wire.control_message(wire.OP_PING, seq=7))
+                pong = wire.recv_message(sock)
+                assert pong == {"op": wire.OP_PONG, "seq": 7}
+                wire.send_message(sock, wire.control_message(wire.OP_SHUTDOWN))
+        finally:
+            self._terminate(process)
+
+    def test_connect_retries_until_agent_appears(self):
+        """The coordinator's handshake retries with backoff: an agent that
+        binds half a second late is still connected within the deadline."""
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()[:2]
+        probe.close()
+        server = AgentServer(host=host, port=port, workers=1)
+
+        def _bind_late():
+            time.sleep(0.5)
+            server.serve_forever()
+
+        thread = threading.Thread(target=_bind_late, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        pool = None
+        try:
+            pool = RemoteStudyPool(hosts=((host, port),))
+            assert time.monotonic() - started >= 0.4  # first attempts refused
+            assert pool.submit(derive_seed, 23).get(timeout=60) == derive_seed(23)
+        finally:
+            if pool is not None:
+                pool.close()
+            server.close()
+            thread.join(timeout=15)
+
+    def test_rescan_hosts_joins_newly_named_agents(self, monkeypatch):
+        first_proc, first_addr = _spawn_loopback_agent(1)
+        second_proc, second_addr = _spawn_loopback_agent(1)
+        pool = RemoteStudyPool(hosts=(first_addr,))
+        try:
+            assert pool.workers == 1
+            monkeypatch.setenv(
+                "REPRO_HOSTS",
+                ",".join(f"{host}:{port}" for host, port in (first_addr, second_addr)),
+            )
+            added = pool.rescan_hosts()
+            assert [(link.host, link.port) for link in added] == [second_addr]
+            assert pool.workers == 2
+            assert pool.rescan_hosts() == []  # idempotent
+            handles = [pool.submit(derive_seed, index) for index in range(8)]
+            assert [handle.get(timeout=60) for handle in handles] == [
+                derive_seed(index) for index in range(8)
+            ]
+        finally:
+            pool.close()
+            self._terminate(first_proc)
+            self._terminate(second_proc)
+
+    def test_balancing_is_validated_and_count_mode_round_trips(self):
+        with pytest.raises(ValueError, match="balancing"):
+            RemoteStudyPool(2, balancing="vibes")
+        pool = RemoteStudyPool(2, balancing="count")
+        try:
+            assert pool.balancing == "count"
+            assert pool.partition_weights() is None  # baseline: uniform split
+            handles = [pool.submit(derive_seed, index) for index in range(8)]
+            assert [handle.get(timeout=60) for handle in handles] == [
+                derive_seed(index) for index in range(8)
+            ]
+            assert pool.steals == 0  # count mode never steals
+        finally:
+            pool.close()
+
+    def test_default_balancing_is_cost(self, remote_pool):
+        assert remote_pool.balancing == "cost"
+        weights = remote_pool.partition_weights()
+        assert weights is not None
+        assert len(weights) == sum(
+            max(1, link.workers) for link in remote_pool._agents if link.alive
+        )
