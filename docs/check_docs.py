@@ -28,6 +28,7 @@ DOCUMENTS = (
     "docs/architecture.md",
     "docs/reproducing.md",
     "docs/distributed.md",
+    "docs/static_analysis.md",
 )
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -563,7 +563,7 @@ def run_scatter_study(
     ``REPRO_WORKERS``; ``executor``
     (``"thread"``/``"process"``/``"remote"``/``"auto"``, default from
     ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``, ``chunking``,
-    ``hosts`` and ``pool`` behave as in
+    ``hosts`` (default from ``REPRO_HOSTS``) and ``pool`` behave as in
     :func:`~repro.simulator.batch.execute_programs`.  Results are
     bit-identical for every combination.
     """
@@ -622,7 +622,7 @@ def run_alltoall_study(
     ``REPRO_WORKERS``; ``executor``
     (``"thread"``/``"process"``/``"remote"``/``"auto"``, default from
     ``REPRO_EXECUTOR``) picks the fan-out lane; ``transport``, ``chunking``,
-    ``hosts`` and ``pool`` behave as in
+    ``hosts`` (default from ``REPRO_HOSTS``) and ``pool`` behave as in
     :func:`~repro.simulator.batch.execute_programs`.  Results are
     bit-identical for every combination.
     """

@@ -26,6 +26,7 @@ regardless of batching, chunking, driver, transport or worker count.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -36,7 +37,13 @@ from repro.core.batch import BatchedGridCosts, batched_makespans, has_batched_ke
 from repro.core.costs import GridCostCache
 from repro.core.registry import instantiate
 from repro.experiments.config import SimulationStudyConfig
-from repro.runtime.chunking import choose_executor
+from repro.runtime.chunking import (
+    CostModel,
+    choose_executor,
+    cost_model_key,
+    load_cost_model,
+    save_cost_model,
+)
 from repro.runtime.pool import engage_remote_lane, get_pool
 from repro.runtime.transport import ArrayShipment
 from repro.topology.generators import RandomGridGenerator
@@ -56,6 +63,11 @@ WORKERS_ENV_VAR = "REPRO_MC_WORKERS"
 #: Two schedules within this relative tolerance of each other are considered
 #: equally good when computing hits against the per-iteration global minimum.
 HIT_RELATIVE_TOLERANCE = 1e-9
+
+#: The pre-shaping shared cost-cache record; readers of the shaped
+#: ``pipeline/montecarlo/...`` keys fall back to it so cache files written
+#: before shaped keys existed still seed the model.
+_LEGACY_COST_KEY = "pipeline"
 
 
 @dataclass
@@ -203,24 +215,29 @@ def _evaluate_chunk_task(task) -> tuple[int, int, np.ndarray]:
     return count_index, start, values
 
 
-def _schedule_shipped_chunk(args) -> tuple[int, int, np.ndarray]:
+def _schedule_shipped_chunk(args) -> tuple[int, int, np.ndarray, float]:
     """Worker body of the stack-shipping driver.
 
     The chunk's ``(K, n, n)`` cost stack arrives as an
     :class:`~repro.runtime.transport.ArrayShipment` (zero-copy views when
     shared memory is in play); only heuristics with batched kernels are ever
-    routed here, so no grids are needed worker-side at all.
+    routed here, so no grids are needed worker-side at all.  The returned
+    wall time covers the scheduling loop only (not shipment decode), and
+    feeds the shaped cost-cache record — a measurement clock, never part of
+    the results.
     """
     count_index, start, shipment, heuristic_keys, root = args
     arrays = shipment.load()
     costs = BatchedGridCosts.from_arrays(arrays)
     heuristics = instantiate(heuristic_keys)
     out = np.empty((len(heuristics), costs.num_grids), dtype=float)
+    started = time.monotonic()
     for heuristic_index, heuristic in enumerate(heuristics):
         out[heuristic_index] = batched_makespans(heuristic, costs, root=root)
+    elapsed = time.monotonic() - started
     costs = arrays = None
     shipment.close()
-    return count_index, start, out
+    return count_index, start, out, elapsed
 
 
 def _run_stack_shipping(
@@ -238,15 +255,39 @@ def _run_stack_shipping(
     count leaves some heuristic without a batched kernel fall back to seed
     shipping (the worker regenerates its grids), so results are identical to
     the other drivers in every configuration.
+
+    Shipped chunks report their scheduling wall time, which is observed into
+    a per-cluster-count :class:`~repro.runtime.chunking.CostModel` under the
+    shaped cost-cache key ``pipeline/montecarlo/c<C>-n<C>`` (the scheduling
+    matrices of a ``C``-cluster study are ``C x C``, whatever each random
+    grid's node count is).  With ``REPRO_COST_CACHE`` set, the observed
+    units-per-second persists across studies — seeded from the legacy shared
+    ``"pipeline"`` record until a shaped record exists — so the remote
+    lane's routing and future chunk pricing start from measured throughput.
+    Purely a performance device: the cache never changes results.
     """
     kernel_ready: dict[int, bool] = {}
+    cost_models: dict[int, tuple[str, CostModel]] = {}
     max_inflight = 2 * study_pool.workers + 2
     pending: deque[tuple] = deque()
 
+    def cost_model_for(num_clusters: int) -> CostModel:
+        entry = cost_models.get(num_clusters)
+        if entry is None:
+            key = cost_model_key("montecarlo", num_clusters, num_clusters)
+            entry = (key, load_cost_model(key, fallback_keys=(_LEGACY_COST_KEY,)))
+            cost_models[num_clusters] = entry
+        return entry[1]
+
     def collect() -> None:
-        handle, shipment = pending.popleft()
+        handle, shipment, num_clusters, units = pending.popleft()
         try:
-            count_index, start, values = handle.get()
+            if shipment is not None:
+                count_index, start, values, elapsed = handle.get()
+                if elapsed > 0:
+                    cost_model_for(num_clusters).observe(units, elapsed)
+            else:
+                count_index, start, values = handle.get()
             makespans[count_index, :, start : start + values.shape[1]] = values
         finally:
             if shipment is not None:
@@ -284,27 +325,32 @@ def _run_stack_shipping(
                     (count_index, start, shipment, heuristic_keys, root),
                     units=chunk_units,
                 )
-                pending.append((handle, shipment))
+                pending.append((handle, shipment, num_clusters, chunk_units))
             else:
+                chunk_units = float(len(seeds) * num_clusters**2)
                 pending.append(
                     (
                         study_pool.submit(
-                            _evaluate_chunk_task,
-                            task,
-                            units=float(len(seeds) * num_clusters**2),
+                            _evaluate_chunk_task, task, units=chunk_units
                         ),
                         None,
+                        num_clusters,
+                        chunk_units,
                     )
                 )
             while len(pending) > max_inflight:
                 collect()
         while pending:
             collect()
+        # Persist whatever was observed (opt-in via REPRO_COST_CACHE) so
+        # the next study's first chunks are priced from measurement.
+        for key, model in cost_models.values():
+            save_cost_model(key, model)
     except BaseException:
         # A chunk failed (or construction did): release every in-flight
         # shipment before propagating.
         while pending:
-            _, shipment = pending.popleft()
+            _, shipment, _, _ = pending.popleft()
             if shipment is not None:
                 shipment.unlink()
         raise

@@ -32,7 +32,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 #: Valid ``executor=`` values accepted by the runtime entry points and every
 #: study driver: ``"auto"`` (cost-based choice), ``"thread"``
@@ -141,7 +141,7 @@ def choose_executor(
     return "thread" if total_units <= threshold else "process"
 
 
-def program_cost(program) -> int:
+def program_cost(program: Any) -> int:
     """Prior cost of executing one communication program, in units.
 
     The unit is one message: the batched measurement engine's work is
@@ -153,7 +153,7 @@ def program_cost(program) -> int:
     return 1 + sum(len(sends) for sends in program.sends.values())
 
 
-def compiled_cost(compiled_program) -> int:
+def compiled_cost(compiled_program: Any) -> int:
     """Prior cost of one *compiled* program — the compiled twin of
     :func:`program_cost`.
 
@@ -346,6 +346,12 @@ def partition_by_cost(
         shares = [float(weight) for weight in weights[:num_chunks]]
         if any(share <= 0.0 for share in shares):
             raise ValueError(f"chunk weights must be positive, got {weights!r}")
+        # Normalise by the largest share so equal weights become exactly 1.0
+        # and the weighted targets round bit-identically to the uniform
+        # path's (w/(w*k) and 1/k differ in the last ulp for some w, which
+        # is enough to flip a near-tie boundary decision).
+        top = max(shares)
+        shares = [share / top for share in shares]
     # Suffix sums: share_left[i] is the total weight of chunks i onwards,
     # so the open chunk's target is remaining * shares[i] / share_left[i].
     share_left = list(shares)

@@ -30,6 +30,8 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import multiprocessing.pool
+import threading
+from typing import Any, Callable, Iterable, Iterator
 
 #: ``kind`` values a study pool can report (``executor="auto"`` resolves to
 #: ``"process"`` or ``"thread"`` per fan-out — see
@@ -91,7 +93,9 @@ class StudyPool:
             raise RuntimeError("StudyPool is closed")
         return self._pool
 
-    def submit(self, fn, args, units: float | None = None):
+    def submit(
+        self, fn: Callable[[Any], Any], args: Any, units: float | None = None
+    ) -> Any:
         """Submit ``fn(args)`` and return the :class:`AsyncResult` handle.
 
         This is the pipelining primitive: the caller keeps constructing the
@@ -103,7 +107,9 @@ class StudyPool:
         """
         return self._require().apply_async(fn, (args,))
 
-    def imap_unordered(self, fn, iterable):
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], iterable: Iterable[Any]
+    ) -> Iterator[Any]:
         """Unordered streaming map over the pool (completion order)."""
         return self._require().imap_unordered(fn, iterable)
 
@@ -117,7 +123,7 @@ class StudyPool:
     def __enter__(self) -> "StudyPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -141,10 +147,19 @@ class ThreadStudyPool(StudyPool):
         return multiprocessing.pool.ThreadPool(processes=self._workers)
 
 
-_global_pools: dict[str, StudyPool | None] = {kind: None for kind in POOL_KINDS}
+#: Serialises pool creation/replacement: two threads racing get_pool() must
+#: not each build (and half-leak) a pool for the same lane.
+_pools_lock = threading.Lock()
+_global_pools: dict[str, StudyPool | None] = {  # guarded-by: _pools_lock
+    kind: None for kind in POOL_KINDS
+}
 
 
-def get_pool(workers: int, kind: str = "process", hosts=None) -> StudyPool:
+def get_pool(
+    workers: int,
+    kind: str = "process",
+    hosts: str | Iterable[tuple[str, int]] | None = None,
+) -> StudyPool:
     """The process-wide persistent pool of one lane, created on first use.
 
     One pool per ``kind`` (``"process"`` — the default — ``"thread"`` or
@@ -164,34 +179,40 @@ def get_pool(workers: int, kind: str = "process", hosts=None) -> StudyPool:
     """
     if kind not in POOL_KINDS:
         raise ValueError(f"pool kind must be one of {POOL_KINDS}, got {kind!r}")
-    pool = _global_pools[kind]
-    if kind == "remote":
-        from repro.runtime.remote import RemoteStudyPool, resolve_hosts
+    with _pools_lock:
+        pool = _global_pools[kind]
+        if kind == "remote":
+            from repro.runtime.remote import RemoteStudyPool, resolve_hosts
 
-        spec = resolve_hosts(hosts)
-        if (
-            pool is None
-            or not pool.alive
-            or getattr(pool, "hosts_spec", None) != spec
-            or (spec is None and pool.workers < workers)
-        ):
+            spec = resolve_hosts(hosts)
+            if (
+                pool is None
+                or not pool.alive
+                or getattr(pool, "hosts_spec", None) != spec
+                or (spec is None and pool.workers < workers)
+            ):
+                if pool is not None:
+                    pool.close()
+                pool = RemoteStudyPool(workers, hosts=spec)
+                _global_pools[kind] = pool
+            return pool
+        if pool is None or not pool.alive or pool.workers < workers:
             if pool is not None:
                 pool.close()
-            pool = RemoteStudyPool(workers, hosts=spec)
+            pool_class = ThreadStudyPool if kind == "thread" else StudyPool
+            pool = pool_class(workers)
             _global_pools[kind] = pool
         return pool
-    if pool is None or not pool.alive or pool.workers < workers:
-        if pool is not None:
-            pool.close()
-        pool_class = ThreadStudyPool if kind == "thread" else StudyPool
-        pool = pool_class(workers)
-        _global_pools[kind] = pool
-    return pool
 
 
 def engage_remote_lane(
-    pool, executor, workers, worker_count: int, hosts, transport: str | None = None
-) -> tuple[object, int]:
+    pool: Any,
+    executor: str | None,
+    workers: int | None,
+    worker_count: int,
+    hosts: str | Iterable[tuple[str, int]] | None,
+    transport: str | None = None,
+) -> tuple[Any, int]:
     """Resolve the fan-out preamble of one study call (shared by every driver).
 
     Returns a possibly-updated ``(pool, worker_count)``, subsuming the two
@@ -230,10 +251,11 @@ def engage_remote_lane(
 
 def shutdown_pool() -> None:
     """Tear every persistent pool down (no-op when none exists)."""
-    for kind, pool in _global_pools.items():
-        if pool is not None:
-            pool.close()
-            _global_pools[kind] = None
+    with _pools_lock:
+        for kind, pool in _global_pools.items():
+            if pool is not None:
+                pool.close()
+                _global_pools[kind] = None
 
 
 # Pool workers are daemonic, so they die with the process either way; the

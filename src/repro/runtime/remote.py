@@ -76,6 +76,7 @@ import time
 from collections import deque
 from importlib import import_module
 from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
 
 import multiprocessing
 import multiprocessing.pool
@@ -181,7 +182,9 @@ def parse_hosts(spec: str) -> tuple[tuple[str, int], ...]:
     return tuple(entries)
 
 
-def resolve_hosts(hosts) -> tuple[tuple[str, int], ...] | None:
+def resolve_hosts(
+    hosts: str | Iterable[tuple[str, int]] | None,
+) -> tuple[tuple[str, int], ...] | None:
     """Normalise a ``hosts=`` argument to an address tuple (or loopback).
 
     ``None`` consults the ``REPRO_HOSTS`` environment variable; an unset
@@ -210,7 +213,7 @@ def _resolve_heartbeat(heartbeat: float | None) -> float:
     return float(heartbeat)
 
 
-def _function_name(fn) -> str:
+def _function_name(fn: Callable[..., Any]) -> str:
     """The importable ``module:qualname`` of a worker body."""
     name = f"{fn.__module__}:{fn.__qualname__}"
     if "<" in name:
@@ -220,7 +223,7 @@ def _function_name(fn) -> str:
     return name
 
 
-def _resolve_function(name: str):
+def _resolve_function(name: str) -> Callable[..., Any]:
     """Import the worker body an incoming job names (agent side)."""
     module_name, _, qualname = name.partition(":")
     if not module_name or not qualname:
@@ -231,7 +234,7 @@ def _resolve_function(name: str):
     return target
 
 
-def _localise(obj, repacked: list):
+def _localise(obj: Any, repacked: list[ArrayShipment]) -> Any:
     """Replace wire shipments with freshly packed local shipments.
 
     The agent fans jobs out over its own process pool, so the arrays that
@@ -264,7 +267,9 @@ def _picklable_error(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _timed_execute(fn, args, slowdown: float = 1.0):
+def _timed_execute(
+    fn: Callable[[Any], Any], args: Any, slowdown: float = 1.0
+) -> tuple[Any, float]:
     """Run one job on an agent worker and time it: ``(value, elapsed)``.
 
     The elapsed wall time rides back in the result frame and feeds the
@@ -283,7 +288,7 @@ def _timed_execute(fn, args, slowdown: float = 1.0):
     return value, elapsed
 
 
-def _diagnostic_sleep(args):
+def _diagnostic_sleep(args: tuple[float, Any]) -> Any:
     """``(seconds, value)`` → sleep, then return ``value``.
 
     An importable stand-in job with a controllable duration, used by tests
@@ -328,7 +333,7 @@ class AgentServer:
         port: int = 0,
         workers: int = 1,
         slowdown: float = 1.0,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError(f"an agent needs at least 1 worker, got {workers}")
         if slowdown < 1.0:
@@ -340,7 +345,7 @@ class AgentServer:
         self.workers = int(workers)
         self.slowdown = float(slowdown)
         self._listener: socket.socket | None = None
-        self._pool = None
+        self._pool: multiprocessing.pool.Pool | None = None
         self._stopped = threading.Event()
         self.address: tuple[str, int] | None = None
 
@@ -355,7 +360,7 @@ class AgentServer:
             self.address = listener.getsockname()[:2]
         return self.address
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
             if self.workers >= 2:
                 self._pool = multiprocessing.Pool(processes=self.workers)
@@ -439,13 +444,21 @@ class AgentServer:
                 reply({"job": job_id, "error": _picklable_error(exc)})
                 continue
 
-            def _done(timed, job_id=job_id, repacked=repacked):
+            def _done(
+                timed: tuple[Any, float],
+                job_id: int = job_id,
+                repacked: list[ArrayShipment] = repacked,
+            ) -> None:
                 value, elapsed = timed
                 reply({"job": job_id, "result": value, "elapsed": elapsed})
                 for shipment in repacked:
                     shipment.unlink()
 
-            def _failed(exc, job_id=job_id, repacked=repacked):
+            def _failed(
+                exc: BaseException,
+                job_id: int = job_id,
+                repacked: list[ArrayShipment] = repacked,
+            ) -> None:
                 reply({"job": job_id, "error": _picklable_error(exc)})
                 for shipment in repacked:
                     shipment.unlink()
@@ -601,9 +614,9 @@ class RemoteAsyncResult:
 
     def __init__(self) -> None:
         self._event = threading.Event()
-        self._value = None
+        self._value: Any = None
         self._error: BaseException | None = None
-        self._callbacks: list = []
+        self._callbacks: list[Callable[["RemoteAsyncResult"], object]] = []
         self._lock = threading.Lock()
         #: The wire-level job id this handle tracks (set by ``submit``).
         self.job_id: int | None = None
@@ -612,7 +625,7 @@ class RemoteAsyncResult:
         """Whether the job's result (or failure) has arrived."""
         return self._event.is_set()
 
-    def get(self, timeout: float | None = None):
+    def get(self, timeout: float | None = None) -> Any:
         """Block until the result arrives; re-raise the job's failure."""
         if not self._event.wait(timeout):
             raise multiprocessing.TimeoutError("remote job still running")
@@ -620,7 +633,7 @@ class RemoteAsyncResult:
             raise self._error
         return self._value
 
-    def _settle(self, value, error: BaseException | None) -> None:
+    def _settle(self, value: Any, error: BaseException | None) -> None:
         with self._lock:
             if self._event.is_set():
                 return
@@ -631,7 +644,7 @@ class RemoteAsyncResult:
         for callback in callbacks:
             callback(self)
 
-    def _on_done(self, callback) -> None:
+    def _on_done(self, callback: Callable[["RemoteAsyncResult"], object]) -> None:
         with self._lock:
             if not self._event.is_set():
                 self._callbacks.append(callback)
@@ -648,7 +661,7 @@ class _Job:
 
     def __init__(
         self, job_id: int, frame: bytes, handle: RemoteAsyncResult, units: float
-    ):
+    ) -> None:
         self.job_id = job_id
         self.frame = frame
         self.handle = handle
@@ -679,10 +692,10 @@ class _AgentLink:
         self.sock: socket.socket | None = None
         self.workers = 0
         self.alive = False
-        self.inflight: dict[int, _Job] = {}
-        self.queued: deque[_Job] = deque()
+        self.inflight: dict[int, _Job] = {}  # guarded-by: pool._lock
+        self.queued: deque[_Job] = deque()  # guarded-by: pool._lock
         #: Jobs this link delivered results for (observability and tests).
-        self.completed = 0
+        self.completed = 0  # guarded-by: pool._lock
         #: Monotonic time of the last frame received from this agent; the
         #: heartbeat loop declares the agent dead when it goes stale.
         self.last_heard = 0.0
@@ -711,13 +724,13 @@ class _AgentLink:
         """Estimated units per second across this agent's workers."""
         return max(1, self.workers) * self.cost_model.units_per_second
 
-    def backlog_units(self) -> float:
+    def backlog_units(self) -> float:  # holds: pool._lock
         """Estimated units outstanding on this link (queued + in-flight)."""
         return sum(job.units for job in self.inflight.values()) + sum(
             job.units for job in self.queued
         )
 
-    def eta(self, extra_units: float = 0.0) -> float:
+    def eta(self, extra_units: float = 0.0) -> float:  # holds: pool._lock
         """Estimated seconds to drain the backlog plus ``extra_units``."""
         return (self.backlog_units() + extra_units) / self.throughput
 
@@ -743,15 +756,20 @@ class _AgentLink:
                 if time.monotonic() + delay >= deadline:
                     raise
                 time.sleep(delay)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self.sock = sock
-        hello = wire.recv_message(sock)
-        if not isinstance(hello, dict) or "workers" not in hello:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = wire.recv_message(sock)
+            if not isinstance(hello, dict) or "workers" not in hello:
+                raise wire.WireError(
+                    f"agent {self.name} opened with {hello!r} instead of a hello"
+                )
+            sock.settimeout(None)
+        except BaseException:
+            # A handshake that dies half-way (recv error, bad hello) must
+            # not leak the connected socket.
             sock.close()
-            raise wire.WireError(
-                f"agent {self.name} opened with {hello!r} instead of a hello"
-            )
-        sock.settimeout(None)
+            raise
+        self.sock = sock
         self.workers = max(1, int(hello["workers"]))
         self.alive = True
         self.last_heard = time.monotonic()
@@ -849,7 +867,7 @@ class RemoteStudyPool:
         self,
         workers: int | None = None,
         *,
-        hosts=None,
+        hosts: str | Iterable[tuple[str, int]] | None = None,
         balancing: str = "cost",
         heartbeat: float | None = None,
     ) -> None:
@@ -861,16 +879,16 @@ class RemoteStudyPool:
         self.balancing = balancing
         self._heartbeat = _resolve_heartbeat(heartbeat)
         self._lock = threading.RLock()
-        self._jobs: dict[int, _Job] = {}
+        self._jobs: dict[int, _Job] = {}  # guarded-by: _lock
         self._job_ids = itertools.count(1)
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
         #: Results that arrived for already-settled jobs (an agent racing
         #: its own loss, or a stolen frame's first execution); discarded,
         #: counted for observability and tests.
-        self.duplicates_ignored = 0
+        self.duplicates_ignored = 0  # guarded-by: _lock
         #: Queued jobs re-routed to an agent that drained early.
-        self.steals = 0
-        self._agents: list[_AgentLink] = []
+        self.steals = 0  # guarded-by: _lock
+        self._agents: list[_AgentLink] = []  # guarded-by: _lock
         self._hb_stop = threading.Event()
         self._hb_thread: threading.Thread | None = None
         try:
@@ -903,14 +921,20 @@ class RemoteStudyPool:
     @property
     def workers(self) -> int:
         """Total advertised workers across the currently alive agents."""
-        return sum(link.workers for link in self._agents if link.alive)
+        with self._lock:
+            return sum(link.workers for link in self._agents if link.alive)
 
     @property
     def alive(self) -> bool:
         """Whether the pool can still accept work."""
-        return not self._closed and any(link.alive for link in self._agents)
+        with self._lock:
+            return not self._closed and any(
+                link.alive for link in self._agents
+            )
 
-    def submit(self, fn, args, units: float | None = None) -> RemoteAsyncResult:
+    def submit(
+        self, fn: Callable[[Any], Any], args: Any, units: float | None = None
+    ) -> RemoteAsyncResult:
         """Frame ``fn(args)`` and route it to the best agent.
 
         ``units`` is the job's estimated cost in the shared cost-unit scale
@@ -936,14 +960,16 @@ class RemoteStudyPool:
         self._pump(agent)
         return handle
 
-    def imap_unordered(self, fn, iterable):
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], iterable: Iterable[Any]
+    ) -> Iterator[Any]:
         """Submit every job now; yield results in completion order."""
         handles = [self.submit(fn, args) for args in iterable]
         done: queue.SimpleQueue = queue.SimpleQueue()
         for handle in handles:
             handle._on_done(done.put)
 
-        def _results():
+        def _results() -> Iterator[Any]:
             for _ in range(len(handles)):
                 yield done.get().get()
 
@@ -980,7 +1006,7 @@ class RemoteStudyPool:
     def __enter__(self) -> "RemoteStudyPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- elastic membership -------------------------------------------------------
@@ -1065,7 +1091,7 @@ class RemoteStudyPool:
 
     # -- internals ----------------------------------------------------------------
 
-    def _route(self, job: _Job) -> _AgentLink:
+    def _route(self, job: _Job) -> _AgentLink:  # holds: _lock
         """The alive agent this job should wait on (call holding the lock).
 
         Cost balancing picks the lowest estimated completion time —
@@ -1144,7 +1170,9 @@ class RemoteStudyPool:
         while not self._hb_stop.wait(self._heartbeat):
             now = time.monotonic()
             stale = self._heartbeat * HEARTBEAT_MISS_FACTOR
-            for link in list(self._agents):
+            with self._lock:
+                links = list(self._agents)
+            for link in links:
                 if not link.alive:
                     continue
                 if now - link.last_heard > stale:
@@ -1196,12 +1224,13 @@ class RemoteStudyPool:
             ]
             agent.inflight.clear()
             agent.queued.clear()
+            closed = self._closed
         if agent.sock is not None:
             try:
                 agent.sock.close()
             except OSError:
                 pass
-        if self._closed:
+        if closed:
             return
         targets: list[_AgentLink] = []
         failed: list[_Job] = []

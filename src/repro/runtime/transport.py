@@ -34,6 +34,7 @@ import atexit
 import os
 import pickle
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -94,8 +95,10 @@ def shared_memory_available() -> bool:
         else:
             try:
                 probe = _shared_memory.SharedMemory(create=True, size=16)
-                probe.close()
-                probe.unlink()
+                try:
+                    probe.close()
+                finally:
+                    probe.unlink()
                 _shm_probe_result = True
             except Exception:
                 _shm_probe_result = False
@@ -115,7 +118,7 @@ def resolve_transport(transport: str | None) -> str:
     return transport
 
 
-def _attach(name: str):
+def _attach(name: str) -> Any:
     """Map an existing segment without adopting cleanup responsibility.
 
     Python 3.13+ supports ``track=False`` directly.  Before that, attaching
@@ -175,9 +178,14 @@ class ArrayShipment:
             specs.append((name, array.dtype.str, array.shape, offset))
             offset += array.nbytes
         shm = _shared_memory.SharedMemory(create=True, size=max(1, offset))
-        for (name, dtype, shape, start), array in zip(specs, contiguous.values()):
-            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
-            view[...] = array
+        try:
+            for (name, dtype, shape, start), array in zip(specs, contiguous.values()):
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
+                view[...] = array
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         _owned_segments[shm.name] = os.getpid()
         return cls(transport="shm", specs=specs, shm_name=shm.name, _shm=shm)
 
@@ -264,5 +272,5 @@ class ArrayShipment:
     def __enter__(self) -> "ArrayShipment":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

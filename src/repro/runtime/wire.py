@@ -113,14 +113,14 @@ class WireError(ConnectionError):
     """A malformed, truncated or protocol-incompatible frame."""
 
 
-def control_message(op: str, **fields) -> dict:
+def control_message(op: str, **fields: object) -> dict[str, object]:
     """A control frame body (``{"op": op, **fields}``).
 
     Control frames ride the same frame layout as job frames; the ``"op"``
     key is what distinguishes them.  Heartbeats pass their sequence number
     as ``seq=``.
     """
-    message = {"op": op}
+    message: dict[str, object] = {"op": op}
     message.update(fields)
     return message
 
@@ -157,7 +157,7 @@ class WireShipment:
     def __enter__(self) -> "WireShipment":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -169,7 +169,7 @@ class _MessagePickler(pickle.Pickler):
     ``buffer_callback`` the encoder installs.
     """
 
-    def reducer_override(self, obj):
+    def reducer_override(self, obj: object) -> object:
         if isinstance(obj, ArrayShipment):
             # dict-copy the mapping, not the arrays: the loaded views stay
             # valid until the frame is assembled inside encode_message.

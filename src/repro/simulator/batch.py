@@ -1039,7 +1039,7 @@ def _execute_with_runtime_pool(
             job = (
                 start,
                 shipment,
-                {unique_index: metas[unique_index] for unique_index in needed},
+                {unique_index: metas[unique_index] for unique_index in sorted(needed)},
                 chunk_entries,
                 config.noise_sigma,
                 config.receive_overhead,
@@ -1170,8 +1170,9 @@ def execute_programs(
         makespan-only sweeps (the practical study does).
     workers:
         Optional fan-out over chain-respecting chunks of the task list;
-        ``None``/``0``/``1`` run in-process.  Results are identical at any
-        worker count because every task carries its own noise seed.
+        ``None`` consults the shared ``REPRO_WORKERS`` environment variable,
+        and ``0``/``1`` run in-process.  Results are identical at any worker
+        count because every task carries its own noise seed.
     engine:
         ``"batched"`` (default) or ``"scalar"`` — the scalar reference loop
         used by the equivalence suite and as the benchmark baseline.
@@ -1253,7 +1254,9 @@ def execute_programs(
         for task in tasks
     ]
     _validate_tasks(normalized)
-    worker_count = max(0, int(workers)) if workers is not None else 0
+    from repro.utils.workers import resolve_workers
+
+    worker_count = resolve_workers(workers)
     if len(normalized) > 1:
         # The shared fan-out preamble: an explicit pool lifts the worker
         # count, and the remote lane (argument or REPRO_EXECUTOR) engages

@@ -499,3 +499,68 @@ class TestWeightedPartitionProperties:
 
         with pytest.raises(ValueError, match="positive"):
             partition_by_cost([(0, 1), (1, 2)], [1.0, 1.0], 2, weights=[1.0, 0.0])
+
+
+# ---------------------------------------------------------------------------
+# seed derivation (repro.utils.rng.derive_seed)
+# ---------------------------------------------------------------------------
+
+seed_ints = st.integers(min_value=0, max_value=2**63 - 1)
+seed_labels = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=12),
+    st.tuples(st.integers(min_value=0, max_value=64), st.text(max_size=6)),
+)
+
+
+class TestDeriveSeedInvariance:
+    """derive_seed must depend only on ``(seed, labels)`` — never on the
+    order other seeds are derived in.  This is the contract that makes the
+    fan-out lanes bit-identical: shuffling execution order, reordering the
+    heuristics tuple or splitting work across agents cannot move any
+    individual measurement onto a different noise stream."""
+
+    @given(
+        seed=seed_ints,
+        labels=st.lists(seed_labels, min_size=1, max_size=6, unique_by=str),
+        order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shuffle_invariant(self, seed, labels, order):
+        from repro.utils.rng import derive_seed
+
+        baseline = {str(label): derive_seed(seed, label) for label in labels}
+        shuffled = list(labels)
+        order.shuffle(shuffled)
+        for label in shuffled:
+            assert derive_seed(seed, label) == baseline[str(label)]
+
+    @given(seed=seed_ints, labels=st.lists(seed_labels, min_size=1, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_repeat_derivations_are_stable(self, seed, labels):
+        from repro.utils.rng import derive_seed
+
+        first = derive_seed(seed, *labels)
+        # Interleave unrelated derivations; the keyed derivation must not
+        # observe them (unlike spawn(), which advances a counter).
+        for noise in range(3):
+            derive_seed(seed, "noise", noise)
+        assert derive_seed(seed, *labels) == first
+
+    @given(seed=seed_ints, a=seed_labels, b=seed_labels)
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_label_tuples_rarely_collide(self, seed, a, b):
+        from repro.utils.rng import derive_seed
+
+        assume(str(a) != str(b))
+        sa, sb = derive_seed(seed, a), derive_seed(seed, b)
+        # CRC32-keyed mixing: collisions exist in principle, but any
+        # Hypothesis-sized example pair colliding means the labels were
+        # ignored, so treat equality of both derived seeds AND the mixed
+        # digests as the failure signal.
+        if sa == sb:
+            import zlib
+
+            assert zlib.crc32(str(a).encode("utf-8")) == zlib.crc32(
+                str(b).encode("utf-8")
+            )

@@ -1505,10 +1505,12 @@ class TestElasticRemoteLane:
         """The coordinator's handshake retries with backoff: an agent that
         binds half a second late is still connected within the deadline."""
         probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        probe.bind(("127.0.0.1", 0))
-        host, port = probe.getsockname()[:2]
-        probe.close()
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", 0))
+            host, port = probe.getsockname()[:2]
+        finally:
+            probe.close()
         server = AgentServer(host=host, port=port, workers=1)
 
         def _bind_late():

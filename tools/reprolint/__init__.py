@@ -1,0 +1,39 @@
+"""reprolint — repository-specific static analysis for the repro codebase.
+
+Checks the invariants the reproduction's methodology depends on but tests
+can only sample: seeded randomness in the deterministic layers, paired
+acquisition/release of shared-memory segments and sockets, lock-guarded
+field access in the remote coordinator, and a consistent public driver
+surface.  See ``docs/static_analysis.md`` for the rule catalogue.
+
+Usage::
+
+    python -m reprolint src/ tests/           # lint, exit 1 on findings
+    python -m reprolint --list-rules          # rule catalogue
+    python -m reprolint --format json src/    # machine-readable report
+"""
+
+from reprolint.engine import (
+    Config,
+    Rule,
+    SourceModule,
+    Violation,
+    iter_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "__version__",
+]

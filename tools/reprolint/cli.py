@@ -1,0 +1,105 @@
+"""Command-line front end: ``python -m reprolint src/ tests/``.
+
+Exit status is 0 when no violations are found, 1 when any are, 2 on usage
+errors — so the CI job (and a pre-commit hook) can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from reprolint.engine import Config, iter_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the repro codebase: "
+            "determinism, resource lifecycle, lock discipline and API "
+            "hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src/ tests/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id:28} [{rule.family}] {rule.summary}")
+        return 0
+
+    if not options.paths:
+        parser.error("no paths given (try: python -m reprolint src/ tests/)")
+
+    select: list[str] | None = None
+    if options.select:
+        select = [
+            part.strip()
+            for chunk in options.select
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+        known = {rule.id for rule in iter_rules()} | {"parse-error"}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    violations, files_checked = lint_paths(
+        options.paths, config=Config(), select=select
+    )
+
+    if options.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "violations": [v.as_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        summary = (
+            f"reprolint: {len(violations)} violation"
+            f"{'' if len(violations) == 1 else 's'} "
+            f"in {files_checked} file{'' if files_checked == 1 else 's'}"
+        )
+        print(summary, file=sys.stderr)
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,336 @@
+"""The reprolint engine: source loading, rule registry, suppressions, driving.
+
+reprolint is a repository-specific static-analysis pass: it mechanically
+enforces the invariants this reproduction's methodology rests on — every
+random draw flows from a derived seed, every shared resource is released on
+all paths, every lock-guarded field is touched under its lock, every study
+driver exposes the same execution surface.  The tier-1 tests *sample* those
+invariants; this pass checks them on every file in milliseconds, before any
+test runs.
+
+The engine is deliberately small and stdlib-only (:mod:`ast`, :mod:`re`):
+
+* :class:`SourceModule` parses one file and pre-computes what every rule
+  needs — the AST, a child-to-parent map, and the per-line suppression table
+  built from ``# reprolint: disable=<rule>[,<rule>]`` comments;
+* :class:`Rule` subclasses register themselves via :func:`register` and
+  yield :class:`Violation` records from their :meth:`Rule.check`;
+* :func:`lint_paths` walks files, applies every (selected) rule and filters
+  suppressed findings.
+
+Rules never execute the code under analysis; everything is syntactic, which
+is what makes the pass safe to run on any tree, broken or not (files that do
+not parse are reported under the ``parse-error`` pseudo-rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Comment syntax silencing one finding: ``# reprolint: disable=<rule>`` (a
+#: comma-separated rule list, or ``all``).  A trailing comment applies to its
+#: own line; a comment alone on a line applies to the next line.
+SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+#: Marker declaring that a whole function runs with a lock held by its
+#: caller (``# holds: <lock>``) — see :mod:`reprolint.locks`.
+HOLDS_RE = re.compile(r"#\s*holds:\s*([A-Za-z0-9_.]+)")
+
+#: Attribute annotation naming the lock that guards a field
+#: (``# guarded-by: <lock>``) — see :mod:`reprolint.locks`.
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z0-9_.]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The ``--format text`` row (``path:line:col: rule message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Config:
+    """Knobs scoping path-sensitive rule families.
+
+    The determinism and API-hygiene families only make sense on the library
+    paths they describe; the resource and lock families are annotation- or
+    pattern-driven and safe everywhere, so they take no scope.  An empty
+    string in a path tuple matches every file (used by the fixture tests to
+    point the scoped families at temporary files).
+    """
+
+    #: Path fragments (posix) under which the determinism family applies.
+    determinism_paths: tuple[str, ...] = (
+        "repro/core",
+        "repro/simulator",
+        "repro/experiments",
+    )
+    #: Path fragments under which the API-hygiene family applies.
+    api_paths: tuple[str, ...] = ("repro/",)
+
+
+class SourceModule:
+    """One parsed file plus the lookups every rule shares."""
+
+    def __init__(self, path: Path, source: str, display_path: str | None = None):
+        self.path = path
+        self.display_path = display_path if display_path is not None else str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressions = self._parse_suppressions()
+
+    # -- structure helpers ---------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function/method containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The innermost class containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def in_scope(self, fragments: Sequence[str]) -> bool:
+        """Whether this file falls under any of the path ``fragments``."""
+        posix = self.path.as_posix()
+        return any(fragment in posix for fragment in fragments)
+
+    def segment_has(self, node: ast.AST, pattern: re.Pattern) -> re.Match | None:
+        """Search ``pattern`` in the source lines spanned by ``node``."""
+        end = getattr(node, "end_lineno", node.lineno)
+        for lineno in range(node.lineno, end + 1):
+            match = pattern.search(self.lines[lineno - 1])
+            if match:
+                return match
+        return None
+
+    # -- suppressions --------------------------------------------------------------
+
+    def _parse_suppressions(self) -> dict[int, frozenset[str]]:
+        table: dict[int, set[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            # A comment alone on its line silences the next line; a trailing
+            # comment silences its own.
+            target = number + 1 if line.lstrip().startswith("#") else number
+            table.setdefault(target, set()).update(rules)
+        return {line: frozenset(rules) for line, rules in table.items()}
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` findings on ``line`` are silenced."""
+        rules = self.suppressions.get(line, frozenset())
+        return rule in rules or "all" in rules
+
+
+class Rule:
+    """Base class of every check.  Subclasses set the class attributes and
+    implement :meth:`check`; :func:`register` adds them to the registry."""
+
+    #: Unique rule identifier (used in reports and suppression comments).
+    id: str = ""
+    #: Rule family (``determinism``, ``resource``, ``lock``, ``api``).
+    family: str = ""
+    #: One-line description shown by ``--list-rules``.
+    summary: str = ""
+
+    def check(self, module: SourceModule, config: Config) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class()
+    return rule_class
+
+
+def iter_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (importing the rule modules)."""
+    _load_rule_modules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _load_rule_modules() -> None:
+    # Imported lazily so engine.py itself stays importable from the rule
+    # modules without a cycle.
+    from reprolint import api, determinism, locks, resources  # noqa: F401
+
+
+# -- name resolution helpers shared by the rule modules ----------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module, module_name: str) -> set[str]:
+    """Local names bound to ``module_name`` by import statements."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def from_imports(tree: ast.Module, module_name: str) -> dict[str, str]:
+    """``local name -> original name`` for ``from module_name import ...``."""
+    bound: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            for alias in node.names:
+                bound[alias.asname or alias.name] = alias.name
+    return bound
+
+
+# -- driving -----------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through directly)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for found in sorted(path.rglob("*.py")):
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in found.parts
+            ):
+                continue
+            yield found
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    config: Config | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one source string (the fixture-test entry point)."""
+    config = config if config is not None else Config()
+    try:
+        module = SourceModule(Path(path), source, display_path=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="parse-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    violations: list[Violation] = []
+    for rule in iter_rules():
+        if select is not None and rule.id not in select:
+            continue
+        for violation in rule.check(module, config):
+            if not module.suppressed(violation.rule, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    config: Config | None = None,
+    select: Sequence[str] | None = None,
+) -> tuple[list[Violation], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(violations, files_checked)``; a file that does not parse
+    contributes a single ``parse-error`` finding.
+    """
+    violations: list[Violation] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        source = path.read_text(encoding="utf-8")
+        violations.extend(
+            lint_source(
+                source, path=path.as_posix(), config=config, select=select
+            )
+        )
+    return violations, checked

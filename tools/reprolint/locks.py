@@ -1,0 +1,135 @@
+"""Lock-discipline rule: ``# guarded-by:`` annotated state stays under its lock.
+
+``runtime/remote.py`` is a multi-threaded coordinator: the dispatcher, the
+result-collector threads and the heartbeat monitor all touch the same job
+table and agent roster.  The convention enforced here makes the locking
+protocol explicit and machine-checkable:
+
+* where a field is *declared* (its ``__init__`` assignment, or a
+  module-level assignment), a trailing ``# guarded-by: <lock>`` comment
+  names the lock that protects it;
+* every other read or write of that field must sit lexically inside a
+  ``with <...>.<lock>:`` block whose lock name matches the annotation's
+  last path component (``self._lock`` and ``pool._lock`` both match a
+  ``guarded-by: _lock`` declaration — the object graph is the reviewers'
+  job, the lexical discipline is ours);
+* a helper that is *always called with the lock already held* carries a
+  ``# holds: <lock>`` marker on its ``def`` line, which blesses every
+  access in its body.
+
+``__init__`` bodies are exempt (no other thread can see the object during
+construction), as is the declaration line itself.  The checker is
+flow-insensitive and matches attribute accesses by name anywhere in the
+file, so an unrelated attribute that happens to share a guarded name needs
+a ``# reprolint: disable=lock-guarded-by`` suppression — in practice the
+runtime's field names are unique enough that none is needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.engine import (
+    GUARDED_BY_RE,
+    HOLDS_RE,
+    Config,
+    Rule,
+    SourceModule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+
+def _lock_tail(spec: str) -> str:
+    """``self._lock`` / ``pool._lock`` / ``_lock`` → ``_lock``."""
+    return spec.split(".")[-1]
+
+
+def _declared_guards(module: SourceModule) -> dict[str, str]:
+    """``field name -> lock tail`` from ``# guarded-by:`` annotations.
+
+    Attribute declarations contribute the attribute name; module-level
+    declarations contribute the variable name.
+    """
+    guards: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        match = module.segment_has(node, GUARDED_BY_RE)
+        if not match:
+            continue
+        lock = _lock_tail(match.group(1))
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                guards[target.attr] = lock
+            elif isinstance(target, ast.Name):
+                guards[target.id] = lock
+    return guards
+
+
+def _holds_marker(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, module: SourceModule
+) -> str | None:
+    """The lock tail from a ``# holds:`` marker in the function signature."""
+    last = func.body[0].lineno if func.body else func.lineno
+    for lineno in range(func.lineno, last):
+        if lineno - 1 >= len(module.lines):
+            break
+        match = HOLDS_RE.search(module.lines[lineno - 1])
+        if match:
+            return _lock_tail(match.group(1))
+    # Trailing marker on a one-line signature sharing the first body line.
+    match = HOLDS_RE.search(module.lines[func.lineno - 1])
+    return _lock_tail(match.group(1)) if match else None
+
+
+def _with_locks(node: ast.AST, module: SourceModule) -> set[str]:
+    """Lock tails of every ``with`` statement enclosing ``node``."""
+    held: set[str] = set()
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                name = dotted_name(item.context_expr)
+                if name is not None:
+                    held.add(_lock_tail(name))
+    return held
+
+
+@register
+class GuardedByRule(Rule):
+    id = "lock-guarded-by"
+    family = "lock"
+    summary = "a guarded-by annotated field is touched outside its lock"
+
+    def check(self, module: SourceModule, config: Config) -> Iterable[Violation]:
+        guards = _declared_guards(module)
+        if not guards:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in guards:
+                field, lock = node.attr, guards[node.attr]
+            elif isinstance(node, ast.Name) and node.id in guards:
+                field, lock = node.id, guards[node.id]
+            else:
+                continue
+            if module.segment_has(node, GUARDED_BY_RE):
+                continue  # the declaration itself
+            func = module.enclosing_function(node)
+            if func is None:
+                continue  # module-level declaration/initialisation
+            if func.name == "__init__":
+                continue  # construction happens-before any sharing
+            if _holds_marker(func, module) == lock:
+                continue
+            if lock in _with_locks(node, module):
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"{field!r} is declared guarded-by {lock!r} but is accessed "
+                f"outside any 'with ...{lock}:' block (annotate the function "
+                f"'# holds: {lock}' if the caller holds it)",
+            )

@@ -1,0 +1,189 @@
+"""Resource-lifecycle rules: shipments, shared memory and sockets must close.
+
+The runtime moves result arrays between processes through POSIX shared
+memory (:class:`repro.runtime.transport.ArrayShipment`) and coordinates
+remote agents over raw sockets.  A segment that is never ``unlink()``-ed
+outlives the study in ``/dev/shm``; a socket left open on an error path
+holds a worker slot until the OS reaps it.  Two rules keep every acquisition
+paired with a release:
+
+* ``resource-lifecycle`` — a function creates a shipment, a
+  ``SharedMemory`` segment or a socket, binds it to a local name, never
+  hands ownership elsewhere, and never releases it at all;
+* ``resource-release-guard`` — the release exists but only on the happy
+  path: it is not inside a ``finally`` block, an ``except`` handler or a
+  ``with`` statement, so any exception between creation and release leaks
+  the resource.
+
+The analysis is deliberately ownership-based rather than path-sensitive.  A
+name *escapes* when it is returned, yielded, stored into an attribute,
+subscript or container literal, or passed as a call argument — at that point
+some other code owns the release and the creating function is off the hook.
+Only names whose lifetime is provably local to the function are checked,
+which keeps false positives near zero at the cost of missing leaks that
+escape before reaching their store (those are the reviewers' job; the rule
+documents the convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.engine import Config, Rule, SourceModule, Violation, dotted_name, register
+
+#: Call-name tails that acquire a resource needing explicit release.
+_CREATOR_TAILS = {"ArrayShipment", "SharedMemory", "create_connection"}
+
+#: Method names that count as releasing the resource.
+_RELEASE_ATTRS = {"close", "unlink", "shutdown", "release", "cleanup"}
+
+
+def _is_creator(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    tail = name.split(".")[-1]
+    if tail in _CREATOR_TAILS:
+        return True
+    # ``socket.socket(...)`` / ``socket(...)`` after ``from socket import socket``.
+    if tail == "socket":
+        return True
+    # ``ArrayShipment.ship(...)`` — the classmethod constructor.
+    if tail == "ship" and "ArrayShipment" in name:
+        return True
+    return False
+
+
+def _function_creations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[str, ast.Assign]]:
+    """``(name, assignment)`` for local resource acquisitions in ``func``."""
+    creations: list[tuple[str, ast.Assign]] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and _is_creator(node.value)
+        ):
+            creations.append((node.targets[0].id, node))
+    return creations
+
+
+def _name_escapes(func: ast.AST, name: str, module: SourceModule) -> bool:
+    """Whether ``name`` leaves the function's ownership."""
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Name) and node.id == name):
+            continue
+        parent = module.parent(node)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            return True
+        if isinstance(parent, ast.Assign) and node in parent.targets:
+            continue
+        if isinstance(parent, ast.Assign) and any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in parent.targets
+        ):
+            return True
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return True
+        if isinstance(parent, ast.keyword):
+            return True
+        if isinstance(parent, ast.Starred):
+            return True
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            # ``with sock:`` / ``with closing(shm)`` — context manager owns it.
+            return True
+    return False
+
+
+def _releases(func: ast.AST, name: str) -> list[ast.Call]:
+    calls: list[ast.Call] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_ATTRS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            calls.append(node)
+    return calls
+
+
+def _release_is_guarded(release: ast.Call, module: SourceModule) -> bool:
+    """Whether ``release`` runs even when an exception is in flight."""
+    child: ast.AST = release
+    for ancestor in module.ancestors(release):
+        if isinstance(ancestor, ast.Try):
+            if child in ancestor.finalbody:
+                return True
+        if isinstance(ancestor, ast.ExceptHandler):
+            return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        # Track which field of the ancestor we arrived through.
+        child = ancestor
+    return False
+
+
+class _LifecycleBase(Rule):
+    """Shared creation scan for the two lifecycle rules."""
+
+    def _sites(
+        self, module: SourceModule
+    ) -> Iterable[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, ast.Assign]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for name, assignment in _function_creations(node):
+                if module.enclosing_function(assignment) is not node:
+                    continue  # nested function owns it, handled when visited
+                if _name_escapes(node, name, module):
+                    continue
+                yield node, name, assignment
+
+
+@register
+class ResourceLifecycleRule(_LifecycleBase):
+    id = "resource-lifecycle"
+    family = "resource"
+    summary = "a locally-owned shipment/SharedMemory/socket is never released"
+
+    def check(self, module: SourceModule, config: Config) -> Iterable[Violation]:
+        for func, name, assignment in self._sites(module):
+            if not _releases(func, name):
+                yield self.violation(
+                    module,
+                    assignment,
+                    f"{name!r} acquires a resource that is never closed/"
+                    "unlinked in this function; release it in try/finally "
+                    "or a with block",
+                )
+
+
+@register
+class ResourceReleaseGuardRule(_LifecycleBase):
+    id = "resource-release-guard"
+    family = "resource"
+    summary = "a resource release only runs on the exception-free path"
+
+    def check(self, module: SourceModule, config: Config) -> Iterable[Violation]:
+        for func, name, assignment in self._sites(module):
+            releases = _releases(func, name)
+            if not releases:
+                continue  # resource-lifecycle already reports this
+            if not any(
+                _release_is_guarded(release, module) for release in releases
+            ):
+                yield self.violation(
+                    module,
+                    assignment,
+                    f"{name!r} is only released on the happy path; an "
+                    "exception before the close/unlink leaks it — move the "
+                    "release into a finally block or a with statement",
+                )
