@@ -416,3 +416,90 @@ def test_remote_skewed_fleet():
     # The acceptance bar: cost balancing must keep beating count balancing
     # on a skewed fleet by at least 1.3x.
     assert speedup >= 1.3
+
+
+def test_remote_chaos_overhead():
+    """The price of resilience on a healthy fleet: hardened vs bare lane.
+
+    The chaos hardening (heartbeat monitor, per-frame deadlines, probation
+    and reconnect bookkeeping, local-lane degradation machinery) must be
+    effectively free when nothing goes wrong.  Two loopback agents drain
+    the same batch of fixed-duration diagnostic jobs twice:
+
+    * **bare** — the PR 5 lane: no heartbeat loop, no frame deadlines, no
+      reconnect probation, hard failure on agent loss;
+    * **hardened** — the production defaults plus an armed frame deadline:
+      heartbeat pings, deadline tracking on every frame, probation-ready
+      monitor thread, local-lane fallback wired in (``faults`` stays off —
+      the injection layer itself must cost zero when unused).
+
+    The recorded ``overhead_speedup`` floor of **>= 0.9x** (enforced by
+    ``check_regression.py``) guarantees resilience stays within 10% of the
+    unguarded lane on a healthy fleet.
+    """
+    from repro.runtime.remote import (
+        RemoteStudyPool,
+        _diagnostic_sleep,
+        _spawn_loopback_agent,
+    )
+
+    JOBS = 24
+    NAP = 0.02  # seconds per job
+
+    first_process, first_address = _spawn_loopback_agent(1)
+    second_process, second_address = _spawn_loopback_agent(1)
+    hosts = (first_address, second_address)
+    variants = {
+        "bare": dict(
+            heartbeat=0.0, frame_timeout=0.0, reconnect=False, fallback="fail"
+        ),
+        "hardened": dict(frame_timeout=30.0),  # + default heartbeat/reconnect
+    }
+    try:
+
+        def drain(options: dict) -> None:
+            pool = RemoteStudyPool(hosts=hosts, **options)
+            try:
+                handles = [
+                    pool.submit(_diagnostic_sleep, (NAP, index), units=1.0)
+                    for index in range(JOBS)
+                ]
+                assert [handle.get(timeout=120) for handle in handles] == list(
+                    range(JOBS)
+                )
+            finally:
+                pool.close()
+
+        for options in variants.values():
+            drain(options)  # warm both paths (agent pools, import caches)
+        seconds = {
+            name: _best_of(lambda options=options: drain(options), 3)
+            for name, options in variants.items()
+        }
+        overhead_speedup = seconds["bare"] / seconds["hardened"]
+    finally:
+        for process in (first_process, second_process):
+            process.terminate()
+            process.wait(timeout=15)
+
+    emit(
+        f"Remote chaos hardening overhead ({JOBS} x {NAP * 1e3:.0f} ms jobs, "
+        "healthy 2-agent fleet): "
+        f"bare {seconds['bare'] * 1e3:7.1f} ms, "
+        f"hardened {seconds['hardened'] * 1e3:7.1f} ms  "
+        f"(hardened retains {overhead_speedup:.2f}x)"
+    )
+    emit_json(
+        "remote_chaos",
+        {
+            "jobs": JOBS,
+            "job_seconds": NAP,
+            "agents": 2,
+            "seconds": seconds,
+            "overhead_speedup": overhead_speedup,
+        },
+        path=BENCH_RUNTIME_JSON_FILE,
+    )
+    # The acceptance bar: on a healthy fleet the hardened lane must retain
+    # at least 90% of the bare lane's throughput.
+    assert overhead_speedup >= 0.9

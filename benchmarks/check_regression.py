@@ -23,7 +23,11 @@ perf wins of past PRs cannot silently rot:
 * cost-balanced remote routing >= 1.3x count-based routing on the skewed
   two-agent fleet (``BENCH_runtime.json``, remote_skewed section —
   throughput-proportional routing plus work stealing must keep paying when
-  agents differ in speed).
+  agents differ in speed),
+* chaos-hardened remote lane  >= 0.9x the bare lane on a healthy fleet
+  (``BENCH_runtime.json``, remote_chaos section — heartbeats, frame
+  deadlines, reconnect probation and degradation machinery must stay
+  within 10% of the unguarded lane when nothing goes wrong).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
 The summary printed here is also surfaced by the CI ``docs`` job, so doc
@@ -76,6 +80,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         "BENCH_runtime.json",
         ("remote_skewed", "speedup_cost_vs_count"),
         1.3,
+    ),
+    (
+        "BENCH_runtime.json",
+        ("remote_chaos", "overhead_speedup"),
+        0.9,
     ),
 )
 

@@ -70,6 +70,13 @@ def _add_executor_option(sub_parser: argparse.ArgumentParser) -> None:
         "--executor remote (default: REPRO_HOSTS, then agents auto-spawned "
         "as loopback subprocesses)",
     )
+    sub_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="seconds allowed for each worker-agent connect/handshake under "
+        "--executor remote (default: REPRO_CONNECT_TIMEOUT, then 30.0)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -319,6 +326,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "pools pass this so killed coordinators leave no orphans "
         "(default: False)",
     )
+    serve.add_argument(
+        "--max-coordinators",
+        type=int,
+        default=2,
+        help="concurrent coordinator connections served before new ones are "
+        "bounced with a clean BUSY hello (default: 2)",
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=0,
+        help="bound on job frames accepted but not yet answered, across all "
+        "coordinators; frames beyond it are bounced BUSY for the "
+        "coordinator to back off and retry (default: 0 = unbounded)",
+    )
 
     return parser
 
@@ -474,6 +496,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         args.workers,
         slowdown=args.slowdown,
         exit_with_parent=args.exit_with_parent,
+        max_coordinators=args.max_coordinators,
+        queue=args.queue,
     )
     return 0
 
@@ -482,6 +506,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-bcast`` script)."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "connect_timeout", None) is not None:
+        # The knob reaches the remote lane as the env fallback rather than
+        # threading one more parameter through every study signature.
+        import os
+
+        from repro.runtime.remote import CONNECT_TIMEOUT_ENV_VAR
+
+        os.environ[CONNECT_TIMEOUT_ENV_VAR] = str(args.connect_timeout)
     handlers = {
         "schedule": _cmd_schedule,
         "compare": _cmd_compare,

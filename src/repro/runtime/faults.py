@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the distributed executor lane.
+
+The remote lane's recovery machinery — heartbeats, per-frame deadlines,
+probation reconnect, admission backoff, degradation to the local lanes —
+only earns trust if its failure paths run constantly, not just when a real
+box dies.  This module is the harness that makes them run: a
+:class:`FaultPlan` is a *seeded schedule of misbehaviour* that the
+coordinator's wire layer consults at its injection points —
+
+* **connect refusal** — a connect/reconnect attempt is bounced, exercising
+  the retry/backoff path and keeping a "crashed" agent from rejoining;
+* **frame drop** — an outbound frame (job or ping) silently vanishes,
+  exercising per-frame deadlines and heartbeat staleness;
+* **frame delay** — an outbound frame is held back before hitting the wire;
+* **frame corruption** — an outbound frame is sent with a mangled header,
+  poisoning the stream so the agent drops the connection (the reconnect
+  path from a half-dead link);
+* **agent crash** — after a chosen number of delivered results the agent is
+  killed for good: its process (when the coordinator owns one) receives
+  ``SIGKILL``, its socket is torn down, and every later connect attempt is
+  refused;
+* **agent hang** (heartbeat blackhole) — after a chosen number of results
+  the link turns into a black hole for a while: outbound frames are
+  swallowed, inbound frames (results *and* pongs) are absorbed before they
+  can refresh liveness, and reconnect probes are refused until the hole
+  expires — exactly what a frozen host looks like from the coordinator.
+
+Schedules are **deterministic**: every (agent, injection-site) pair draws
+its decisions from its own :class:`random.Random` stream seeded via
+:func:`repro.utils.rng.derive_seed`, so a plan replays identically for a
+given ``seed`` regardless of thread interleaving at *other* sites, and a
+chaos test failure can be reproduced from its seed alone.  Fault timing can
+never change study *results* — every task carries its own derived seed — so
+the only thing a plan perturbs is where and when chunks run, which is
+precisely the property the chaos suite asserts.
+
+Plans select agents three ways, most specific first: an exact
+``"host:port"`` name, a join-order index (``"#0"`` is the first agent the
+pool registered — how loopback agents with OS-assigned ports are targeted),
+and the ``"*"`` wildcard.  A plan reaches the pool either as ``faults=`` on
+:class:`~repro.runtime.remote.RemoteStudyPool` (a :class:`FaultPlan`, a
+spec dict, or a path to a JSON spec) or through the ``REPRO_FAULT_PLAN``
+environment variable naming a JSON file.  Injection is **off by default**
+with zero hot-path cost: an unset plan resolves to ``None`` and the wire
+layer's consult sites are single ``is not None`` checks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Mapping
+
+from repro.utils.rng import derive_seed
+
+#: Environment variable naming a JSON fault-plan file consulted when a
+#: ``RemoteStudyPool`` is built without an explicit ``faults=`` argument.
+#: Unset (the production default) means no injection at all.
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: ``on_send`` verdicts: deliver the frame, drop it silently, hold it back
+#: for ``delay_seconds``, or mangle its header so the receiving agent drops
+#: the connection.
+SEND_OK = "ok"
+SEND_DROP = "drop"
+SEND_DELAY = "delay"
+SEND_CORRUPT = "corrupt"
+
+#: ``after_result`` verdicts: kill the agent for good / turn it into a
+#: temporary black hole.
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+
+
+@dataclass(frozen=True)
+class AgentFaultSpec:
+    """The per-agent knobs of a :class:`FaultPlan` (all off by default).
+
+    Rates are per-frame probabilities in ``[0, 1]`` drawn from the agent's
+    seeded stream; ``*_after_results`` counters trigger once, after that
+    many results have been delivered through the agent's link (``0`` —
+    never).
+    """
+
+    #: Refuse the first N connect attempts (fleet-launch stragglers).
+    refuse_connects: int = 0
+    #: P(an outbound frame is silently dropped).
+    drop_rate: float = 0.0
+    #: P(an outbound frame is delayed by up to ``delay_seconds``).
+    delay_rate: float = 0.0
+    #: Longest injected send delay, in seconds.
+    delay_seconds: float = 0.05
+    #: P(an outbound frame is sent with a corrupted header).
+    corrupt_rate: float = 0.0
+    #: Kill the agent for good after this many delivered results (0: never).
+    crash_after_results: int = 0
+    #: Black-hole the agent after this many delivered results (0: never).
+    hang_after_results: int = 0
+    #: How long a hang's black hole lasts (0: forever).
+    hang_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "corrupt_rate"):
+            rate = float(getattr(self, name))
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+class _AgentFaultState:
+    """Mutable per-agent injection state (counters, streams, the hole)."""
+
+    __slots__ = (
+        "spec",
+        "index",
+        "connect_attempts",
+        "results",
+        "crashed",
+        "hole_until",
+        "send_rng",
+    )
+
+    def __init__(self, spec: AgentFaultSpec, index: int, seed: int, name: str) -> None:
+        self.spec = spec
+        self.index = index
+        self.connect_attempts = 0
+        self.results = 0
+        self.crashed = False
+        #: Monotonic time the black hole expires (0: no hole; inf: forever).
+        self.hole_until = 0.0
+        self.send_rng = random.Random(derive_seed(seed, "fault-send", name))
+
+    def in_hole(self, now: float) -> bool:
+        return now < self.hole_until
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of every per-agent decision stream.
+    agents:
+        Mapping of agent selector — exact ``"host:port"``, join-order index
+        ``"#N"``, or ``"*"`` — to an :class:`AgentFaultSpec` (or a plain
+        dict of its fields).  The most specific selector wins.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        agents: Mapping[str, AgentFaultSpec | Mapping[str, object]] | None = None,
+    ) -> None:
+        self.seed = int(seed)
+        self._specs: dict[str, AgentFaultSpec] = {}
+        for selector, spec in (agents or {}).items():
+            if not isinstance(spec, AgentFaultSpec):
+                allowed = {field.name for field in fields(AgentFaultSpec)}
+                unknown = set(spec) - allowed
+                if unknown:
+                    raise ValueError(
+                        f"unknown fault knob(s) {sorted(unknown)} for agent "
+                        f"{selector!r}; valid knobs: {sorted(allowed)}"
+                    )
+                spec = AgentFaultSpec(**{key: spec[key] for key in spec})  # type: ignore[arg-type]
+            self._specs[str(selector)] = spec
+        self._lock = threading.Lock()
+        self._states: dict[str, _AgentFaultState] = {}  # guarded-by: _lock
+        self._order: dict[str, int] = {}  # guarded-by: _lock
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "FaultPlan":
+        """Build a plan from a parsed JSON spec (``{"seed": ..., "agents": ...}``)."""
+        seed = spec.get("seed", 0)
+        agents = spec.get("agents", {})
+        if not isinstance(seed, int):
+            raise ValueError(f"fault-plan seed must be an integer, got {seed!r}")
+        if not isinstance(agents, Mapping):
+            raise ValueError("fault-plan 'agents' must be a mapping of selectors")
+        return cls(seed=seed, agents=agents)  # type: ignore[arg-type]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file (the ``REPRO_FAULT_PLAN`` format)."""
+        text = Path(path).read_text()
+        spec = json.loads(text)
+        if not isinstance(spec, dict):
+            raise ValueError(f"fault plan {path} must contain a JSON object")
+        return cls.from_spec(spec)
+
+    # -- agent registration and selector matching ---------------------------------
+
+    def _state(self, name: str) -> _AgentFaultState:  # holds: _lock
+        state = self._states.get(name)
+        if state is None:
+            index = self._order.setdefault(name, len(self._order))
+            spec = (
+                self._specs.get(name)
+                or self._specs.get(f"#{index}")
+                or self._specs.get("*")
+                or AgentFaultSpec()
+            )
+            state = _AgentFaultState(spec, index, self.seed, name)
+            self._states[name] = state
+        return state
+
+    def register(self, name: str) -> None:
+        """Record ``name``'s join order (first registration wins the index)."""
+        with self._lock:
+            self._state(name)
+
+    # -- injection points ----------------------------------------------------------
+
+    def refuse_connect(self, name: str) -> bool:
+        """Whether this connect attempt should be bounced.
+
+        Crashed agents are refused forever, black-holed agents until the
+        hole expires, and otherwise the first ``refuse_connects`` attempts.
+        """
+        with self._lock:
+            state = self._state(name)
+            if state.crashed or state.in_hole(time.monotonic()):
+                return True
+            state.connect_attempts += 1
+            return state.connect_attempts <= state.spec.refuse_connects
+
+    def on_send(self, name: str) -> tuple[str, float]:
+        """The fate of one outbound frame: ``(verdict, delay_seconds)``."""
+        with self._lock:
+            state = self._state(name)
+            if state.in_hole(time.monotonic()):
+                return SEND_DROP, 0.0
+            spec = state.spec
+            if spec.drop_rate or spec.delay_rate or spec.corrupt_rate:
+                draw = state.send_rng.random()
+                if draw < spec.drop_rate:
+                    return SEND_DROP, 0.0
+                draw -= spec.drop_rate
+                if draw < spec.corrupt_rate:
+                    return SEND_CORRUPT, 0.0
+                draw -= spec.corrupt_rate
+                if draw < spec.delay_rate:
+                    return SEND_DELAY, state.send_rng.uniform(
+                        0.0, spec.delay_seconds
+                    )
+        return SEND_OK, 0.0
+
+    def absorb_receive(self, name: str) -> bool:
+        """Whether an inbound frame vanishes into the agent's black hole."""
+        with self._lock:
+            return self._state(name).in_hole(time.monotonic())
+
+    def after_result(self, name: str) -> str | None:
+        """Advance the agent's result counter; trigger a crash/hang if due."""
+        with self._lock:
+            state = self._state(name)
+            state.results += 1
+            spec = state.spec
+            if not state.crashed and spec.crash_after_results:
+                if state.results >= spec.crash_after_results:
+                    state.crashed = True
+                    return FAULT_CRASH
+            if spec.hang_after_results and state.hole_until == 0.0:
+                if state.results >= spec.hang_after_results:
+                    state.hole_until = (
+                        time.monotonic() + spec.hang_seconds
+                        if spec.hang_seconds > 0
+                        else math.inf
+                    )
+                    return FAULT_HANG
+        return None
+
+    def crash(self, name: str) -> None:
+        """Mark ``name`` crashed outright (used by tests and schedules)."""
+        with self._lock:
+            self._state(name).crashed = True
+
+
+def corrupt_frame(frame: bytes) -> bytes:
+    """Mangle a frame's magic so the receiver rejects the stream.
+
+    The corrupted frame keeps its original length: the receiver reads one
+    complete frame, fails the magic check, and drops the connection — the
+    same observable outcome as a truncated or bit-flipped frame, without
+    leaving the TCP stream mid-frame (which would only stall the peer).
+    """
+    return b"XFLT" + frame[4:]
+
+
+def resolve_fault_plan(
+    faults: "FaultPlan | Mapping[str, object] | str | Path | None",
+) -> FaultPlan | None:
+    """Normalise a ``faults=`` argument; ``None`` consults ``REPRO_FAULT_PLAN``.
+
+    Returns ``None`` — injection fully off — when neither names a plan.
+    """
+    if faults is None:
+        path = os.environ.get(FAULT_PLAN_ENV_VAR, "").strip()
+        return FaultPlan.load(path) if path else None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, (str, Path)):
+        return FaultPlan.load(faults)
+    return FaultPlan.from_spec(faults)

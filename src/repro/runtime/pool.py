@@ -94,7 +94,12 @@ class StudyPool:
         return self._pool
 
     def submit(
-        self, fn: Callable[[Any], Any], args: Any, units: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        args: Any,
+        units: float | None = None,
+        callback: Callable[[Any], object] | None = None,
+        error_callback: Callable[[BaseException], object] | None = None,
     ) -> Any:
         """Submit ``fn(args)`` and return the :class:`AsyncResult` handle.
 
@@ -103,9 +108,15 @@ class StudyPool:
         job's estimated cost in the shared cost-unit scale — local lanes
         ignore it (their workers are identical by construction); the remote
         lane uses it for throughput-proportional routing, so drivers pass
-        it on every lane and stay lane-agnostic.
+        it on every lane and stay lane-agnostic.  ``callback`` /
+        ``error_callback`` pass straight through to
+        :meth:`~multiprocessing.pool.Pool.apply_async` — the remote lane's
+        degradation path drains chunks here and still needs completion
+        notifications without blocking a thread per job.
         """
-        return self._require().apply_async(fn, (args,))
+        return self._require().apply_async(
+            fn, (args,), callback=callback, error_callback=error_callback
+        )
 
     def imap_unordered(
         self, fn: Callable[[Any], Any], iterable: Iterable[Any]

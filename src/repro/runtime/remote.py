@@ -49,11 +49,42 @@ coordinator pings each agent every :data:`HEARTBEAT_INTERVAL` seconds
 the job path — so when an agent's connection drops *or* its host freezes
 while the socket stays open, the coordinator marks it dead (after
 :data:`HEARTBEAT_MISS_FACTOR` silent intervals) and re-routes that agent's
-outstanding frames to the survivors; only when *no* agent survives does the
-study fail.  A result that arrives twice for one job — an agent raced its
-own loss, or executed a frame that had also been stolen — is counted and
-discarded (first delivery wins; both deliveries carry bitwise the same
-numbers, so which one wins is unobservable).
+outstanding frames to the survivors.  A result that arrives twice for one
+job — an agent raced its own loss, or executed a frame that had also been
+stolen — is counted and discarded (first delivery wins; both deliveries
+carry bitwise the same numbers, so which one wins is unobservable).
+
+Four further recovery layers make the lane chaos-hardened:
+
+* **automatic reconnect** — a lost agent enters a probation list and its
+  address is re-probed with exponential backoff and jitter; a probe that
+  answers re-admits the agent through the :meth:`RemoteStudyPool.add_host`
+  path, so it immediately steals queued work (``reconnect=False`` restores
+  the stay-dead behaviour);
+* **per-frame deadlines** — with ``frame_timeout=`` /
+  ``REPRO_FRAME_TIMEOUT`` set, a frame on the wire longer than the floor
+  plus :data:`FRAME_DEADLINE_FACTOR` times the agent's own cost-model
+  estimate is re-routed to another agent exactly like a lost agent's
+  frames; a late original result is discarded through the stolen-twin
+  duplicate path (off by default — deadlines cost one monotonic read per
+  frame);
+* **admission backoff** — an agent that answers a frame (or a whole
+  connection) with :data:`~repro.runtime.wire.OP_BUSY` is backed off
+  exponentially and the frame retried there or elsewhere, degrading to the
+  local lane after repeated rejects rather than spinning;
+* **graceful degradation** — when *no* agent is alive or accepting (and
+  ``fallback="local"``, the default), outstanding and newly submitted
+  chunks drain through the persistent local process lane instead of
+  failing the study; because every task carries its own derived seed, the
+  drained results are bit-identical to the all-remote ones.
+  ``fallback="fail"`` restores the historical hard failure.
+
+All of these paths are exercised continuously by the deterministic fault
+harness in :mod:`repro.runtime.faults` (``faults=`` / ``REPRO_FAULT_PLAN``):
+a seeded :class:`~repro.runtime.faults.FaultPlan` is consulted at the wire
+layer's injection points — connect, send, receive, and after each delivered
+result — and injects connect refusals, frame drops/delays/corruption, agent
+crashes and heartbeat black holes on a replayable schedule.
 
 **Trust model.**  An agent executes functions its coordinator names (by
 ``module:qualname``), so it must only be exposed to coordinators you trust
@@ -83,6 +114,15 @@ import multiprocessing.pool
 
 from repro.runtime import wire
 from repro.runtime.chunking import load_cost_model, save_cost_model
+from repro.runtime.faults import (
+    FAULT_CRASH,
+    SEND_CORRUPT,
+    SEND_DELAY,
+    SEND_DROP,
+    FaultPlan,
+    corrupt_frame,
+    resolve_fault_plan,
+)
 from repro.runtime.transport import ArrayShipment
 
 #: Environment variable naming the agents (``host:port,host:port``) consulted
@@ -99,6 +139,11 @@ LOOPBACK_AGENTS = 2
 
 #: Seconds to wait for an agent connection / hello / loopback announce.
 CONNECT_TIMEOUT = 30.0
+
+#: Environment variable overriding :data:`CONNECT_TIMEOUT` when no explicit
+#: ``connect_timeout=`` is given (fleets behind slow links raise it without
+#: touching call sites).
+CONNECT_TIMEOUT_ENV_VAR = "REPRO_CONNECT_TIMEOUT"
 
 #: First and largest pause between connect retries (exponential backoff,
 #: jittered, capped) while an agent is still starting up.  Retrying inside
@@ -123,6 +168,48 @@ HEARTBEAT_ENV_VAR = "REPRO_HEARTBEAT"
 #: its outstanding frames re-routed.  Three intervals tolerates one lost
 #: ping and ordinary scheduling jitter without false positives.
 HEARTBEAT_MISS_FACTOR = 3.0
+
+#: Environment variable enabling per-frame deadlines: the floor, in
+#: seconds, of how long a frame may stay on the wire before it is re-routed
+#: (the full deadline adds :data:`FRAME_DEADLINE_FACTOR` times the agent's
+#: own cost-model estimate, so slow-but-honest agents are not starved).
+#: Unset or ``<= 0`` — the default — disables deadlines entirely.
+FRAME_TIMEOUT_ENV_VAR = "REPRO_FRAME_TIMEOUT"
+
+#: Multiple of the link's cost-model estimate added to the frame-timeout
+#: floor when arming a frame's deadline.  Four estimated durations absorbs
+#: model error and queueing inside the agent without false expiries.
+FRAME_DEADLINE_FACTOR = 4.0
+
+#: Probation re-probe backoff: first pause after an agent is lost, and the
+#: cap the exponential backoff saturates at (both jittered).
+RECONNECT_BASE = 0.25
+RECONNECT_CAP = 15.0
+
+#: Connect/handshake budget of one probation probe.  Deliberately short:
+#: a probe is speculative, and a frozen host can accept a TCP connection
+#: through its kernel backlog and then never speak.
+PROBE_TIMEOUT = 2.0
+
+#: Admission-reject backoff: pause after an agent answers ``BUSY``, doubled
+#: per consecutive reject up to the cap (both jittered).
+BUSY_BACKOFF_BASE = 0.05
+BUSY_BACKOFF_CAP = 1.0
+
+#: A job bounced ``BUSY`` this many times *per alive agent* stops retrying
+#: and degrades to the local lane (``fallback="local"``) — a fleet that is
+#: busy forever is indistinguishable from a fleet that is gone.
+BUSY_FALLBACK_REJECTS = 8
+
+#: Default cap on concurrently served coordinators per agent (the
+#: ``worker serve --max-coordinators`` default).  Two leaves headroom for a
+#: coordinator reconnecting before the agent notices the old socket died.
+DEFAULT_MAX_COORDINATORS = 2
+
+#: Valid ``fallback=`` values of :class:`RemoteStudyPool`: ``"local"`` —
+#: drain chunks through the local process lane when no agent is alive or
+#: accepting, the default — and ``"fail"`` — the historical hard failure.
+FALLBACKS = ("local", "fail")
 
 #: Valid ``balancing=`` values of :class:`RemoteStudyPool`: ``"cost"`` —
 #: throughput-proportional routing with queues and stealing, the default —
@@ -211,6 +298,41 @@ def _resolve_heartbeat(heartbeat: float | None) -> float:
                 return HEARTBEAT_INTERVAL
         return HEARTBEAT_INTERVAL
     return float(heartbeat)
+
+
+def _resolve_connect_timeout(timeout: float | None) -> float:
+    """Normalise a ``connect_timeout=`` argument.
+
+    ``None`` consults ``REPRO_CONNECT_TIMEOUT`` and falls back to
+    :data:`CONNECT_TIMEOUT`; an unparsable variable falls back too (a bad
+    knob should degrade to the default, not kill the study).
+    """
+    if timeout is None:
+        raw = os.environ.get(CONNECT_TIMEOUT_ENV_VAR, "").strip()
+        if raw:
+            try:
+                return max(0.05, float(raw))
+            except ValueError:
+                return CONNECT_TIMEOUT
+        return CONNECT_TIMEOUT
+    return float(timeout)
+
+
+def _resolve_frame_timeout(frame_timeout: float | None) -> float:
+    """Normalise a ``frame_timeout=`` argument (``0.0`` — disabled).
+
+    ``None`` consults ``REPRO_FRAME_TIMEOUT``; unset, unparsable or
+    non-positive values all resolve to ``0.0`` — deadlines off.
+    """
+    if frame_timeout is None:
+        raw = os.environ.get(FRAME_TIMEOUT_ENV_VAR, "").strip()
+        if raw:
+            try:
+                return max(0.0, float(raw))
+            except ValueError:
+                return 0.0
+        return 0.0
+    return max(0.0, float(frame_timeout))
 
 
 def _function_name(fn: Callable[..., Any]) -> str:
@@ -305,13 +427,20 @@ def _diagnostic_sleep(args: tuple[float, Any]) -> Any:
 class AgentServer:
     """One study agent: a socket front on a local worker pool.
 
-    Serves one coordinator connection at a time (reconnects are accepted —
-    the local pool persists across connections, like every runtime pool).
-    Each incoming job frame is dispatched to the local pool immediately, so
-    an agent keeps all its workers busy while more chunks stream in; results
-    are framed back in completion order, each carrying the job's worker-side
-    wall time.  Heartbeat pings are answered inline from the serve loop —
-    never queued behind jobs — so a busy agent still proves it is alive.
+    Serves up to ``max_coordinators`` concurrent coordinator connections,
+    each on its own thread over the one shared local pool (reconnects are
+    accepted — the pool persists across connections, like every runtime
+    pool); further connections are bounced with a clean
+    :data:`~repro.runtime.wire.OP_BUSY` hello instead of queueing silently
+    in the TCP backlog.  Each admitted job frame is dispatched to the local
+    pool immediately, so an agent keeps all its workers busy while more
+    chunks stream in; results are framed back in completion order, each
+    carrying the job's worker-side wall time.  With ``queue > 0`` the agent
+    also bounds its in-flight frames: a frame beyond the bound is answered
+    with a per-job ``BUSY`` reject the coordinator treats as
+    backoff-and-retry.  Heartbeat pings are answered inline from the serve
+    loop — never queued behind jobs — so a busy agent still proves it is
+    alive.
 
     Parameters
     ----------
@@ -325,6 +454,13 @@ class AgentServer:
         Stretch every job's execution by this factor (``1.0`` — the default
         — is full speed).  A benchmarking/testing device for emulating a
         heterogeneous fleet on one machine; see :func:`_timed_execute`.
+    max_coordinators:
+        Concurrent coordinator connections served before new connections
+        are bounced ``BUSY`` (default :data:`DEFAULT_MAX_COORDINATORS`).
+    queue:
+        Bound on frames accepted but not yet answered, across all
+        coordinators; ``0`` — the default — is unbounded (the historical
+        behaviour).
     """
 
     def __init__(
@@ -333,6 +469,8 @@ class AgentServer:
         port: int = 0,
         workers: int = 1,
         slowdown: float = 1.0,
+        max_coordinators: int = DEFAULT_MAX_COORDINATORS,
+        queue: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"an agent needs at least 1 worker, got {workers}")
@@ -340,13 +478,32 @@ class AgentServer:
             raise ValueError(
                 f"--slowdown is a throttle factor >= 1.0, got {slowdown}"
             )
+        if max_coordinators < 1:
+            raise ValueError(
+                f"an agent serves at least 1 coordinator, got {max_coordinators}"
+            )
+        if queue < 0:
+            raise ValueError(f"--queue is a bound >= 0 (0: unbounded), got {queue}")
         self._host = host
         self._port = port
         self.workers = int(workers)
         self.slowdown = float(slowdown)
+        self.max_coordinators = int(max_coordinators)
+        self._queue_bound = int(queue)
         self._listener: socket.socket | None = None
         self._pool: multiprocessing.pool.Pool | None = None
         self._stopped = threading.Event()
+        #: Set by :meth:`begin_drain` (SIGTERM): finish what is in flight,
+        #: refuse everything new.  An Event, not a lock-guarded flag — the
+        #: drain request comes from a signal handler, which must not take
+        #: locks the interrupted main thread may hold.
+        self._drain = threading.Event()
+        #: Admission state; the Condition doubles as its lock and signals
+        #: :meth:`drain` when the last pending frame flushes.
+        self._idle = threading.Condition()
+        self._active = 0  # guarded-by: _idle
+        self._pending = 0  # guarded-by: _idle
+        self._connections: set[socket.socket] = set()  # guarded-by: _idle
         self.address: tuple[str, int] | None = None
 
     def bind(self) -> tuple[str, int]:
@@ -361,12 +518,13 @@ class AgentServer:
         return self.address
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            if self.workers >= 2:
-                self._pool = multiprocessing.Pool(processes=self.workers)
-            else:
-                self._pool = multiprocessing.pool.ThreadPool(processes=1)
-        return self._pool
+        with self._idle:  # connection threads race the lazy spawn
+            if self._pool is None:
+                if self.workers >= 2:
+                    self._pool = multiprocessing.Pool(processes=self.workers)
+                else:
+                    self._pool = multiprocessing.pool.ThreadPool(processes=1)
+            return self._pool
 
     def serve_forever(self) -> None:
         """Accept coordinator connections until :meth:`close` is called."""
@@ -376,13 +534,68 @@ class AgentServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 break
+            with self._idle:
+                admitted = (
+                    not self._drain.is_set()
+                    and self._active < self.max_coordinators
+                )
+                if admitted:
+                    self._active += 1
+                    self._connections.add(conn)
+            if not admitted:
+                self._reject_connection(conn)
+                continue
+            threading.Thread(
+                target=self._connection_thread,
+                args=(conn,),
+                name="repro-agent-conn",
+                daemon=True,
+            ).start()
+
+    def _reject_connection(self, conn: socket.socket) -> None:
+        """Bounce a connection with a ``BUSY`` hello and close it."""
+        try:
+            wire.send_message(
+                conn,
+                wire.control_message(
+                    wire.OP_BUSY, reason="agent at max coordinators or draining"
+                ),
+            )
+        except OSError:
+            pass
+        finally:
             try:
-                self._serve_connection(conn)
-            finally:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+                conn.close()
+            except OSError:
+                pass
+
+    def _connection_thread(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        finally:
+            with self._idle:
+                self._active -= 1
+                self._connections.discard(conn)
+                self._idle.notify_all()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _admit_job(self) -> bool:
+        """Account one more in-flight frame, unless draining or over bound."""
+        if self._drain.is_set():
+            return False
+        with self._idle:
+            if self._queue_bound > 0 and self._pending >= self._queue_bound:
+                return False
+            self._pending += 1
+        return True
+
+    def _job_finished(self) -> None:
+        with self._idle:
+            self._pending -= 1
+            self._idle.notify_all()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -434,6 +647,12 @@ class AgentServer:
             if op == wire.OP_SHUTDOWN or "job" not in message:
                 break
             job_id = message["job"]
+            if not self._admit_job():
+                # Draining, or the in-flight bound is hit: a clean per-job
+                # reject the coordinator retries (here or elsewhere) after
+                # a backoff, instead of silently queueing without bound.
+                reply({"job": job_id, "op": wire.OP_BUSY})
+                continue
             try:
                 fn = _resolve_function(message["fn"])
                 args = message["args"]
@@ -442,6 +661,7 @@ class AgentServer:
                     args = _localise(args, repacked)
             except Exception as exc:  # noqa: BLE001 - reported to coordinator
                 reply({"job": job_id, "error": _picklable_error(exc)})
+                self._job_finished()
                 continue
 
             def _done(
@@ -453,6 +673,7 @@ class AgentServer:
                 reply({"job": job_id, "result": value, "elapsed": elapsed})
                 for shipment in repacked:
                     shipment.unlink()
+                self._job_finished()
 
             def _failed(
                 exc: BaseException,
@@ -462,6 +683,7 @@ class AgentServer:
                 reply({"job": job_id, "error": _picklable_error(exc)})
                 for shipment in repacked:
                     shipment.unlink()
+                self._job_finished()
 
             pool.apply_async(
                 _timed_execute,
@@ -470,12 +692,55 @@ class AgentServer:
                 error_callback=_failed,
             )
 
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful shutdown has been requested."""
+        return self._drain.is_set()
+
+    def begin_drain(self) -> None:
+        """Request a graceful shutdown (async-signal-safe: takes no locks).
+
+        New connections and new job frames are refused ``BUSY`` from this
+        point on; frames already admitted keep executing and their results
+        still flush.  Closing the listener kicks :meth:`serve_forever` out
+        of its blocking accept, so the serving thread can proceed to
+        :meth:`drain` and exit cleanly — the ``worker serve`` SIGTERM path.
+        """
+        self._drain.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for every admitted frame to finish and its result to flush.
+
+        Returns whether the agent fully drained within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
     def close(self) -> None:
         """Stop accepting, tear the local pool down (idempotent)."""
         self._stopped.set()
         if self._listener is not None:
             try:
                 self._listener.close()
+            except OSError:
+                pass
+        with self._idle:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
             except OSError:
                 pass
         if self._pool is not None:
@@ -490,6 +755,9 @@ def serve_agent(
     *,
     slowdown: float = 1.0,
     exit_with_parent: bool = False,
+    max_coordinators: int = DEFAULT_MAX_COORDINATORS,
+    queue: int = 0,
+    drain_timeout: float = 30.0,
 ) -> None:
     """Run one agent in the foreground (the ``worker serve`` CLI body).
 
@@ -498,19 +766,33 @@ def serve_agent(
     OS-assigned port back.  ``exit_with_parent`` arms a watchdog that exits
     the agent when the spawning process dies, which is how loopback agents
     avoid outliving a killed coordinator.
+
+    SIGTERM (coordinator close(), ``kill``, an orchestrator descheduling
+    the box) triggers a **graceful drain**: in-flight frames finish and
+    their results flush, new frames and connections are refused ``BUSY``,
+    and the agent exits 0 — so a politely stopped agent never loses work
+    the coordinator would have to detect and re-dispatch.  SIGKILL remains
+    uncatchable; that path is what heartbeats and requeueing are for.
     """
     import signal
 
     host, _, port_text = bind.rpartition(":")
     if not host or not port_text:
         raise ValueError(f"--bind must be HOST:PORT, got {bind!r}")
-    server = AgentServer(host, int(port_text), workers, slowdown=slowdown)
-    # Turn SIGTERM (coordinator close(), `kill`) into a clean interpreter
-    # exit so atexit hooks — notably the shared-memory shipment sweep —
-    # still run.  SIGKILL remains uncatchable; those segments fall to the
-    # multiprocessing resource tracker.
+    server = AgentServer(
+        host,
+        int(port_text),
+        workers,
+        slowdown=slowdown,
+        max_coordinators=max_coordinators,
+        queue=queue,
+    )
+    # begin_drain is async-signal-safe (an Event set plus a socket close,
+    # no locks) and kicks serve_forever out of accept; the drain itself
+    # runs below, in the normal flow, so atexit hooks — notably the
+    # shared-memory shipment sweep — still run on the way out.
     try:
-        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+        signal.signal(signal.SIGTERM, lambda *_: server.begin_drain())
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     bound_host, bound_port = server.bind()
@@ -532,6 +814,8 @@ def serve_agent(
     try:
         server.serve_forever()
     finally:
+        if server.draining:
+            server.drain(drain_timeout)
         server.close()
 
 
@@ -546,7 +830,10 @@ def _split_workers(total: int, agents: int) -> list[int]:
 
 
 def _spawn_loopback_agent(
-    workers: int, slowdown: float = 1.0
+    workers: int,
+    slowdown: float = 1.0,
+    queue_bound: int = 0,
+    max_coordinators: int | None = None,
 ) -> tuple[subprocess.Popen, tuple[str, int]]:
     """Start one agent subprocess on this machine and read its address back."""
     import repro
@@ -565,6 +852,10 @@ def _spawn_loopback_agent(
     ]
     if slowdown != 1.0:
         command += ["--slowdown", str(slowdown)]
+    if queue_bound:
+        command += ["--queue", str(queue_bound)]
+    if max_coordinators is not None:
+        command += ["--max-coordinators", str(max_coordinators)]
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parents[1])
     existing = env.get("PYTHONPATH", "")
@@ -583,7 +874,7 @@ def _spawn_loopback_agent(
         target=lambda: announced.put(process.stdout.readline()),
         daemon=True,
     ).start()
-    deadline = time.monotonic() + CONNECT_TIMEOUT
+    deadline = time.monotonic() + _resolve_connect_timeout(None)
     line = ""
     while time.monotonic() < deadline:
         try:
@@ -655,17 +946,57 @@ class RemoteAsyncResult:
 class _Job:
     """One submitted chunk: its frame is kept until the result lands, so a
     lost agent's outstanding work can be re-sent verbatim elsewhere, and its
-    estimated cost in units prices it for routing and model feedback."""
+    estimated cost in units prices it for routing and model feedback.  The
+    original callable and arguments ride along too, so the job can execute
+    through the local process lane when the whole fleet degrades."""
 
-    __slots__ = ("job_id", "frame", "handle", "units")
+    __slots__ = (
+        "job_id",
+        "frame",
+        "handle",
+        "units",
+        "fn",
+        "args",
+        "deadline",
+        "rejects",
+    )
 
     def __init__(
-        self, job_id: int, frame: bytes, handle: RemoteAsyncResult, units: float
+        self,
+        job_id: int,
+        frame: bytes,
+        handle: RemoteAsyncResult,
+        units: float,
+        fn: Callable[[Any], Any] | None = None,
+        args: Any = None,
     ) -> None:
         self.job_id = job_id
         self.frame = frame
         self.handle = handle
         self.units = units
+        self.fn = fn
+        self.args = args
+        #: Monotonic time this frame goes overdue while in flight
+        #: (``None``: unarmed — deadlines off, or the job is queued).
+        self.deadline: float | None = None
+        #: ``BUSY`` rejects this job has absorbed, across agents — the
+        #: escalation counter for degrading to the local lane.
+        self.rejects = 0
+
+
+class _Probe:
+    """One probation entry: a lost agent's address and its re-probe state."""
+
+    __slots__ = ("host", "port", "attempt", "next_probe", "probing")
+
+    def __init__(self, host: str, port: int, next_probe: float) -> None:
+        self.host = host
+        self.port = port
+        self.attempt = 0
+        self.next_probe = next_probe
+        #: A probe thread is currently dialling this address (keeps the
+        #: monitor from stacking concurrent probes on a slow handshake).
+        self.probing = False
 
 
 class _AgentLink:
@@ -705,8 +1036,16 @@ class _AgentLink:
         self.cost_model = load_cost_model(
             f"agent/{host}:{port}", fallback_keys=(_LEGACY_COST_KEY,)
         )
+        #: Monotonic time before which pumping skips this agent after an
+        #: admission reject (0.0: not backing off), and the consecutive
+        #: reject count driving the exponential backoff.
+        self.busy_until = 0.0  # guarded-by: pool._lock
+        self.busy_streak = 0  # guarded-by: pool._lock
         self._send_lock = threading.Lock()
         self._receiver: threading.Thread | None = None
+        if pool.faults is not None:
+            # Registration order is the plan's "#N" join index.
+            pool.faults.register(self.name)
 
     @property
     def name(self) -> str:
@@ -734,41 +1073,69 @@ class _AgentLink:
         """Estimated seconds to drain the backlog plus ``extra_units``."""
         return (self.backlog_units() + extra_units) / self.throughput
 
-    def connect(self, timeout: float = CONNECT_TIMEOUT) -> None:
+    def connect(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self.pool.connect_timeout
+        plan = self.pool.faults
         deadline = time.monotonic() + timeout
         attempt = 0
+        last_error: Exception = OSError(
+            f"could not connect to agent {self.name}"
+        )
         while True:
-            remaining = deadline - time.monotonic()
-            try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=max(0.05, remaining)
+            hello: dict | None = None
+            sock: socket.socket | None = None
+            if plan is not None and plan.refuse_connect(self.name):
+                last_error = ConnectionRefusedError(
+                    f"fault plan refused a connect to agent {self.name}"
                 )
-                break
-            except OSError:
-                # The agent may simply not be up yet (fleets launch in any
-                # order): back off exponentially with jitter and retry
-                # until the deadline.
-                attempt += 1
-                delay = min(
-                    CONNECT_RETRY_CAP, CONNECT_RETRY_BASE * 2 ** (attempt - 1)
-                )
-                delay *= 0.5 + random.random()
-                if time.monotonic() + delay >= deadline:
+            else:
+                remaining = deadline - time.monotonic()
+                try:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=max(0.05, remaining)
+                    )
+                except OSError as exc:
+                    # The agent may simply not be up yet (fleets launch in
+                    # any order): back off exponentially with jitter and
+                    # retry until the deadline.
+                    last_error = exc
+            if sock is not None:
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    raw = wire.recv_message(sock)
+                except BaseException:
+                    # A handshake that dies half-way (recv error or
+                    # timeout) must not leak the connected socket.
+                    sock.close()
                     raise
-                time.sleep(delay)
-        try:
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            hello = wire.recv_message(sock)
-            if not isinstance(hello, dict) or "workers" not in hello:
-                raise wire.WireError(
-                    f"agent {self.name} opened with {hello!r} instead of a hello"
-                )
-            sock.settimeout(None)
-        except BaseException:
-            # A handshake that dies half-way (recv error, bad hello) must
-            # not leak the connected socket.
-            sock.close()
-            raise
+                if isinstance(raw, dict) and raw.get("op") == wire.OP_BUSY:
+                    # Admission reject: the agent is alive but at its
+                    # coordinator cap (or draining) — backoff-and-retry,
+                    # not a failure.
+                    sock.close()
+                    last_error = ConnectionRefusedError(
+                        f"agent {self.name} rejected the connection as busy"
+                    )
+                elif not isinstance(raw, dict) or "workers" not in raw:
+                    sock.close()
+                    raise wire.WireError(
+                        f"agent {self.name} opened with {raw!r} "
+                        "instead of a hello"
+                    )
+                else:
+                    hello = raw
+            if hello is not None:
+                sock.settimeout(None)
+                break
+            attempt += 1
+            delay = min(
+                CONNECT_RETRY_CAP, CONNECT_RETRY_BASE * 2 ** (attempt - 1)
+            )
+            delay *= 0.5 + random.random()
+            if time.monotonic() + delay >= deadline:
+                raise last_error
+            time.sleep(delay)
         self.sock = sock
         self.workers = max(1, int(hello["workers"]))
         self.alive = True
@@ -785,6 +1152,12 @@ class _AgentLink:
                 message = wire.recv_message(self.sock)
                 if message is None:
                     break
+                plan = self.pool.faults
+                if plan is not None and plan.absorb_receive(self.name):
+                    # The agent is black-holed: the frame vanishes before
+                    # it can refresh liveness — a frozen host from the
+                    # coordinator's point of view.
+                    continue
                 self.last_heard = time.monotonic()
                 if isinstance(message, dict) and "job" in message:
                     self.pool._deliver(self, message)
@@ -801,6 +1174,15 @@ class _AgentLink:
             self.pool._agent_lost(self)
 
     def send(self, frame: bytes) -> None:
+        plan = self.pool.faults
+        if plan is not None:
+            verdict, delay = plan.on_send(self.name)
+            if verdict == SEND_DROP:
+                return
+            if verdict == SEND_CORRUPT:
+                frame = corrupt_frame(frame)
+            elif verdict == SEND_DELAY:
+                time.sleep(delay)
         with self._send_lock:
             self.sock.sendall(frame)
 
@@ -853,12 +1235,33 @@ class RemoteStudyPool:
         :data:`HEARTBEAT_INTERVAL`; zero or negative disables the
         heartbeat loop — agent loss is then detected on socket errors
         only).
+    faults:
+        Fault-injection schedule for the chaos harness: a
+        :class:`~repro.runtime.faults.FaultPlan`, a spec mapping, or a
+        path to a JSON spec (``None`` consults ``REPRO_FAULT_PLAN``;
+        unset — the production default — injects nothing at all).
+    frame_timeout:
+        Per-frame deadline floor in seconds (``None`` consults
+        ``REPRO_FRAME_TIMEOUT``; zero — the default — disables
+        deadlines).  See :data:`FRAME_DEADLINE_FACTOR`.
+    reconnect:
+        Whether lost agents enter probation and are re-probed with
+        exponential backoff until they answer again (default ``True``).
+    fallback:
+        ``"local"`` (default) — when no agent is alive or accepting,
+        drain chunks through the local process lane bit-identically;
+        ``"fail"`` — the historical hard failure.
+    connect_timeout:
+        Connect/handshake budget in seconds (``None`` consults
+        ``REPRO_CONNECT_TIMEOUT`` and falls back to
+        :data:`CONNECT_TIMEOUT`).
 
     The pool is used through the same three members as every other lane:
     :meth:`submit`, :meth:`imap_unordered`, :meth:`close` — which is what
     lets every study driver run remotely unchanged.  Balancing, stealing,
-    heartbeats and membership changes never affect study results — every
-    task carries its own derived seed — only where and when chunks run.
+    heartbeats, membership changes and every recovery path never affect
+    study results — every task carries its own derived seed — only where
+    and when chunks run.
     """
 
     kind = "remote"
@@ -870,14 +1273,30 @@ class RemoteStudyPool:
         hosts: str | Iterable[tuple[str, int]] | None = None,
         balancing: str = "cost",
         heartbeat: float | None = None,
+        faults: "FaultPlan | dict | str | Path | None" = None,
+        frame_timeout: float | None = None,
+        reconnect: bool = True,
+        fallback: str = "local",
+        connect_timeout: float | None = None,
     ) -> None:
         if balancing not in BALANCINGS:
             raise ValueError(
                 f"balancing must be one of {BALANCINGS}, got {balancing!r}"
             )
+        if fallback not in FALLBACKS:
+            raise ValueError(
+                f"fallback must be one of {FALLBACKS}, got {fallback!r}"
+            )
         self.hosts_spec = resolve_hosts(hosts)
         self.balancing = balancing
         self._heartbeat = _resolve_heartbeat(heartbeat)
+        #: The active fault-injection plan (``None``: injection off, and
+        #: every consult site is a single ``is not None`` check).
+        self.faults = resolve_fault_plan(faults)
+        self.connect_timeout = _resolve_connect_timeout(connect_timeout)
+        self._frame_timeout = _resolve_frame_timeout(frame_timeout)
+        self._reconnect = bool(reconnect)
+        self._fallback = fallback
         self._lock = threading.RLock()
         self._jobs: dict[int, _Job] = {}  # guarded-by: _lock
         self._job_ids = itertools.count(1)
@@ -888,9 +1307,18 @@ class RemoteStudyPool:
         self.duplicates_ignored = 0  # guarded-by: _lock
         #: Queued jobs re-routed to an agent that drained early.
         self.steals = 0  # guarded-by: _lock
+        #: Lost agents re-admitted by the probation prober.
+        self.reconnects = 0  # guarded-by: _lock
+        #: Frames bounced by agent admission control (``BUSY`` rejects).
+        self.busy_rejects = 0  # guarded-by: _lock
+        #: In-flight frames re-routed because their deadline expired.
+        self.deadline_expired = 0  # guarded-by: _lock
+        #: Chunks drained through the local lane (``fallback="local"``).
+        self.degraded_jobs = 0  # guarded-by: _lock
         self._agents: list[_AgentLink] = []  # guarded-by: _lock
-        self._hb_stop = threading.Event()
-        self._hb_thread: threading.Thread | None = None
+        self._probation: dict[str, _Probe] = {}  # guarded-by: _lock
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: threading.Thread | None = None
         try:
             if self.hosts_spec is not None:
                 for host, port in self.hosts_spec:
@@ -908,13 +1336,16 @@ class RemoteStudyPool:
             for link in self._agents:
                 link.close(graceful=False)
             raise
-        if self._heartbeat > 0:
-            self._hb_thread = threading.Thread(
-                target=self._heartbeat_loop,
-                name="repro-remote-heartbeat",
-                daemon=True,
-            )
-            self._hb_thread.start()
+        # One maintenance thread for everything periodic — heartbeats,
+        # frame deadlines, probation probes, post-backoff re-pumps —
+        # always running (backoff re-pumps are needed even with heartbeats
+        # and deadlines off).
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop,
+            name="repro-remote-monitor",
+            daemon=True,
+        )
+        self._monitor_thread.start()
 
     # -- the StudyPool contract ---------------------------------------------------
 
@@ -926,14 +1357,25 @@ class RemoteStudyPool:
 
     @property
     def alive(self) -> bool:
-        """Whether the pool can still accept work."""
+        """Whether the pool can still accept work.
+
+        Under ``fallback="local"`` an open pool always can — a fleet with
+        no live agent degrades to the local lane instead of refusing work.
+        """
         with self._lock:
-            return not self._closed and any(
-                link.alive for link in self._agents
-            )
+            if self._closed:
+                return False
+            if self._fallback == "local":
+                return True
+            return any(link.alive for link in self._agents)
 
     def submit(
-        self, fn: Callable[[Any], Any], args: Any, units: float | None = None
+        self,
+        fn: Callable[[Any], Any],
+        args: Any,
+        units: float | None = None,
+        callback: Callable[[Any], object] | None = None,
+        error_callback: Callable[[BaseException], object] | None = None,
     ) -> RemoteAsyncResult:
         """Frame ``fn(args)`` and route it to the best agent.
 
@@ -942,6 +1384,12 @@ class RemoteStudyPool:
         :mod:`repro.runtime.chunking`); it prices the job for routing and
         for the delivering agent's model feedback.  ``None`` prices every
         job equally.  Like all balancing state it can never change results.
+
+        ``callback`` / ``error_callback`` mirror
+        :meth:`multiprocessing.pool.Pool.apply_async` (and the local
+        lanes' submit): called with the result value or the failure once
+        the job settles, whichever lane — remote or degraded-local — ends
+        up executing it.
         """
         with self._lock:
             if self._closed:
@@ -952,12 +1400,39 @@ class RemoteStudyPool:
         )
         handle = RemoteAsyncResult()
         handle.job_id = job_id
-        job = _Job(job_id, frame, handle, units=float(units or 0) or 1.0)
+        if callback is not None or error_callback is not None:
+
+            def _notify(done: RemoteAsyncResult) -> None:
+                if done._error is not None:
+                    if error_callback is not None:
+                        error_callback(done._error)
+                elif callback is not None:
+                    callback(done._value)
+
+            handle._on_done(_notify)
+        job = _Job(
+            job_id,
+            frame,
+            handle,
+            units=float(units or 0) or 1.0,
+            fn=fn,
+            args=args,
+        )
+        agent: _AgentLink | None = None
         with self._lock:
-            agent = self._route(job)  # before registering: a raise here
-            self._jobs[job_id] = job  # must not strand the job record
-            agent.queued.append(job)
-        self._pump(agent)
+            try:
+                agent = self._route(job)  # before registering: a raise
+            except RuntimeError:  # here must not strand the job record
+                if self._fallback != "local":
+                    raise
+                self.degraded_jobs += 1
+            else:
+                self._jobs[job_id] = job
+                agent.queued.append(job)
+        if agent is None:
+            self._fallback_submit(job)
+        else:
+            self._pump(agent)
         return handle
 
     def imap_unordered(
@@ -983,7 +1458,7 @@ class RemoteStudyPool:
         are persisted to the cost cache (when enabled) so the next study
         routes its *first* chunks against measured throughput.
         """
-        self._hb_stop.set()
+        self._monitor_stop.set()
         with self._lock:
             if self._closed:
                 return
@@ -1011,13 +1486,21 @@ class RemoteStudyPool:
 
     # -- elastic membership -------------------------------------------------------
 
-    def add_host(self, host: str, port: int | None = None) -> _AgentLink:
+    def add_host(
+        self,
+        host: str,
+        port: int | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> _AgentLink:
         """Connect one more agent mid-study; it immediately steals work.
 
         ``host`` may be a bare hostname (``port`` applying, default
         :data:`DEFAULT_AGENT_PORT`) or a ``"host:port"`` string.  Adding an
         address that is already connected and alive is a no-op returning
-        the existing link.
+        the existing link.  ``timeout`` bounds the connect/handshake
+        (``None``: the pool's :attr:`connect_timeout`); the reconnect
+        prober passes :data:`PROBE_TIMEOUT` here.
         """
         if port is None:
             ((host, port),) = parse_hosts(host)
@@ -1029,7 +1512,7 @@ class RemoteStudyPool:
                 if link.alive and (link.host, link.port) == address:
                     return link
         link = _AgentLink(self, *address)
-        link.connect()
+        link.connect(timeout)
         with self._lock:
             if self._closed:
                 link.close(graceful=False)
@@ -1116,6 +1599,8 @@ class RemoteStudyPool:
         with self._lock:
             if not agent.alive:
                 return
+            if agent.busy_until > time.monotonic():
+                return  # backing off a BUSY; the monitor re-pumps later
             capacity = agent.capacity
             while agent.queued and (
                 capacity is None or len(agent.inflight) < capacity
@@ -1123,6 +1608,10 @@ class RemoteStudyPool:
                 job = agent.queued.popleft()
                 if job.job_id not in self._jobs:
                     continue  # settled while queued (a stolen twin won)
+                if self._frame_timeout > 0:
+                    job.deadline = time.monotonic() + self._deadline_seconds(
+                        agent, job
+                    )
                 agent.inflight[job.job_id] = job
                 batch.append(job)
         for job in batch:
@@ -1164,32 +1653,162 @@ class RemoteStudyPool:
                     self.steals += 1
         self._pump(agent)
 
-    def _heartbeat_loop(self) -> None:
-        """Ping every alive agent; declare the silent ones dead."""
+    def _monitor_tick_seconds(self) -> float:
+        """The maintenance cadence: fine enough for the sharpest deadline."""
+        tick = 0.25
+        if self._heartbeat > 0:
+            tick = min(tick, self._heartbeat / 2)
+        if self._frame_timeout > 0:
+            tick = min(tick, self._frame_timeout / 4)
+        return max(0.02, tick)
+
+    def _monitor_loop(self) -> None:
+        """All periodic maintenance, on one thread: heartbeats, frame
+        deadlines, probation probes and post-backoff re-pumps."""
         sequence = itertools.count(1)
-        while not self._hb_stop.wait(self._heartbeat):
+        next_ping = (
+            time.monotonic() + self._heartbeat if self._heartbeat > 0 else None
+        )
+        while not self._monitor_stop.wait(self._monitor_tick_seconds()):
             now = time.monotonic()
-            stale = self._heartbeat * HEARTBEAT_MISS_FACTOR
-            with self._lock:
-                links = list(self._agents)
-            for link in links:
+            if next_ping is not None and now >= next_ping:
+                next_ping = now + self._heartbeat
+                self._heartbeat_round(sequence, now)
+            if self._frame_timeout > 0:
+                self._expire_overdue(now)
+            if self._reconnect:
+                self._launch_probes(now)
+            self._pump_backoff(now)
+
+    def _heartbeat_round(self, sequence: Iterator[int], now: float) -> None:
+        """Ping every alive agent; declare the silent ones dead."""
+        stale = self._heartbeat * HEARTBEAT_MISS_FACTOR
+        with self._lock:
+            links = list(self._agents)
+        for link in links:
+            if not link.alive:
+                continue
+            if now - link.last_heard > stale:
+                # The socket may still look healthy (a frozen host's
+                # kernel keeps ACKing) — silence is the only signal.
+                self._agent_lost(link)
+                continue
+            frame = wire.encode_message(
+                wire.control_message(wire.OP_PING, seq=next(sequence))
+            )
+            try:
+                link.send(frame)
+            except OSError:
+                self._agent_lost(link)
+
+    def _deadline_seconds(self, link: _AgentLink, job: _Job) -> float:
+        """A frame's deadline: the configured floor plus a multiple of the
+        link's *own* cost estimate, so a slow-but-honest agent is priced by
+        its throughput rather than starved by a global constant."""
+        return self._frame_timeout + FRAME_DEADLINE_FACTOR * (
+            link.cost_model.seconds_for(job.units)
+        )
+
+    def _expire_overdue(self, now: float) -> None:
+        """Re-route in-flight frames whose deadline has passed.
+
+        The original agent may still answer later; that late result is
+        discarded through the stolen-twin duplicate path (both executions
+        carry bitwise the same numbers).
+        """
+        repump: list[_AgentLink] = []
+        with self._lock:
+            for link in list(self._agents):
                 if not link.alive:
                     continue
-                if now - link.last_heard > stale:
-                    # The socket may still look healthy (a frozen host's
-                    # kernel keeps ACKing) — silence is the only signal.
-                    self._agent_lost(link)
-                    continue
-                frame = wire.encode_message(
-                    wire.control_message(wire.OP_PING, seq=next(sequence))
+                overdue = [
+                    job
+                    for job in link.inflight.values()
+                    if job.deadline is not None and now > job.deadline
+                ]
+                for job in overdue:
+                    others = [
+                        peer
+                        for peer in self._agents
+                        if peer.alive and peer is not link
+                    ]
+                    if not others:
+                        # Nowhere to re-route: re-arm instead of counting
+                        # the same frame expired every tick.
+                        job.deadline = now + self._deadline_seconds(link, job)
+                        continue
+                    link.inflight.pop(job.job_id, None)
+                    job.deadline = None
+                    self.deadline_expired += 1
+                    target = min(
+                        others,
+                        key=lambda peer, units=job.units: peer.eta(units),
+                    )
+                    target.queued.append(job)
+                    if target not in repump:
+                        repump.append(target)
+        for target in repump:
+            self._pump(target)
+
+    def _launch_probes(self, now: float) -> None:
+        """Dial due probation entries, each probe on its own thread (a
+        probe against a frozen host blocks for :data:`PROBE_TIMEOUT`, and
+        the monitor must keep ticking meanwhile)."""
+        with self._lock:
+            due = [
+                probe
+                for probe in self._probation.values()
+                if not probe.probing and now >= probe.next_probe
+            ]
+            for probe in due:
+                probe.probing = True
+        for probe in due:
+            threading.Thread(
+                target=self._probe_agent,
+                args=(probe,),
+                name=f"repro-remote-probe-{probe.host}:{probe.port}",
+                daemon=True,
+            ).start()
+
+    def _probe_agent(self, probe: _Probe) -> None:
+        """One reconnect attempt against a probation address."""
+        name = f"{probe.host}:{probe.port}"
+        try:
+            self.add_host(probe.host, probe.port, timeout=PROBE_TIMEOUT)
+        except Exception:  # noqa: BLE001 - still dead: back off, retry
+            with self._lock:
+                probe.attempt += 1
+                delay = min(RECONNECT_CAP, RECONNECT_BASE * 2**probe.attempt)
+                probe.next_probe = time.monotonic() + delay * (
+                    0.5 + random.random()
                 )
-                try:
-                    link.send(frame)
-                except OSError:
-                    self._agent_lost(link)
+                probe.probing = False
+            return
+        with self._lock:
+            self._probation.pop(name, None)
+            self.reconnects += 1
+
+    def _pump_backoff(self, now: float) -> None:
+        """Re-pump agents whose admission backoff has expired."""
+        with self._lock:
+            ready = [
+                link
+                for link in self._agents
+                if link.alive
+                and link.queued
+                and link.busy_until
+                and link.busy_until <= now
+            ]
+            for link in ready:
+                link.busy_until = 0.0
+        for link in ready:
+            self._pump(link)
 
     def _deliver(self, agent: _AgentLink, message: dict) -> None:
         """Settle one job from a result frame (first delivery wins)."""
+        if message.get("op") == wire.OP_BUSY:
+            self._job_rejected(agent, message["job"])
+            return
         job_id = message["job"]
         with self._lock:
             job = self._jobs.pop(job_id, None)
@@ -1199,6 +1818,7 @@ class RemoteStudyPool:
             for link in self._agents:
                 link.inflight.pop(job_id, None)
             agent.completed += 1
+            agent.busy_streak = 0
             elapsed = message.get("elapsed")
             if isinstance(elapsed, (int, float)) and elapsed > 0:
                 agent.cost_model.observe(job.units, float(elapsed))
@@ -1206,10 +1826,115 @@ class RemoteStudyPool:
         if error is not None and not isinstance(error, BaseException):
             error = RuntimeError(str(error))
         job.handle._settle(message.get("result"), error)
+        plan = self.faults
+        if plan is not None and plan.after_result(agent.name) == FAULT_CRASH:
+            self._inject_crash(agent)
+            return
         self._replenish(agent)
 
+    def _job_rejected(self, agent: _AgentLink, job_id: int) -> None:
+        """Handle a per-job ``BUSY``: back the agent off, retry the frame.
+
+        The frame goes back to the best *other* agent when one exists
+        (otherwise it re-queues here, re-sent once the backoff expires);
+        after :data:`BUSY_FALLBACK_REJECTS` bounces per alive agent the
+        job stops retrying and degrades to the local lane instead — a
+        fleet that is busy forever is a fleet that is gone.
+        """
+        fallback_job: _Job | None = None
+        retarget: _AgentLink | None = None
+        with self._lock:
+            job = agent.inflight.pop(job_id, None)
+            if job is None or job.job_id not in self._jobs:
+                return  # already re-routed or settled elsewhere
+            self.busy_rejects += 1
+            job.rejects += 1
+            job.deadline = None
+            agent.busy_streak += 1
+            backoff = min(
+                BUSY_BACKOFF_CAP,
+                BUSY_BACKOFF_BASE * 2 ** (agent.busy_streak - 1),
+            )
+            agent.busy_until = time.monotonic() + backoff * (
+                0.5 + random.random()
+            )
+            alive = [link for link in self._agents if link.alive]
+            if (
+                self._fallback == "local"
+                and job.rejects >= BUSY_FALLBACK_REJECTS * max(1, len(alive))
+            ):
+                self._jobs.pop(job_id, None)
+                self.degraded_jobs += 1
+                fallback_job = job
+            else:
+                others = [link for link in alive if link is not agent]
+                retarget = (
+                    min(
+                        others,
+                        key=lambda link, units=job.units: link.eta(units),
+                    )
+                    if others
+                    else agent
+                )
+                retarget.queued.append(job)
+        if fallback_job is not None:
+            self._fallback_submit(fallback_job)
+        elif retarget is not None and retarget is not agent:
+            self._pump(retarget)
+
+    def _inject_crash(self, agent: _AgentLink) -> None:
+        """Fault injection: make ``agent`` genuinely die, coordinator-side.
+
+        An owned loopback process is killed outright (SIGKILL — no drain,
+        no goodbye); either way the link is torn down through the normal
+        lost-agent path, and the plan refuses every later reconnect, so
+        detection and recovery run exactly as they would for a real crash.
+        """
+        process = agent.process
+        if process is not None and process.poll() is None:
+            process.kill()
+        self._agent_lost(agent)
+
+    def _fallback_submit(self, job: _Job) -> None:
+        """Drain one chunk through the persistent local process lane.
+
+        The chunk executes from its original callable and arguments with
+        its own derived seed, so the degraded result is bit-identical to
+        the remote one.  Any failure to degrade settles the handle with
+        the error — a degraded job must never hang its waiter.
+        """
+        from repro.runtime.pool import get_pool
+
+        handle = job.handle
+
+        def _ok(value: Any) -> None:
+            handle._settle(value, None)
+
+        def _err(error: BaseException) -> None:
+            handle._settle(None, error)
+
+        if job.fn is None:
+            handle._settle(
+                None,
+                RuntimeError(
+                    "no remote agents available and the job carries no "
+                    "local fallback callable"
+                ),
+            )
+            return
+        try:
+            get_pool(2, kind="process").submit(
+                job.fn,
+                job.args,
+                units=job.units,
+                callback=_ok,
+                error_callback=_err,
+            )
+        except Exception as exc:  # noqa: BLE001 - never hang the waiter
+            handle._settle(None, _picklable_error(exc))
+
     def _agent_lost(self, agent: _AgentLink) -> None:
-        """Mark ``agent`` dead and re-route its outstanding jobs elsewhere."""
+        """Mark ``agent`` dead, requeue its jobs, start its probation."""
         with self._lock:
             if not agent.alive:
                 return
@@ -1225,6 +1950,16 @@ class RemoteStudyPool:
             agent.inflight.clear()
             agent.queued.clear()
             closed = self._closed
+            if (
+                self._reconnect
+                and not closed
+                and agent.name not in self._probation
+            ):
+                self._probation[agent.name] = _Probe(
+                    agent.host,
+                    agent.port,
+                    time.monotonic() + RECONNECT_BASE * (0.5 + random.random()),
+                )
         if agent.sock is not None:
             try:
                 agent.sock.close()
@@ -1233,6 +1968,7 @@ class RemoteStudyPool:
         if closed:
             return
         targets: list[_AgentLink] = []
+        degraded: list[_Job] = []
         failed: list[_Job] = []
         for job in orphaned:
             with self._lock:
@@ -1242,11 +1978,18 @@ class RemoteStudyPool:
                     target = self._route(job)
                 except RuntimeError:
                     self._jobs.pop(job.job_id, None)
-                    failed.append(job)
+                    if self._fallback == "local":
+                        self.degraded_jobs += 1
+                        degraded.append(job)
+                    else:
+                        failed.append(job)
                     continue
+                job.deadline = None
                 target.queued.append(job)
                 if target not in targets:
                     targets.append(target)
+        for job in degraded:
+            self._fallback_submit(job)
         for job in failed:
             job.handle._settle(
                 None,

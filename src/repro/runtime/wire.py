@@ -56,9 +56,16 @@ the protocol carries two lightweight message families:
 * **timing reports** — every result frame carries the job's worker-side
   wall time under ``"elapsed"``, which is what feeds the coordinator's
   per-agent :class:`~repro.runtime.chunking.CostModel` and makes routing
-  throughput-proportional.
+  throughput-proportional;
+* **admission rejects** — an agent at its connection or queue limit answers
+  with an :data:`OP_BUSY` frame instead of silently queueing: a busy
+  *hello* (``{"op": "busy", "reason": ...}``) bounces a whole connection,
+  a busy *job* frame (``{"job": id, "op": "busy"}``) bounces one frame,
+  and the coordinator treats both as backoff-and-retry rather than
+  failure.
 
-Both were added in wire version 2; version 1 peers are refused at the
+Heartbeats and timing reports were added in wire version 2, admission
+rejects in version 3; peers refuse to talk across versions at the
 handshake (failing loudly beats a coordinator pinging an agent that will
 drop the connection).
 """
@@ -82,16 +89,20 @@ MAGIC = b"RBWP"
 #: Protocol version; bumped on any frame-layout or message-contract change.
 #: Agents and coordinators refuse to talk across versions (failing loudly
 #: beats deserialising garbage).  v2 added heartbeat control frames and the
-#: ``"elapsed"`` timing report in result frames.
-WIRE_VERSION = 2
+#: ``"elapsed"`` timing report in result frames; v3 added :data:`OP_BUSY`
+#: admission rejects.
+WIRE_VERSION = 3
 
 #: Control-frame operations (the ``"op"`` key of a control message).
 #: ``OP_PING``/``OP_PONG`` are the heartbeat pair — answered by the agent's
 #: serve loop directly, never queued behind jobs; ``OP_SHUTDOWN`` asks the
-#: agent to drop the connection gracefully.
+#: agent to drop the connection gracefully; ``OP_BUSY`` is the admission
+#: reject — as a hello it bounces the connection, with a ``"job"`` key it
+#: bounces one frame (the coordinator backs off and retries either way).
 OP_PING = "ping"
 OP_PONG = "pong"
 OP_SHUTDOWN = "shutdown"
+OP_BUSY = "busy"
 
 #: Flag bit: the payload section is zlib-compressed.
 FLAG_ZLIB = 0x01

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -210,6 +212,58 @@ class TestExecutorFlag:
     def test_unknown_executor_rejected(self):
         with pytest.raises(SystemExit):
             main(["practical", "--executor", "carrier-pigeon"])
+
+
+class TestConnectTimeoutKnob:
+    """The connect/handshake budget: CLI flag -> env var -> resolver."""
+
+    def test_env_var_fallback_and_default(self, monkeypatch):
+        from repro.runtime.remote import (
+            CONNECT_TIMEOUT,
+            CONNECT_TIMEOUT_ENV_VAR,
+            _resolve_connect_timeout,
+        )
+
+        monkeypatch.delenv(CONNECT_TIMEOUT_ENV_VAR, raising=False)
+        assert _resolve_connect_timeout(None) == CONNECT_TIMEOUT
+        assert _resolve_connect_timeout(7.5) == 7.5  # explicit wins
+        monkeypatch.setenv(CONNECT_TIMEOUT_ENV_VAR, "12.5")
+        assert _resolve_connect_timeout(None) == 12.5
+        assert _resolve_connect_timeout(7.5) == 7.5  # explicit still wins
+        monkeypatch.setenv(CONNECT_TIMEOUT_ENV_VAR, "0")
+        assert _resolve_connect_timeout(None) == 0.05  # clamped floor
+        monkeypatch.setenv(CONNECT_TIMEOUT_ENV_VAR, "soon")
+        assert _resolve_connect_timeout(None) == CONNECT_TIMEOUT  # degrade
+
+    def test_cli_flag_exports_the_env_var(self, monkeypatch, capsys):
+        from repro.runtime.remote import CONNECT_TIMEOUT_ENV_VAR
+
+        monkeypatch.delenv(CONNECT_TIMEOUT_ENV_VAR, raising=False)
+        assert (
+            main(
+                [
+                    "practical",
+                    "--points",
+                    "2",
+                    "--max-size",
+                    "65536",
+                    "--connect-timeout",
+                    "3.5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert os.environ.get(CONNECT_TIMEOUT_ENV_VAR) == "3.5"
+
+    def test_worker_serve_admission_flags_document_defaults(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "serve", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--max-coordinators" in help_text
+        assert "--queue" in help_text
+        assert "--connect-timeout" not in help_text  # coordinator-side knob
 
 
 class TestHelpTextDefaults:

@@ -564,3 +564,105 @@ class TestDeriveSeedInvariance:
             assert zlib.crc32(str(a).encode("utf-8")) == zlib.crc32(
                 str(b).encode("utf-8")
             )
+
+
+# ---------------------------------------------------------------------------
+# remote-lane chaos recovery (repro.runtime.remote + repro.runtime.faults)
+# ---------------------------------------------------------------------------
+
+import threading
+
+from repro.runtime.faults import FaultPlan
+from repro.runtime.remote import AgentServer, RemoteStudyPool
+from repro.utils.rng import derive_seed
+
+
+@st.composite
+def fault_knobs(draw):
+    """One agent's misbehaviour profile, from the interesting corners."""
+    return {
+        "drop_rate": draw(st.sampled_from([0.0, 0.3, 1.0])),
+        "delay_rate": draw(st.sampled_from([0.0, 0.5])),
+        "delay_seconds": 0.01,
+        "corrupt_rate": draw(st.sampled_from([0.0, 0.25])),
+        "crash_after_results": draw(st.sampled_from([0, 2])),
+        "hang_after_results": draw(st.sampled_from([0, 1])),
+        "hang_seconds": 0.4,
+    }
+
+
+fault_plans = st.builds(
+    lambda seed, first, second: FaultPlan(
+        seed=seed, agents={"#0": first, "#1": second}
+    ),
+    st.integers(min_value=0, max_value=2**20),
+    fault_knobs(),
+    fault_knobs(),
+)
+
+
+class TestChaosRecoveryProperties:
+    """Whatever a seeded fault schedule does to the fleet — kills, hangs,
+    drops, corruption, steals, reconnects, full-fleet degradation — every
+    job settles exactly once with the right value, and every delivered
+    frame is accounted for exactly once (first delivery, or the discarded
+    duplicate of a re-dispatched frame)."""
+
+    @staticmethod
+    def _fleet(plan):
+        servers = [AgentServer(workers=1), AgentServer(workers=1)]
+        addresses = []
+        for server in servers:
+            addresses.append(server.bind())
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+        pool = RemoteStudyPool(
+            hosts=addresses,
+            faults=plan,
+            heartbeat=0.1,
+            frame_timeout=0.25,
+        )
+        return servers, pool
+
+    @given(plan=fault_plans, salt=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=8, deadline=None)
+    def test_jobs_settle_exactly_once_with_exact_values(self, plan, salt):
+        servers, pool = self._fleet(plan)
+        try:
+            handles = [
+                pool.submit(derive_seed, salt * 1000 + index, units=1.0)
+                for index in range(12)
+            ]
+            values = [handle.get(timeout=120) for handle in handles]
+            assert values == [
+                derive_seed(salt * 1000 + index) for index in range(12)
+            ]
+            # No frame is double-counted: each of the 12 jobs completed
+            # through exactly one lane — a first remote delivery or the
+            # degraded local lane — and any further executions of
+            # re-dispatched frames were discarded as duplicates.
+            with pool._lock:
+                completed = sum(link.completed for link in pool._agents)
+                assert completed + pool.degraded_jobs == 12
+        finally:
+            pool.close()
+            for server in servers:
+                server.close()
+
+    @given(plan=fault_plans)
+    @settings(max_examples=4, deadline=None)
+    def test_micro_study_is_bit_identical_under_chaos(self, plan):
+        from repro.experiments.config import SimulationStudyConfig
+        from repro.experiments.simulation_study import run_simulation_study
+
+        config = SimulationStudyConfig(
+            cluster_counts=(3,), iterations=8, seed=17
+        )
+        inline = run_simulation_study(config)
+        servers, pool = self._fleet(plan)
+        try:
+            chaotic = run_simulation_study(config, workers=2, pool=pool)
+            assert np.array_equal(inline.makespans, chaotic.makespans)
+        finally:
+            pool.close()
+            for server in servers:
+                server.close()

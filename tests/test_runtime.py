@@ -11,6 +11,7 @@ against the scalar reference engine.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import socket
@@ -41,6 +42,17 @@ from repro.runtime.chunking import (
     program_cost,
     resolve_executor,
     save_cost_model,
+)
+from repro.runtime.faults import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    SEND_CORRUPT,
+    SEND_DELAY,
+    SEND_DROP,
+    SEND_OK,
+    FaultPlan,
+    corrupt_frame,
+    resolve_fault_plan,
 )
 from repro.runtime.pool import (
     StudyPool,
@@ -1358,7 +1370,10 @@ class TestRemoteLane:
             heuristics=("ecef", "fef", "flat_tree"),
         )
         inline = run_practical_study(config, workers=0, pipeline=False)
-        pool = RemoteStudyPool(2)
+        # fallback="fail" keeps the historical contract under test here:
+        # losing the last agent is a hard failure, not a degradation to the
+        # local lane (that path has its own tests in TestChaosRemoteLane).
+        pool = RemoteStudyPool(2, fallback="fail")
         try:
             victim = pool._agents[0]
             victim.process.kill()  # dies with the first chunks in flight
@@ -1576,3 +1591,343 @@ class TestElasticRemoteLane:
         assert len(weights) == sum(
             max(1, link.workers) for link in remote_pool._agents if link.alive
         )
+
+
+class TestFaultPlan:
+    """The chaos harness itself: selectors, seeded streams, validation."""
+
+    def test_selector_precedence_name_then_index_then_wildcard(self):
+        plan = FaultPlan(
+            agents={
+                "a:1": {"drop_rate": 1.0},
+                "#1": {"delay_rate": 1.0},
+                "*": {"corrupt_rate": 1.0},
+            }
+        )
+        plan.register("a:1")  # join index 0: exact name still wins
+        plan.register("b:2")  # join index 1
+        plan.register("c:3")  # join index 2: only the wildcard matches
+        assert plan.on_send("a:1")[0] == SEND_DROP
+        assert plan.on_send("b:2")[0] == SEND_DELAY
+        assert plan.on_send("c:3")[0] == SEND_CORRUPT
+
+    def test_send_schedule_replays_from_its_seed(self):
+        knobs = {"drop_rate": 0.3, "corrupt_rate": 0.2, "delay_rate": 0.2}
+
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, agents={"*": dict(knobs)})
+            return [plan.on_send("x:1")[0] for _ in range(64)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert set(schedule(7)) == {SEND_OK, SEND_DROP, SEND_DELAY, SEND_CORRUPT}
+
+    def test_unknown_knobs_and_bad_rates_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault knob"):
+            FaultPlan(agents={"*": {"drop_rat": 1.0}})
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultPlan(agents={"*": {"drop_rate": 1.5}})
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.from_spec({"seed": "lots"})
+
+    def test_crash_refuses_reconnects_forever(self):
+        plan = FaultPlan(
+            agents={"*": {"refuse_connects": 2, "crash_after_results": 2}}
+        )
+        assert plan.refuse_connect("x:1")  # the first two attempts bounce
+        assert plan.refuse_connect("x:1")
+        assert not plan.refuse_connect("x:1")
+        assert plan.after_result("x:1") is None
+        assert plan.after_result("x:1") == FAULT_CRASH
+        assert plan.refuse_connect("x:1")  # crashed: refused forever
+
+    def test_hang_black_holes_every_site_until_expiry(self):
+        plan = FaultPlan(
+            agents={"*": {"hang_after_results": 1, "hang_seconds": 0.2}}
+        )
+        assert plan.after_result("x:1") == FAULT_HANG
+        assert plan.absorb_receive("x:1")
+        assert plan.on_send("x:1")[0] == SEND_DROP
+        assert plan.refuse_connect("x:1")
+        time.sleep(0.25)
+        assert not plan.absorb_receive("x:1")
+        assert plan.on_send("x:1")[0] == SEND_OK
+        # The trigger is one-shot: more results never re-arm the hole.
+        assert plan.after_result("x:1") is None
+        assert not plan.absorb_receive("x:1")
+
+    def test_json_file_and_env_var_round_trip(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps({"seed": 3, "agents": {"#0": {"drop_rate": 0.5}}})
+        )
+        assert resolve_fault_plan(str(path)).seed == 3
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        assert resolve_fault_plan(None).seed == 3
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        assert resolve_fault_plan(None) is None  # production default: off
+
+    def test_corrupt_frame_keeps_length_and_breaks_magic(self):
+        frame = wire.encode_message({"job": 1})
+        mangled = corrupt_frame(frame)
+        assert len(mangled) == len(frame)
+        assert mangled[:4] != wire.MAGIC
+
+
+class TestChaosRemoteLane:
+    """Recovery under the seeded fault harness.
+
+    Every injected misbehaviour — crashes, black holes, dropped and
+    corrupted frames, admission rejects, full-fleet loss — may only move
+    chunks around; results must stay bit-identical to the inline path,
+    and every re-dispatched frame must be accounted for."""
+
+    PRACTICAL = dict(
+        message_sizes=(65_536, 1_048_576),
+        noise_sigma=0.08,
+        heuristics=("ecef", "fef"),
+    )
+    COLLECTIVE = dict(message_sizes=(2_048, 16_384), noise_sigma=0.05)
+
+    @staticmethod
+    def _terminate(process) -> None:
+        process.terminate()
+        process.wait(timeout=15)
+
+    def test_all_five_drivers_bit_identical_under_injected_crash(
+        self, heterogeneous_grid
+    ):
+        """Agent #0 is killed (SIGKILL, reconnects refused) after two
+        results, with jittery sends on the survivor; all five study drivers
+        still reproduce the inline numbers exactly."""
+        plan = FaultPlan(
+            seed=101,
+            agents={
+                "#0": {"crash_after_results": 2},
+                "#1": {"delay_rate": 0.25, "delay_seconds": 0.02},
+            },
+        )
+        practical = PracticalStudyConfig(**self.PRACTICAL)
+        collective = PracticalStudyConfig(**self.COLLECTIVE)
+        simulation = SimulationStudyConfig(
+            cluster_counts=(3, 4), iterations=24, seed=11
+        )
+        chain_kwargs = dict(
+            grid=heterogeneous_grid, stages=("scatter", "alltoall")
+        )
+        pool = RemoteStudyPool(2, faults=plan, fallback="fail")
+        try:
+            remote = run_practical_study(practical, workers=2, pool=pool)
+            inline = run_practical_study(practical, workers=0, pipeline=False)
+            assert np.array_equal(inline.measured, remote.measured)
+            assert np.array_equal(inline.predicted, remote.predicted)
+            # Enough direct deliveries to guarantee #0 reaches its crash
+            # trigger (a short study may route it fewer than two results).
+            warmup = [pool.submit(derive_seed, index) for index in range(8)]
+            assert [handle.get(timeout=60) for handle in warmup] == [
+                derive_seed(index) for index in range(8)
+            ]
+            assert any(not link.alive for link in pool._agents)  # it died
+            assert pool.reconnects == 0  # a crashed agent never rejoins
+            seeds = run_simulation_study(simulation, workers=2, pool=pool)
+            assert np.array_equal(
+                run_simulation_study(simulation).makespans, seeds.makespans
+            )
+            scatter = run_scatter_study(
+                collective, grid=heterogeneous_grid, workers=2, pool=pool
+            )
+            assert np.array_equal(
+                run_scatter_study(collective, grid=heterogeneous_grid).measured,
+                scatter.measured,
+            )
+            alltoall = run_alltoall_study(
+                collective, grid=heterogeneous_grid, workers=2, pool=pool
+            )
+            assert np.array_equal(
+                run_alltoall_study(
+                    collective, grid=heterogeneous_grid
+                ).measured,
+                alltoall.measured,
+            )
+            chained = run_chained_study(
+                collective, workers=2, pool=pool, **chain_kwargs
+            )
+            inline_chain = run_chained_study(collective, **chain_kwargs)
+            assert np.array_equal(inline_chain.warm, chained.warm)
+            assert np.array_equal(inline_chain.fresh, chained.fresh)
+        finally:
+            pool.close()
+
+    def test_frame_deadline_reroutes_dropped_frames(self):
+        """Every frame to agent #0 vanishes (heartbeats off, so deadlines
+        are the only detector): expired frames re-route to the survivor and
+        every job still settles correctly."""
+        plan = FaultPlan(seed=5, agents={"#0": {"drop_rate": 1.0}})
+        pool = RemoteStudyPool(
+            2, faults=plan, heartbeat=0.0, frame_timeout=0.2, fallback="fail"
+        )
+        try:
+            handles = [
+                pool.submit(derive_seed, index, units=0.01) for index in range(12)
+            ]
+            assert [handle.get(timeout=120) for handle in handles] == [
+                derive_seed(index) for index in range(12)
+            ]
+            assert pool.deadline_expired >= 1
+        finally:
+            pool.close()
+
+    def test_admission_rejects_back_off_and_recover(self):
+        """Agents with a one-frame queue bound bounce the prefetch overflow
+        BUSY; the coordinator backs off, retries, and loses nothing."""
+        agents = [_spawn_loopback_agent(1, queue_bound=1) for _ in range(2)]
+        pool = RemoteStudyPool(
+            hosts=[address for _, address in agents], fallback="fail"
+        )
+        try:
+            handles = [
+                pool.submit(_diagnostic_sleep, (0.05, index), units=1.0)
+                for index in range(12)
+            ]
+            assert [handle.get(timeout=120) for handle in handles] == list(
+                range(12)
+            )
+            assert pool.busy_rejects >= 1
+            assert pool.degraded_jobs == 0  # retried, never given up on
+        finally:
+            pool.close()
+            for process, _ in agents:
+                self._terminate(process)
+
+    def test_hung_agent_is_reprobed_and_readmitted(self):
+        """Agent #1 black-holes after its first result (socket open, all
+        frames absorbed — a frozen host): heartbeats declare it dead, its
+        frames finish on the survivor, and once the hole expires the
+        probation prober re-admits it."""
+        plan = FaultPlan(
+            seed=13,
+            agents={"#1": {"hang_after_results": 1, "hang_seconds": 1.0}},
+        )
+        pool = RemoteStudyPool(2, faults=plan, heartbeat=0.1, fallback="fail")
+        try:
+            handles = [
+                pool.submit(_diagnostic_sleep, (0.02, index), units=1.0)
+                for index in range(24)
+            ]
+            assert [handle.get(timeout=120) for handle in handles] == list(
+                range(24)
+            )
+            deadline = time.monotonic() + 30
+            while pool.reconnects < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.reconnects >= 1
+            assert sum(1 for link in pool._agents if link.alive) == 2
+            more = [pool.submit(derive_seed, index) for index in range(8)]
+            assert [handle.get(timeout=60) for handle in more] == [
+                derive_seed(index) for index in range(8)
+            ]
+        finally:
+            pool.close()
+
+    def test_corrupted_streams_reconnect_and_finish(self):
+        """Agent #0 refuses its first connect, then every frame to it is
+        sent with a mangled header — the agent drops the stream each time;
+        the coordinator requeues elsewhere, re-probes, and finishes."""
+        plan = FaultPlan(
+            seed=3,
+            agents={"#0": {"refuse_connects": 1, "corrupt_rate": 1.0}},
+        )
+        pool = RemoteStudyPool(2, faults=plan, fallback="fail")
+        try:
+            handles = [pool.submit(derive_seed, index) for index in range(12)]
+            assert [handle.get(timeout=120) for handle in handles] == [
+                derive_seed(index) for index in range(12)
+            ]
+            deadline = time.monotonic() + 30
+            while pool.reconnects < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.reconnects >= 1
+        finally:
+            pool.close()
+
+    def test_full_fleet_loss_degrades_to_local_lane_bit_identically(self):
+        """Every agent crashes after its first result: outstanding and new
+        chunks drain through the local process lane and the study's numbers
+        are still bit-identical to the inline run."""
+        plan = FaultPlan(seed=23, agents={"*": {"crash_after_results": 1}})
+        config = SimulationStudyConfig(
+            cluster_counts=(3, 4), iterations=24, seed=11
+        )
+        inline = run_simulation_study(config)
+        pool = RemoteStudyPool(2, faults=plan)  # fallback="local" default
+        try:
+            degraded = run_simulation_study(config, workers=2, pool=pool)
+            assert np.array_equal(inline.makespans, degraded.makespans)
+            handles = [pool.submit(derive_seed, index) for index in range(8)]
+            assert [handle.get(timeout=60) for handle in handles] == [
+                derive_seed(index) for index in range(8)
+            ]
+            assert not any(link.alive for link in pool._agents)
+            assert pool.degraded_jobs >= 1
+            assert pool.alive  # under fallback="local" the pool still serves
+        finally:
+            pool.close()
+
+    def test_fallback_fail_restores_the_hard_failure(self):
+        plan = FaultPlan(
+            seed=29, agents={"*": {"crash_after_results": 1, "refuse_connects": 0}}
+        )
+        pool = RemoteStudyPool(2, faults=plan, fallback="fail")
+        try:
+            handles = [
+                pool.submit(_diagnostic_sleep, (0.05, index), units=1.0)
+                for index in range(8)
+            ]
+            outcomes = []
+            for handle in handles:
+                try:
+                    outcomes.append(handle.get(timeout=120))
+                except RuntimeError:
+                    outcomes.append("failed")
+            assert "failed" in outcomes  # the fleet died and said so
+            assert pool.degraded_jobs == 0
+            assert not pool.alive
+        finally:
+            pool.close()
+
+    def test_late_results_after_deadline_count_as_duplicates(self):
+        """A deadline expiry re-dispatches a frame that the original agent
+        is still executing; the late original (or the twin) is discarded
+        through the duplicate path and the job settles exactly once."""
+        pool = RemoteStudyPool(2, frame_timeout=0.2, fallback="fail")
+        try:
+            handle = pool.submit(_diagnostic_sleep, (0.6, "slow"), units=0.01)
+            assert handle.get(timeout=60) == "slow"
+            assert pool.deadline_expired >= 1
+            deadline = time.monotonic() + 30
+            while pool.duplicates_ignored < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            # Every re-dispatched execution beyond the first is accounted
+            # as a discarded duplicate; exactly one delivery completed.
+            assert pool.duplicates_ignored >= 1
+            assert sum(link.completed for link in pool._agents) == 1
+        finally:
+            pool.close()
+
+    def test_sigterm_drains_in_flight_frames_gracefully(self):
+        """SIGTERM mid-frame: the agent finishes the frame, flushes the
+        result, refuses new work, and exits 0 — nothing is lost, nothing
+        needs re-dispatch."""
+        process, address = _spawn_loopback_agent(1)
+        pool = RemoteStudyPool(hosts=(address,), fallback="fail")
+        try:
+            handle = pool.submit(_diagnostic_sleep, (0.8, "drained"), units=1.0)
+            time.sleep(0.25)  # let the frame reach the agent and start
+            process.send_signal(signal.SIGTERM)
+            assert handle.get(timeout=60) == "drained"
+            assert process.wait(timeout=60) == 0
+        finally:
+            pool.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=15)
