@@ -1,0 +1,184 @@
+"""Load generator for the schedule service: cold vs warm latency and QPS.
+
+The service (PR 9) answers (topology, size, heuristic) queries with timed
+broadcast schedules out of an LRU schedule cache.  This benchmark drives a
+loopback daemon with a mixed query set and records:
+
+* **cold** — first pass over the set on a fresh daemon: every query builds
+  its grid, its cost matrices and its schedule (all cache misses);
+* **warm** — the same pass repeated: every query replays a cached payload
+  verbatim (all cache hits);
+* **hammer** — N concurrent clients replaying the warm set, for the
+  daemon's sustained queries-per-second.
+
+Every single response is verified bit-identical to the inline
+``get_heuristic(...).schedule(...)`` path *before* any timing is recorded
+— a fast wrong answer is not a result.  Latency percentiles (p50/p99),
+QPS and the ``warm_vs_cold_speedup`` headline land in
+``benchmarks/results/BENCH_service.json``; the acceptance floor (enforced
+by ``benchmarks/check_regression.py``) requires the schedule cache to
+answer at least **3x** faster than cold computation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from conftest import BENCH_SERVICE_JSON_FILE, emit, emit_json
+
+from repro.core.registry import get_heuristic
+from repro.runtime.service import ScheduleClient, ScheduleService, build_topology
+
+MB = 1_048_576
+
+#: The mixed query set: the paper's Grid'5000 testbed plus Monte-Carlo
+#: grids large enough that schedule construction dominates the wire hop.
+QUERIES: tuple[tuple[dict, int, str, int], ...] = (
+    ({"kind": "grid5000"}, MB, "ecef_la", 0),
+    ({"kind": "grid5000"}, 65_536, "ecef_lat_max", 0),
+    ({"kind": "random", "clusters": 24, "seed": 1}, MB, "ecef_la", 0),
+    ({"kind": "random", "clusters": 32, "seed": 2}, MB, "ecef", 0),
+    ({"kind": "random", "clusters": 32, "seed": 2}, 4 * MB, "ecef_la", 3),
+    ({"kind": "random", "clusters": 40, "seed": 3}, MB, "bottom_up", 0),
+    ({"kind": "random", "clusters": 40, "seed": 3}, MB, "ecef_lat_min", 0),
+    ({"kind": "random", "clusters": 48, "seed": 4}, 2 * MB, "ecef_la", 0),
+)
+
+HAMMER_CLIENTS = 4
+HAMMER_ROUNDS = 8
+
+
+def _references() -> list:
+    """The inline schedules the service must reproduce, computed once."""
+    return [
+        get_heuristic(heuristic).schedule(build_topology(spec), float(size), root=root)
+        for spec, size, heuristic, root in QUERIES
+    ]
+
+
+def _verify(reply, reference, label) -> None:
+    """Bit-identity against the inline path — the precondition of timing."""
+    schedule = reply.schedule()
+    assert schedule.order == reference.order, label
+    assert schedule.makespan == reference.makespan, label
+    assert schedule.completion_times == reference.completion_times, label
+    assert schedule.summary() == reference.summary(), label
+
+
+def _timed_pass(
+    client: ScheduleClient, references: list, expect_cached: bool
+) -> list[float]:
+    """One pass over the query set; per-query wall latencies in seconds."""
+    latencies = []
+    for index, (spec, size, heuristic, root) in enumerate(QUERIES):
+        started = time.perf_counter()
+        reply = client.query(spec, size, heuristic, root=root)
+        latencies.append(time.perf_counter() - started)
+        assert reply.cached == expect_cached, (spec, heuristic)
+        _verify(reply, references[index], (spec, heuristic))
+    return latencies
+
+
+def _percentiles(latencies: list[float]) -> dict[str, float]:
+    values = np.asarray(latencies)
+    return {
+        "p50_ms": float(np.percentile(values, 50) * 1e3),
+        "p99_ms": float(np.percentile(values, 99) * 1e3),
+        "mean_ms": float(values.mean() * 1e3),
+        "total_s": float(values.sum()),
+    }
+
+
+def test_service_cold_warm_and_hammer():
+    """Cold misses vs warm hits vs a concurrent hammer, one loopback daemon."""
+    references = _references()
+    server = ScheduleService(port=0, max_clients=HAMMER_CLIENTS + 1)
+    address = server.bind()
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="bench-service", daemon=True
+    )
+    serve_thread.start()
+    try:
+        with ScheduleClient(address) as client:
+            cold = _timed_pass(client, references, expect_cached=False)
+            warm = _timed_pass(client, references, expect_cached=True)
+            # A second warm pass is the steadier of the two: the first warm
+            # query still pays allocator/branch warmup noise.
+            warm = _timed_pass(client, references, expect_cached=True)
+
+        # The hammer: N clients replay the warm set concurrently.
+        failures: list[str] = []
+        per_client: list[list[float]] = [[] for _ in range(HAMMER_CLIENTS)]
+
+        def hammer(slot: int) -> None:
+            try:
+                with ScheduleClient(address, timeout=60) as mine:
+                    for _ in range(HAMMER_ROUNDS):
+                        per_client[slot].extend(
+                            _timed_pass(mine, references, expect_cached=True)
+                        )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"client {slot}: {type(exc).__name__}: {exc}")
+
+        hammer_started = time.perf_counter()
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(HAMMER_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        hammer_elapsed = time.perf_counter() - hammer_started
+        assert not failures, failures
+
+        stats = server.stats()
+    finally:
+        server.close()
+        serve_thread.join(timeout=5)
+
+    hammer_latencies = [value for slot in per_client for value in slot]
+    hammer_queries = HAMMER_CLIENTS * HAMMER_ROUNDS * len(QUERIES)
+    assert len(hammer_latencies) == hammer_queries
+    assert stats["served"] == hammer_queries + 3 * len(QUERIES)
+
+    sections = {
+        "cold": _percentiles(cold),
+        "warm": _percentiles(warm),
+        "hammer": {
+            **_percentiles(hammer_latencies),
+            "clients": HAMMER_CLIENTS,
+            "queries": hammer_queries,
+            "qps": hammer_queries / hammer_elapsed,
+        },
+    }
+    speedup = sections["cold"]["mean_ms"] / sections["warm"]["mean_ms"]
+
+    emit(
+        "Schedule service (loopback daemon, "
+        f"{len(QUERIES)}-query set, every response verified vs inline):\n"
+        f"  cold    p50 {sections['cold']['p50_ms']:8.3f} ms   "
+        f"p99 {sections['cold']['p99_ms']:8.3f} ms\n"
+        f"  warm    p50 {sections['warm']['p50_ms']:8.3f} ms   "
+        f"p99 {sections['warm']['p99_ms']:8.3f} ms   "
+        f"(cache {speedup:.1f}x cold)\n"
+        f"  hammer  p50 {sections['hammer']['p50_ms']:8.3f} ms   "
+        f"p99 {sections['hammer']['p99_ms']:8.3f} ms   "
+        f"({HAMMER_CLIENTS} clients, {sections['hammer']['qps']:,.0f} queries/s)"
+    )
+    emit_json(
+        "service_load",
+        {
+            "queries": len(QUERIES),
+            "warm_vs_cold_speedup": speedup,
+            "server_stats": stats,
+            **sections,
+        },
+        path=BENCH_SERVICE_JSON_FILE,
+    )
+    # The acceptance bar: a schedule-cache hit must answer at least 3x
+    # faster than cold computation.
+    assert speedup >= 3.0

@@ -27,7 +27,12 @@ perf wins of past PRs cannot silently rot:
 * chaos-hardened remote lane  >= 0.9x the bare lane on a healthy fleet
   (``BENCH_runtime.json``, remote_chaos section — heartbeats, frame
   deadlines, reconnect probation and degradation machinery must stay
-  within 10% of the unguarded lane when nothing goes wrong).
+  within 10% of the unguarded lane when nothing goes wrong),
+* schedule-service warm cache >= 3x cold computation on the mixed query
+  set (``BENCH_service.json``, service_load section — an LRU schedule
+  cache hit must answer well ahead of rebuilding grids, cost matrices
+  and schedules; every response is verified bit-identical to the inline
+  path before it is timed).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
 The summary printed here is also surfaced by the CI ``docs`` job, so doc
@@ -85,6 +90,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         "BENCH_runtime.json",
         ("remote_chaos", "overhead_speedup"),
         0.9,
+    ),
+    (
+        "BENCH_service.json",
+        ("service_load", "warm_vs_cold_speedup"),
+        3.0,
     ),
 )
 

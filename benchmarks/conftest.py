@@ -36,6 +36,9 @@ BENCH_PRACTICAL_JSON_FILE = Path(__file__).parent / "results" / "BENCH_practical
 #: shipping, pipelined end-to-end driver).
 BENCH_RUNTIME_JSON_FILE = Path(__file__).parent / "results" / "BENCH_runtime.json"
 
+#: Same, for the schedule-service benchmarks (cold vs warm latency, QPS).
+BENCH_SERVICE_JSON_FILE = Path(__file__).parent / "results" / "BENCH_service.json"
+
 
 def pytest_sessionstart(session):
     RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)

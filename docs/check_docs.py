@@ -28,6 +28,7 @@ DOCUMENTS = (
     "docs/architecture.md",
     "docs/reproducing.md",
     "docs/distributed.md",
+    "docs/service.md",
     "docs/static_analysis.md",
 )
 

@@ -13,7 +13,12 @@
   collectives against its barrier-separated baseline;
 * ``repro-bcast worker serve`` — run a distributed-lane worker agent that
   executes study chunks shipped by a coordinator running with
-  ``--executor remote`` (see ``--hosts`` / ``REPRO_HOSTS``).
+  ``--executor remote`` (see ``--hosts`` / ``REPRO_HOSTS``);
+* ``repro-bcast service serve`` / ``service query`` —
+  broadcast-scheduling-as-a-service: a long-running schedule daemon
+  answering (topology, size, heuristic) queries out of an LRU schedule
+  cache, and the matching client (``query`` prints the same summary the
+  ``schedule`` subcommand prints, byte for byte).
 
 Worker counts default to the ``REPRO_MC_WORKERS`` / ``REPRO_PRACTICAL_WORKERS``
 environment variables with the shared ``REPRO_WORKERS`` fallback; the fan-out
@@ -342,6 +347,105 @@ def _build_parser() -> argparse.ArgumentParser:
         "coordinator to back off and retry (default: 0 = unbounded)",
     )
 
+    service = sub.add_parser(
+        "service",
+        help="broadcast-scheduling-as-a-service: a schedule daemon answering "
+        "(topology, size, heuristic) queries out of an LRU schedule cache",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+    service_serve = service_sub.add_parser(
+        "serve",
+        help="run the schedule daemon in the foreground: listen for query "
+        "frames and answer them with timed broadcast schedules",
+    )
+    service_serve.add_argument(
+        "--bind",
+        default="127.0.0.1:7030",
+        help="HOST:PORT to listen on; port 0 lets the OS pick — the bound "
+        "address is announced on stdout (default: 127.0.0.1:7030)",
+    )
+    service_serve.add_argument(
+        "--max-clients",
+        type=int,
+        default=8,
+        help="concurrent client connections served before new ones are "
+        "bounced with a clean BUSY hello (default: 8)",
+    )
+    service_serve.add_argument(
+        "--queue",
+        type=int,
+        default=0,
+        help="bound on queries admitted but not yet answered, across all "
+        "clients; queries beyond it are bounced BUSY for the client to "
+        "back off and retry (default: 0 = unbounded)",
+    )
+    service_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="bound on cached schedules (and cached topologies), evicted "
+        "least-recently-used (default: 1024)",
+    )
+    service_serve.add_argument(
+        "--band-bytes",
+        type=int,
+        default=0,
+        help="message-size band width of the schedule-cache key: nearby "
+        "sizes share a cached decision order, re-timed exactly per query "
+        "(default: 0 = key by exact size; hits replay stored payloads "
+        "verbatim, trivially bit-identical)",
+    )
+    service_query = service_sub.add_parser(
+        "query",
+        help="ask a running schedule daemon for one schedule and print it "
+        "(byte-identical to the `schedule` subcommand's output)",
+    )
+    service_query.add_argument(
+        "--host",
+        default="127.0.0.1:7030",
+        help="HOST:PORT of the running daemon (default: 127.0.0.1:7030)",
+    )
+    service_query.add_argument(
+        "--heuristic",
+        default="ecef_la",
+        choices=available_heuristics(),
+        help="scheduling heuristic to ask for (default: ecef_la)",
+    )
+    service_query.add_argument(
+        "--message-size",
+        type=int,
+        default=1_048_576,
+        help="broadcast payload in bytes (default: 1048576, the paper's 1 MB)",
+    )
+    service_query.add_argument(
+        "--root", type=int, default=0, help="root cluster id (default: 0)"
+    )
+    service_query.add_argument(
+        "--clusters",
+        type=int,
+        default=0,
+        help="query a random grid with this many clusters instead of the "
+        "Table 3 grid (default: 0 = Table 3 GRID5000)",
+    )
+    service_query.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="random-grid generator seed (default: 1)",
+    )
+    service_query.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds allowed for connect and for each reply (default: 30.0)",
+    )
+    service_query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's cache statistics instead of querying "
+        "(default: False)",
+    )
+
     return parser
 
 
@@ -502,6 +606,38 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    if args.service_command == "serve":
+        from repro.runtime.service import serve_service
+
+        serve_service(
+            args.bind,
+            max_clients=args.max_clients,
+            queue=args.queue,
+            cache_size=args.cache_size,
+            band_bytes=args.band_bytes,
+        )
+        return 0
+    from repro.runtime.service import ScheduleClient
+
+    with ScheduleClient(args.host, timeout=args.timeout) as client:
+        if args.stats:
+            for key, value in sorted(client.stats().items()):
+                print(f"{key}: {value}")
+            return 0
+        if args.clusters <= 0:
+            topology = {"kind": "grid5000"}
+        else:
+            topology = {"kind": "random", "clusters": args.clusters, "seed": args.seed}
+        reply = client.query(
+            topology, args.message_size, args.heuristic, root=args.root
+        )
+        # The same summary() the `schedule` subcommand prints — byte-for-byte
+        # diffable against the inline path (the CI service-smoke contract).
+        print(reply.schedule().summary())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as the ``repro-bcast`` script)."""
     parser = _build_parser()
@@ -521,6 +657,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "practical": _cmd_practical,
         "chain": _cmd_chain,
         "worker": _cmd_worker,
+        "service": _cmd_service,
     }
     return handlers[args.command](args)
 

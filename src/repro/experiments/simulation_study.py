@@ -42,7 +42,7 @@ from repro.runtime.chunking import (
     choose_executor,
     cost_model_key,
     load_cost_model,
-    save_cost_model,
+    save_cost_models,
 )
 from repro.runtime.pool import engage_remote_lane, get_pool
 from repro.runtime.transport import ArrayShipment
@@ -343,9 +343,9 @@ def _run_stack_shipping(
         while pending:
             collect()
         # Persist whatever was observed (opt-in via REPRO_COST_CACHE) so
-        # the next study's first chunks are priced from measurement.
-        for key, model in cost_models.values():
-            save_cost_model(key, model)
+        # the next study's first chunks are priced from measurement; one
+        # batched save merges all records under a single writer lock.
+        save_cost_models(dict(cost_models.values()))
     except BaseException:
         # A chunk failed (or construction did): release every in-flight
         # shipment before propagating.

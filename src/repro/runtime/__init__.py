@@ -34,7 +34,15 @@ the subsystem that removes them, shared by every study driver and the CLI:
   submit/collect contract over a length-prefixed socket protocol to
   standalone worker agents (``repro-bcast worker serve``), each fronting
   its own local process pool; agents are named by ``hosts=`` /
-  ``REPRO_HOSTS`` or auto-spawned as loopback subprocesses.
+  ``REPRO_HOSTS`` or auto-spawned as loopback subprocesses;
+* :mod:`repro.runtime.serving` / :mod:`repro.runtime.service` — the
+  **serving surface**: :class:`~repro.runtime.serving.FrameServer` (the
+  accept-loop/admission/drain skeleton shared by the agent and the
+  daemon) and broadcast-scheduling-as-a-service — a
+  :class:`~repro.runtime.service.ScheduleService` daemon (``repro-bcast
+  service serve``) answering (topology, size, heuristic) queries with
+  bit-identical timed schedules out of an LRU schedule cache, plus its
+  :class:`~repro.runtime.service.ScheduleClient`.
 
 Worker counts everywhere resolve through
 :func:`repro.utils.workers.resolve_workers` (``REPRO_MC_WORKERS`` /
@@ -64,6 +72,7 @@ from repro.runtime.chunking import (
     program_cost,
     resolve_executor,
     save_cost_model,
+    save_cost_models,
 )
 from repro.runtime.pipeline import PipelinedExecutor
 from repro.runtime.remote import (
@@ -72,6 +81,16 @@ from repro.runtime.remote import (
     parse_hosts,
     resolve_hosts,
     serve_agent,
+)
+from repro.runtime.serving import FrameServer
+from repro.runtime.service import (
+    ScheduleClient,
+    ScheduleReply,
+    ScheduleService,
+    ServiceBusyError,
+    ServiceError,
+    serve_service,
+    topology_key,
 )
 
 __all__ = [
@@ -95,10 +114,19 @@ __all__ = [
     "program_cost",
     "resolve_executor",
     "save_cost_model",
+    "save_cost_models",
     "PipelinedExecutor",
     "AgentServer",
     "RemoteStudyPool",
     "parse_hosts",
     "resolve_hosts",
     "serve_agent",
+    "FrameServer",
+    "ScheduleClient",
+    "ScheduleReply",
+    "ScheduleService",
+    "ServiceBusyError",
+    "ServiceError",
+    "serve_service",
+    "topology_key",
 ]

@@ -32,7 +32,12 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
+
+try:  # POSIX writer lock for the shared on-disk cost cache
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: Valid ``executor=`` values accepted by the runtime entry points and every
 #: study driver: ``"auto"`` (cost-based choice), ``"thread"``
@@ -258,30 +263,78 @@ def load_cost_model(key: str, fallback_keys: Sequence[str] = ()) -> CostModel:
 def save_cost_model(key: str, model: CostModel) -> None:
     """Record ``model``'s observations under ``key`` in the on-disk cache.
 
-    A no-op when ``REPRO_COST_CACHE`` is unset or the model observed
-    nothing.  The write is atomic (temp file + rename) so concurrent studies
-    sharing one cache can only ever read a complete document; write failures
-    are swallowed — the cache is an accelerator, never a dependency.
+    Shorthand for :func:`save_cost_models` with a single record; see there
+    for the concurrency contract.  Never raises.
+    """
+    save_cost_models({key: model})
+
+
+def save_cost_models(records: Mapping[str, CostModel]) -> None:
+    """Merge several models' observations into the on-disk cache at once.
+
+    A no-op when ``REPRO_COST_CACHE`` is unset or no record observed
+    anything.  Writers sharing one cache — concurrent studies, coordinators,
+    the schedule daemon — are safe against each other twice over:
+
+    * the replacement is atomic (temp file in the same directory +
+      ``os.replace``), so a concurrent *reader* can only ever see a
+      complete document, never a torn write;
+    * the read-merge-write cycle runs under an exclusive ``flock`` on a
+      ``<cache>.lock`` sidecar, so a concurrent *writer* cannot interleave
+      its own cycle inside ours and revert keys it never touched (the
+      lost-update race the old single-key rewrite had).  Where ``fcntl``
+      is unavailable the merge still happens against a fresh read, which
+      shrinks the race window without eliminating it.
+
+    Only the keys in ``records`` are updated; every other key in the
+    document is preserved.  All failures are swallowed — the cache is an
+    accelerator, never a dependency.
     """
     path = _cost_cache_path()
-    if path is None or not model.observed:
+    if path is None:
+        return
+    payload = {
+        key: model.snapshot() for key, model in records.items() if model.observed
+    }
+    if not payload:
         return
     try:
+        _merge_into_cost_cache(path, payload)
+    except Exception:  # noqa: BLE001 - performance device, never fails a study
+        pass
+
+
+def _merge_into_cost_cache(
+    path: Path, payload: dict[str, dict[str, float]]
+) -> None:
+    """Locked read-merge-replace of ``payload`` into the cache document."""
+    lock_handle = open(path.with_name(path.name + ".lock"), "a")
+    try:
+        if fcntl is not None:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
         try:
             document = json.loads(path.read_text())
             if not isinstance(document, dict):
                 document = {}
         except Exception:  # noqa: BLE001 - first write or corrupt cache
             document = {}
-        document[key] = model.snapshot()
+        document.update(payload)
         handle, temp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=path.name, suffix=".tmp"
         )
-        with os.fdopen(handle, "w") as stream:
-            json.dump(document, stream)
-        os.replace(temp_name, path)
-    except Exception:  # noqa: BLE001 - performance device, never fails a study
-        pass
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(document, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+    finally:
+        # Closing the handle releases the flock with it.
+        lock_handle.close()
 
 
 def aggregate_unit_costs(

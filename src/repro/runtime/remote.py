@@ -113,7 +113,8 @@ import multiprocessing
 import multiprocessing.pool
 
 from repro.runtime import wire
-from repro.runtime.chunking import load_cost_model, save_cost_model
+from repro.runtime.chunking import load_cost_model, save_cost_models
+from repro.runtime.serving import FrameServer
 from repro.runtime.faults import (
     FAULT_CRASH,
     SEND_CORRUPT,
@@ -424,7 +425,7 @@ def _diagnostic_sleep(args: tuple[float, Any]) -> Any:
 # -- the agent (server side) ----------------------------------------------------------
 
 
-class AgentServer:
+class AgentServer(FrameServer):
     """One study agent: a socket front on a local worker pool.
 
     Serves up to ``max_coordinators`` concurrent coordinator connections,
@@ -441,6 +442,10 @@ class AgentServer:
     backoff-and-retry.  Heartbeat pings are answered inline from the serve
     loop — never queued behind jobs — so a busy agent still proves it is
     alive.
+
+    The accept loop, admission control and SIGTERM drain live in
+    :class:`~repro.runtime.serving.FrameServer` (shared with the schedule
+    service daemon); this class supplies the job protocol on top.
 
     Parameters
     ----------
@@ -463,6 +468,9 @@ class AgentServer:
         behaviour).
     """
 
+    thread_name = "repro-agent-conn"
+    busy_reason = "agent at max coordinators or draining"
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -482,40 +490,15 @@ class AgentServer:
             raise ValueError(
                 f"an agent serves at least 1 coordinator, got {max_coordinators}"
             )
-        if queue < 0:
-            raise ValueError(f"--queue is a bound >= 0 (0: unbounded), got {queue}")
-        self._host = host
-        self._port = port
+        super().__init__(host, port, max_clients=max_coordinators, queue=queue)
         self.workers = int(workers)
         self.slowdown = float(slowdown)
-        self.max_coordinators = int(max_coordinators)
-        self._queue_bound = int(queue)
-        self._listener: socket.socket | None = None
         self._pool: multiprocessing.pool.Pool | None = None
-        self._stopped = threading.Event()
-        #: Set by :meth:`begin_drain` (SIGTERM): finish what is in flight,
-        #: refuse everything new.  An Event, not a lock-guarded flag — the
-        #: drain request comes from a signal handler, which must not take
-        #: locks the interrupted main thread may hold.
-        self._drain = threading.Event()
-        #: Admission state; the Condition doubles as its lock and signals
-        #: :meth:`drain` when the last pending frame flushes.
-        self._idle = threading.Condition()
-        self._active = 0  # guarded-by: _idle
-        self._pending = 0  # guarded-by: _idle
-        self._connections: set[socket.socket] = set()  # guarded-by: _idle
-        self.address: tuple[str, int] | None = None
 
-    def bind(self) -> tuple[str, int]:
-        """Bind the listen socket and return the concrete ``(host, port)``."""
-        if self._listener is None:
-            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            listener.bind((self._host, self._port))
-            listener.listen(8)
-            self._listener = listener
-            self.address = listener.getsockname()[:2]
-        return self.address
+    @property
+    def max_coordinators(self) -> int:
+        """The connection cap, under its historical agent-side name."""
+        return self.max_clients
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         with self._idle:  # connection threads race the lazy spawn
@@ -526,223 +509,74 @@ class AgentServer:
                     self._pool = multiprocessing.pool.ThreadPool(processes=1)
             return self._pool
 
-    def serve_forever(self) -> None:
-        """Accept coordinator connections until :meth:`close` is called."""
-        self.bind()
-        while not self._stopped.is_set():
-            try:
-                conn, _ = self._listener.accept()
-            except OSError:
-                break
-            with self._idle:
-                admitted = (
-                    not self._drain.is_set()
-                    and self._active < self.max_coordinators
-                )
-                if admitted:
-                    self._active += 1
-                    self._connections.add(conn)
-            if not admitted:
-                self._reject_connection(conn)
-                continue
-            threading.Thread(
-                target=self._connection_thread,
-                args=(conn,),
-                name="repro-agent-conn",
-                daemon=True,
-            ).start()
+    def _hello_message(self) -> dict[str, Any]:
+        return {"hello": wire.WIRE_VERSION, "workers": self.workers}
 
-    def _reject_connection(self, conn: socket.socket) -> None:
-        """Bounce a connection with a ``BUSY`` hello and close it."""
-        try:
-            wire.send_message(
-                conn,
-                wire.control_message(
-                    wire.OP_BUSY, reason="agent at max coordinators or draining"
-                ),
-            )
-        except OSError:
-            pass
-        finally:
-            try:
-                conn.close()
-            except OSError:
-                pass
+    def _error_reply(
+        self, message: dict[str, Any], exc: Exception
+    ) -> dict[str, Any]:
+        # Unpicklable results/errors degrade to a descriptive error frame
+        # that still echoes the job id the coordinator is waiting on.
+        return {
+            "job": message.get("job"),
+            "error": RuntimeError(f"agent could not serialise the reply: {exc}"),
+        }
 
-    def _connection_thread(self, conn: socket.socket) -> None:
-        try:
-            self._serve_connection(conn)
-        finally:
-            with self._idle:
-                self._active -= 1
-                self._connections.discard(conn)
-                self._idle.notify_all()
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-    def _admit_job(self) -> bool:
-        """Account one more in-flight frame, unless draining or over bound."""
-        if self._drain.is_set():
+    def _handle_frame(
+        self, message: dict[str, Any], reply: Callable[[dict[str, Any]], None]
+    ) -> bool:
+        if "job" not in message:
             return False
-        with self._idle:
-            if self._queue_bound > 0 and self._pending >= self._queue_bound:
-                return False
-            self._pending += 1
-        return True
-
-    def _job_finished(self) -> None:
-        with self._idle:
-            self._pending -= 1
-            self._idle.notify_all()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        send_lock = threading.Lock()
-
-        def reply(message: dict) -> None:
-            # Unpicklable results/errors degrade to a descriptive error
-            # frame; an unreachable coordinator is simply gone (it will
-            # requeue elsewhere), so send failures are swallowed.
-            try:
-                frame = wire.encode_message(message)
-            except Exception as exc:  # noqa: BLE001 - degrade, don't die
-                frame = wire.encode_message(
-                    {
-                        "job": message.get("job"),
-                        "error": RuntimeError(
-                            f"agent could not serialise the reply: {exc}"
-                        ),
-                    }
-                )
-            try:
-                with send_lock:
-                    conn.sendall(frame)
-            except OSError:
-                pass
-
-        wire.send_message(
-            conn, {"hello": wire.WIRE_VERSION, "workers": self.workers}
-        )
+        job_id = message["job"]
+        if not self._admit_job():
+            # Draining, or the in-flight bound is hit: a clean per-job
+            # reject the coordinator retries (here or elsewhere) after
+            # a backoff, instead of silently queueing without bound.
+            reply({"job": job_id, "op": wire.OP_BUSY})
+            return True
         pool = self._ensure_pool()
-        repack_locally = self.workers >= 2
-        while not self._stopped.is_set():
-            try:
-                message = wire.recv_message(conn)
-            except Exception:  # noqa: BLE001 - a frame that cannot be
-                # decoded (truncation, version skew, a class this agent's
-                # build cannot import) poisons the stream: drop the
-                # connection — the coordinator requeues elsewhere — and go
-                # back to accepting instead of crashing the whole agent.
-                break
-            if message is None or not isinstance(message, dict):
-                break
-            op = message.get("op")
-            if op == wire.OP_PING:
-                # Answered here, from the serve loop, not through the pool:
-                # pings must come back even while every worker is busy.
-                reply(wire.control_message(wire.OP_PONG, seq=message.get("seq")))
-                continue
-            if op == wire.OP_SHUTDOWN or "job" not in message:
-                break
-            job_id = message["job"]
-            if not self._admit_job():
-                # Draining, or the in-flight bound is hit: a clean per-job
-                # reject the coordinator retries (here or elsewhere) after
-                # a backoff, instead of silently queueing without bound.
-                reply({"job": job_id, "op": wire.OP_BUSY})
-                continue
-            try:
-                fn = _resolve_function(message["fn"])
-                args = message["args"]
-                repacked: list[ArrayShipment] = []
-                if repack_locally:
-                    args = _localise(args, repacked)
-            except Exception as exc:  # noqa: BLE001 - reported to coordinator
-                reply({"job": job_id, "error": _picklable_error(exc)})
-                self._job_finished()
-                continue
+        try:
+            fn = _resolve_function(message["fn"])
+            args = message["args"]
+            repacked: list[ArrayShipment] = []
+            if self.workers >= 2:
+                args = _localise(args, repacked)
+        except Exception as exc:  # noqa: BLE001 - reported to coordinator
+            reply({"job": job_id, "error": _picklable_error(exc)})
+            self._job_finished()
+            return True
 
-            def _done(
-                timed: tuple[Any, float],
-                job_id: int = job_id,
-                repacked: list[ArrayShipment] = repacked,
-            ) -> None:
-                value, elapsed = timed
-                reply({"job": job_id, "result": value, "elapsed": elapsed})
-                for shipment in repacked:
-                    shipment.unlink()
-                self._job_finished()
+        def _done(
+            timed: tuple[Any, float],
+            job_id: int = job_id,
+            repacked: list[ArrayShipment] = repacked,
+        ) -> None:
+            value, elapsed = timed
+            reply({"job": job_id, "result": value, "elapsed": elapsed})
+            for shipment in repacked:
+                shipment.unlink()
+            self._job_finished()
 
-            def _failed(
-                exc: BaseException,
-                job_id: int = job_id,
-                repacked: list[ArrayShipment] = repacked,
-            ) -> None:
-                reply({"job": job_id, "error": _picklable_error(exc)})
-                for shipment in repacked:
-                    shipment.unlink()
-                self._job_finished()
+        def _failed(
+            exc: BaseException,
+            job_id: int = job_id,
+            repacked: list[ArrayShipment] = repacked,
+        ) -> None:
+            reply({"job": job_id, "error": _picklable_error(exc)})
+            for shipment in repacked:
+                shipment.unlink()
+            self._job_finished()
 
-            pool.apply_async(
-                _timed_execute,
-                (fn, args, self.slowdown),
-                callback=_done,
-                error_callback=_failed,
-            )
-
-    @property
-    def draining(self) -> bool:
-        """Whether a graceful shutdown has been requested."""
-        return self._drain.is_set()
-
-    def begin_drain(self) -> None:
-        """Request a graceful shutdown (async-signal-safe: takes no locks).
-
-        New connections and new job frames are refused ``BUSY`` from this
-        point on; frames already admitted keep executing and their results
-        still flush.  Closing the listener kicks :meth:`serve_forever` out
-        of its blocking accept, so the serving thread can proceed to
-        :meth:`drain` and exit cleanly — the ``worker serve`` SIGTERM path.
-        """
-        self._drain.set()
-        listener = self._listener
-        if listener is not None:
-            try:
-                listener.close()
-            except OSError:
-                pass
-
-    def drain(self, timeout: float = 30.0) -> bool:
-        """Wait for every admitted frame to finish and its result to flush.
-
-        Returns whether the agent fully drained within ``timeout`` seconds.
-        """
-        deadline = time.monotonic() + timeout
-        with self._idle:
-            while self._pending > 0:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return False
-                self._idle.wait(remaining)
+        pool.apply_async(
+            _timed_execute,
+            (fn, args, self.slowdown),
+            callback=_done,
+            error_callback=_failed,
+        )
         return True
 
-    def close(self) -> None:
-        """Stop accepting, tear the local pool down (idempotent)."""
-        self._stopped.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        with self._idle:
-            connections = list(self._connections)
-        for conn in connections:
-            try:
-                conn.close()
-            except OSError:
-                pass
+    def _on_close(self) -> None:
+        """Tear the local pool down after the sockets are gone."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -1470,12 +1304,18 @@ class RemoteStudyPool:
             job.handle._settle(
                 None, RuntimeError("RemoteStudyPool closed with jobs pending")
             )
+        # Loopback agents get fresh OS-assigned ports every run, so a
+        # per-agent record would never be read back — only named agents
+        # persist their models.  One batched save merges the whole fleet's
+        # records under a single writer lock instead of N racing rewrites.
+        save_cost_models(
+            {
+                f"agent/{link.name}": link.cost_model
+                for link in agents
+                if link.process is None
+            }
+        )
         for link in agents:
-            # Loopback agents get fresh OS-assigned ports every run, so a
-            # per-agent record would never be read back — only named agents
-            # persist their models.
-            if link.process is None and link.cost_model.observed:
-                save_cost_model(f"agent/{link.name}", link.cost_model)
             link.close()
 
     def __enter__(self) -> "RemoteStudyPool":

@@ -42,6 +42,7 @@ from repro.runtime.chunking import (
     program_cost,
     resolve_executor,
     save_cost_model,
+    save_cost_models,
 )
 from repro.runtime.faults import (
     FAULT_CRASH,
@@ -1156,6 +1157,92 @@ class TestCostModelPersistence:
         # An unobserved model is never persisted (it would store the prior).
         save_cost_model("pipeline", CostModel())
         assert cache.read_text() == "{not json"
+
+    def test_save_merges_instead_of_clobbering_unknown_keys(
+        self, tmp_path, monkeypatch
+    ):
+        """A save only touches its own keys; foreign records survive."""
+        cache = tmp_path / "costs.json"
+        monkeypatch.setenv("REPRO_COST_CACHE", str(cache))
+        cache.write_text(json.dumps({"foreign": {"units": 7.0, "seconds": 1.0}}))
+        model = CostModel()
+        model.observe(300.0, 2.0)
+        other = CostModel()
+        other.observe(40.0, 4.0)
+        save_cost_models({"mine/a": model, "mine/b": other, "mine/idle": CostModel()})
+        document = json.loads(cache.read_text())
+        # The batch landed (minus the unobserved model), the foreign key
+        # written by some other study/daemon is untouched.
+        assert set(document) == {"foreign", "mine/a", "mine/b"}
+        assert load_cost_model("foreign").units_per_second == 7.0
+        assert load_cost_model("mine/a").units_per_second == 150.0
+
+    def test_concurrent_thread_writers_lose_no_records(
+        self, tmp_path, monkeypatch
+    ):
+        """N threads interleaving read-merge-write cycles drop nothing.
+
+        This is the lost-update race the sidecar ``flock`` closes: before
+        it, two writers could both read the same document and the slower
+        ``os.replace`` reverted the faster writer's keys.
+        """
+        cache = tmp_path / "costs.json"
+        monkeypatch.setenv("REPRO_COST_CACHE", str(cache))
+        rounds = 25
+
+        def writer(name: int) -> None:
+            model = CostModel()
+            model.observe(1_000.0 * (name + 1), 1.0)
+            for index in range(rounds):
+                save_cost_model(f"writer/{name}/{index}", model)
+
+        threads = [
+            threading.Thread(target=writer, args=(name,)) for name in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        document = json.loads(cache.read_text())
+        expected = {
+            f"writer/{name}/{index}"
+            for name in range(4)
+            for index in range(rounds)
+        }
+        assert set(document) == expected
+        for name in range(4):
+            assert (
+                load_cost_model(f"writer/{name}/0").units_per_second
+                == 1_000.0 * (name + 1)
+            )
+
+    def test_concurrent_process_writers_lose_no_records(
+        self, tmp_path, monkeypatch
+    ):
+        """Two separate interpreters race the one cache file safely."""
+        import subprocess
+        import sys
+
+        cache = tmp_path / "costs.json"
+        monkeypatch.setenv("REPRO_COST_CACHE", str(cache))
+        script = (
+            "import sys\n"
+            "from repro.runtime.chunking import CostModel, save_cost_model\n"
+            "name = sys.argv[1]\n"
+            "model = CostModel()\n"
+            "model.observe(500.0, 1.0)\n"
+            "for index in range(20):\n"
+            "    save_cost_model(f'proc/{name}/{index}', model)\n"
+        )
+        workers = [
+            subprocess.Popen([sys.executable, "-c", script, str(name)])
+            for name in range(2)
+        ]
+        for worker in workers:
+            assert worker.wait(timeout=60) == 0
+        document = json.loads(cache.read_text())
+        expected = {f"proc/{name}/{index}" for name in range(2) for index in range(20)}
+        assert set(document) == expected
 
     def test_pipelined_executor_persists_observations(
         self, grid5000, thread_pool, tmp_path, monkeypatch
