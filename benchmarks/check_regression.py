@@ -32,7 +32,14 @@ perf wins of past PRs cannot silently rot:
   set (``BENCH_service.json``, service_load section — an LRU schedule
   cache hit must answer well ahead of rebuilding grids, cost matrices
   and schedules; every response is verified bit-identical to the inline
-  path before it is timed).
+  path before it is timed),
+* vectorized gossip round engine >= 20x the scalar per-node reference on
+  the 10^4-node draw-free tree workload (``BENCH_gossip.json``,
+  gossip_engine section — the flat-array engine is what makes the
+  10^5/10^6-node studies feasible; tree is the one protocol without the
+  seeded target draw both engines share by construction, so the ratio
+  measures the engines themselves; both are verified bit-identical
+  before they are timed).
 
 Exit code 0 when every floor holds; 1 with a per-floor report otherwise.
 The summary printed here is also surfaced by the CI ``docs`` job, so doc
@@ -95,6 +102,11 @@ FLOORS: tuple[tuple[str, tuple[str, ...], float], ...] = (
         "BENCH_service.json",
         ("service_load", "warm_vs_cold_speedup"),
         3.0,
+    ),
+    (
+        "BENCH_gossip.json",
+        ("gossip_engine", "speedup_vectorized_vs_scalar"),
+        20.0,
     ),
 )
 

@@ -39,6 +39,10 @@ BENCH_RUNTIME_JSON_FILE = Path(__file__).parent / "results" / "BENCH_runtime.jso
 #: Same, for the schedule-service benchmarks (cold vs warm latency, QPS).
 BENCH_SERVICE_JSON_FILE = Path(__file__).parent / "results" / "BENCH_service.json"
 
+#: Same, for the gossip round-engine benchmarks (rounds/s at 10^4..10^6
+#: nodes, vectorized vs the scalar reference).
+BENCH_GOSSIP_JSON_FILE = Path(__file__).parent / "results" / "BENCH_gossip.json"
+
 
 def pytest_sessionstart(session):
     RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)

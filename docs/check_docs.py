@@ -29,6 +29,7 @@ DOCUMENTS = (
     "docs/reproducing.md",
     "docs/distributed.md",
     "docs/service.md",
+    "docs/gossip.md",
     "docs/static_analysis.md",
 )
 

@@ -11,6 +11,9 @@
   (optionally with noise replicas and a pipelined worker fan-out);
 * ``repro-bcast chain`` — measure a warm-network pipeline of back-to-back
   collectives against its barrier-separated baseline;
+* ``repro-bcast gossip`` — run the tree-vs-gossip dissemination study
+  (rounds, delivery fraction, traffic, pLogP-timed delivery) over the
+  vectorized epidemic round engine, with optional churn and noise;
 * ``repro-bcast worker serve`` — run a distributed-lane worker agent that
   executes study chunks shipped by a coordinator running with
   ``--executor remote`` (see ``--hosts`` / ``REPRO_HOSTS``);
@@ -51,8 +54,10 @@ from repro.experiments.practical_study import (
     run_practical_study,
     run_scatter_study,
 )
+from repro.experiments.gossip_study import GossipStudyConfig, run_gossip_study
 from repro.experiments.report import render_series_table, render_table
 from repro.experiments.simulation_study import run_simulation_study
+from repro.gossip.spec import GOSSIP_PROTOCOLS, ChurnSpec
 from repro.topology.generators import RandomGridGenerator
 from repro.topology.grid5000 import build_grid5000_topology
 from repro.utils.rng import RandomStream
@@ -291,6 +296,87 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process)",
     )
     _add_executor_option(chain)
+
+    gossip = sub.add_parser(
+        "gossip",
+        help="run the tree-vs-gossip dissemination study over the vectorized "
+        "epidemic round engine",
+    )
+    gossip.add_argument(
+        "--protocols",
+        default="tree,push,pushpull,epto",
+        help="comma-separated protocols to compare "
+        f"(choices: {', '.join(GOSSIP_PROTOCOLS)}; "
+        "default: tree,push,pushpull,epto)",
+    )
+    gossip.add_argument(
+        "--nodes",
+        default="1000,10000",
+        help="comma-separated network sizes to sweep (default: 1000,10000)",
+    )
+    gossip.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="peers each informed node pushes to per round (default: 2)",
+    )
+    gossip.add_argument(
+        "--ttl",
+        type=int,
+        default=0,
+        help="rounds an epto node relays after infection "
+        "(default: 0 = auto, ceil(log2 n) + 2)",
+    )
+    gossip.add_argument(
+        "--rounds",
+        type=int,
+        default=64,
+        help="hard cap on executed rounds; every protocol stops earlier once "
+        "no further infection is possible (default: 64)",
+    )
+    gossip.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="fraction of nodes that leave at a seeded random round "
+        "(default: 0.0, no churn)",
+    )
+    gossip.add_argument(
+        "--join",
+        type=float,
+        default=0.0,
+        help="fraction of nodes that join late at a seeded random round "
+        "(default: 0.0, all present from round 0)",
+    )
+    gossip.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="log-normal sigma of the per-round duration jitter "
+        "(default: 0.0, noise-free pLogP timing)",
+    )
+    gossip.add_argument(
+        "--message-size",
+        type=int,
+        default=1024,
+        help="gossip payload in bytes, for the timing model (default: 1024)",
+    )
+    gossip.add_argument(
+        "--seed",
+        type=int,
+        default=20060331,
+        help="study seed; every (protocol, size) cell derives its own child "
+        "seed (default: 20060331)",
+    )
+    gossip.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the study cells out over this many workers "
+        "(default: REPRO_GOSSIP_WORKERS, then REPRO_WORKERS, then "
+        "in-process)",
+    )
+    _add_executor_option(gossip)
 
     worker = sub.add_parser(
         "worker",
@@ -592,6 +678,56 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gossip(args: argparse.Namespace) -> int:
+    protocols = tuple(
+        name.strip() for name in args.protocols.split(",") if name.strip()
+    )
+    node_counts = tuple(
+        int(value) for value in args.nodes.split(",") if value.strip()
+    )
+    churn = (
+        ChurnSpec(leave_fraction=args.churn, join_fraction=args.join)
+        if args.churn > 0.0 or args.join > 0.0
+        else None
+    )
+    config = GossipStudyConfig(
+        protocols=protocols,
+        node_counts=node_counts,
+        fanout=args.fanout,
+        ttl=args.ttl,
+        rounds=args.rounds,
+        churn=churn,
+        noise_sigma=args.noise,
+        message_size=float(args.message_size),
+        seed=args.seed,
+    )
+    result = run_gossip_study(
+        config,
+        workers=args.workers,
+        executor=args.executor,
+        hosts=args.hosts,
+    )
+    tables = (
+        ("Rounds to delivery", result.metric("rounds_to_delivery")),
+        ("Delivery fraction", result.delivery_fractions()),
+        ("Messages per node", result.messages_per_node()),
+        ("Delivery time (s)", result.metric("delivery_time")),
+    )
+    for index, (title, plane) in enumerate(tables):
+        if index:
+            print()
+        series = {
+            protocol: plane[p_index].tolist()
+            for p_index, protocol in enumerate(protocols)
+        }
+        print(
+            render_series_table(
+                "nodes", list(node_counts), series, title=title, precision=4
+            )
+        )
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.runtime.remote import serve_agent
 
@@ -656,6 +792,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "practical": _cmd_practical,
         "chain": _cmd_chain,
+        "gossip": _cmd_gossip,
         "worker": _cmd_worker,
         "service": _cmd_service,
     }

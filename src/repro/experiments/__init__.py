@@ -15,6 +15,9 @@
 * :mod:`~repro.experiments.chained_study` — warm-network pipelines of
   back-to-back collectives measured against their barrier-separated
   baselines.
+* :mod:`~repro.experiments.gossip_study` — the tree-vs-gossip dissemination
+  study (rounds, traffic, robustness under churn and noise) over the
+  :mod:`repro.gossip` round engines.
 * :mod:`~repro.experiments.report` — plain-text rendering of result series in
   the same rows/columns as the paper's artefacts.
 """
@@ -44,6 +47,11 @@ from repro.experiments.practical_study import (
     run_practical_study,
     run_scatter_study,
 )
+from repro.experiments.gossip_study import (
+    GossipStudyConfig,
+    GossipStudyResult,
+    run_gossip_study,
+)
 from repro.experiments.report import render_series_table, render_hit_rate_table
 
 __all__ = [
@@ -60,6 +68,9 @@ __all__ = [
     "CHAIN_COLLECTIVES",
     "ChainedStudyResult",
     "run_chained_study",
+    "GossipStudyConfig",
+    "GossipStudyResult",
+    "run_gossip_study",
     "CollectiveStudyResult",
     "PracticalStudyResult",
     "run_practical_study",

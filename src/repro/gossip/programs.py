@@ -1,0 +1,120 @@
+"""Gossip runs as :class:`~repro.simulator.program.CommunicationProgram`\\ s.
+
+:func:`gossip_program` replays a churn-free gossip run (executed by the round
+engine) into the simulator's send-list representation, so small gossip
+instances flow through the existing scalar and batched simulator lanes
+unchanged — same pLogP timing, same traces, same noise machinery as the
+paper's tree broadcasts.  The program is a faithful transcript of the
+engine's payload traffic: each rank's send list is its round-by-round sends,
+tagged ``round-<k>``, in round-major slot order.
+
+Two deliberate scope limits:
+
+* **Churn-free only.**  A :class:`CommunicationProgram` has no notion of a
+  rank disappearing mid-run; specs with an active churn schedule are
+  rejected (the round engines handle churn natively).
+* **Payload messages only.**  ``pushpull``'s empty pull *requests* come from
+  uninformed ranks, which the activation-based executor cannot represent as
+  senders; the program carries the payload-bearing traffic (pushes, flood
+  and tree sends, EpTO relays, pull *replies*, tagged ``round-<k>/pull``).
+  ``GossipRunResult.total_messages`` counts requests too, so for
+  ``pushpull`` the program's message count is the engine total minus the
+  request traffic; for every other protocol the counts match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gossip.engine import GossipRunResult, _round_targets, run_gossip
+from repro.gossip.spec import GossipSpec
+from repro.simulator.program import CommunicationProgram, SendInstruction
+from repro.utils.validation import check_non_negative
+
+
+def gossip_program(
+    spec: GossipSpec,
+    message_size: float,
+    *,
+    result: GossipRunResult | None = None,
+) -> CommunicationProgram:
+    """Transcribe a churn-free gossip run into a communication program.
+
+    Parameters
+    ----------
+    spec:
+        The run to transcribe.  ``spec.churn`` must be ``None`` or inactive.
+    message_size:
+        Payload size in bytes, applied to every send.
+    result:
+        Optional pre-computed outcome of ``run_gossip(spec)``; passed by
+        callers that already ran the engine (the transcription re-runs it
+        otherwise).  It must belong to the same spec.
+
+    Returns
+    -------
+    CommunicationProgram
+        One send list per rank, in round-major slot order.  Intended for the
+        small instances the scalar/batched lanes are built for — a
+        million-node flood transcript would be the traffic itself.
+    """
+    check_non_negative(message_size, "message_size")
+    if spec.churn is not None and spec.churn.active:
+        raise ValueError(
+            "gossip_program only transcribes churn-free specs; "
+            "use run_gossip for churned networks"
+        )
+    if result is None:
+        result = run_gossip(spec)
+    elif result.spec != spec:
+        raise ValueError("result was produced by a different spec")
+
+    n = spec.num_nodes
+    protocol = spec.protocol
+    informed_round = result.informed_round
+    ttl = spec.effective_ttl if protocol == "epto" else 0
+    sends: dict[int, list[SendInstruction]] = {}
+
+    def emit(sender: int, destination: int, tag: str) -> None:
+        sends.setdefault(sender, []).append(
+            SendInstruction(destination=destination, message_size=message_size, tag=tag)
+        )
+
+    for round_index in range(result.rounds_executed):
+        informed = (informed_round >= 0) & (informed_round <= round_index)
+        tag = f"round-{round_index}"
+        if protocol == "flood":
+            for sender in np.flatnonzero(informed_round == round_index):
+                for destination in range(n):
+                    if destination != sender:
+                        emit(int(sender), destination, tag)
+            continue
+        if protocol == "tree":
+            pow2 = 1 << min(round_index, 62)
+            offsets = (np.arange(n) - spec.root) % n
+            mask = informed & (offsets < pow2) & (offsets + pow2 < n)
+            for sender in np.flatnonzero(mask):
+                destination = int((offsets[sender] + pow2 + spec.root) % n)
+                emit(int(sender), destination, tag)
+            continue
+        targets = _round_targets(spec, round_index)
+        if protocol == "epto":
+            senders = informed & (informed_round + ttl > round_index)
+        else:
+            senders = informed
+        for sender in np.flatnonzero(senders):
+            for slot in range(spec.fanout):
+                emit(int(sender), int(targets[sender, slot]), tag)
+        if protocol == "pushpull":
+            for puller in np.flatnonzero(~informed):
+                for slot in range(spec.fanout):
+                    target = int(targets[puller, slot])
+                    if informed[target]:
+                        emit(target, int(puller), f"{tag}/pull")
+
+    return CommunicationProgram(
+        num_ranks=n,
+        root=spec.root,
+        sends=sends,
+        name=f"gossip-{protocol}[n={n},fanout={spec.fanout},seed={spec.seed}]",
+    )

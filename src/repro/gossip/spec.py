@@ -1,0 +1,190 @@
+"""Gossip run specifications: protocol family, parameters, churn schedules.
+
+A :class:`GossipSpec` pins down *everything* a gossip run depends on —
+protocol, node count, fanout, TTL budget, round cap, root and seed — so that
+one spec always produces one result, whichever engine executes it.  Churn
+(nodes joining late and leaving early) is itself part of the spec: a
+:class:`ChurnSpec` describes the *distribution* of join/leave rounds, and
+:func:`churn_schedule` materialises it into per-node round intervals from a
+seed derived with :func:`repro.utils.rng.derive_seed` — the schedule is a
+pure function of ``(seed, churn, num_nodes, rounds)`` and never of execution
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import DEFAULT_SEED, derive_seed
+
+#: The protocols of the gossip collective family:
+#:
+#: * ``"flood"`` — a node forwards to **every** other node in the round after
+#:   it is first informed (one-shot flood; maximal traffic, minimal rounds);
+#: * ``"push"`` — every informed node forwards to ``fanout`` uniformly drawn
+#:   peers each round (the classic random-fanout epidemic push);
+#: * ``"pushpull"`` — push, plus every *uninformed* node polls ``fanout``
+#:   peers each round and is informed when any of them already holds the
+#:   payload (anti-entropy pull);
+#: * ``"epto"`` — EpTO-style TTL balls: a node relays for ``ttl`` rounds
+#:   after infection, then goes quiet — traffic is bounded by
+#:   ``n * ttl * fanout`` instead of growing with the round cap;
+#: * ``"tree"`` — the deterministic binomial broadcast tree expressed in the
+#:   same round family, kept as the paper-style baseline the epidemics are
+#:   compared against (same churn schedules, same round clock, no draws).
+GOSSIP_PROTOCOLS = ("flood", "push", "pushpull", "epto", "tree")
+
+#: Per-spec hard ceiling on rounds; a cap above it is almost certainly a
+#: typo (an epidemic over 10⁶ nodes completes in tens of rounds).
+MAX_ROUNDS = 4096
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Distribution of node join/leave rounds.
+
+    Attributes
+    ----------
+    leave_fraction:
+        Fraction of nodes (uniformly chosen) that leave the network at a
+        round drawn uniformly from ``[1, rounds]``; the rest stay to the end.
+    join_fraction:
+        Fraction of nodes that join late, at a round drawn uniformly from
+        ``[1, rounds]``; the rest are present from round 0.
+    """
+
+    leave_fraction: float = 0.0
+    join_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("leave_fraction", "join_fraction"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TypeError(f"{name} must be a float, got {type(value).__name__}")
+            if not 0.0 <= float(value) < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec describes any churn at all."""
+        return self.leave_fraction > 0.0 or self.join_fraction > 0.0
+
+
+@dataclass(frozen=True)
+class GossipSpec:
+    """One fully specified gossip run.
+
+    Attributes
+    ----------
+    protocol:
+        One of :data:`GOSSIP_PROTOCOLS`.
+    num_nodes:
+        Network size (the protocols are designed for 10⁴–10⁶; any ``>= 1``
+        works).
+    fanout:
+        Peers drawn per node per round (``push``/``pushpull``/``epto``;
+        ignored by ``flood`` and ``tree``).
+    ttl:
+        Rounds a node relays after infection (``epto`` only).  ``0`` means
+        *auto*: ``ceil(log2(num_nodes)) + 2``, the classic EpTO sizing that
+        keeps the delivery probability high without flooding.
+    rounds:
+        Hard cap on executed rounds; every engine stops earlier as soon as
+        no further infection is possible.
+    root:
+        The initially informed rank.
+    seed:
+        Root seed of every random decision (targets, churn, noise).
+    churn:
+        Optional :class:`ChurnSpec`; ``None`` keeps all nodes alive
+        throughout.
+    """
+
+    protocol: str
+    num_nodes: int
+    fanout: int = 2
+    ttl: int = 0
+    rounds: int = 64
+    root: int = 0
+    seed: int = DEFAULT_SEED
+    churn: ChurnSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in GOSSIP_PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {GOSSIP_PROTOCOLS}, got {self.protocol!r}"
+            )
+        for name in ("num_nodes", "fanout", "ttl", "rounds", "root", "seed"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.num_nodes > 1 and self.fanout > self.num_nodes - 1:
+            raise ValueError(
+                f"fanout {self.fanout} exceeds the {self.num_nodes - 1} "
+                "possible peers"
+            )
+        if self.ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {self.ttl}")
+        if not 1 <= self.rounds <= MAX_ROUNDS:
+            raise ValueError(f"rounds must be in [1, {MAX_ROUNDS}], got {self.rounds}")
+        if not 0 <= self.root < self.num_nodes:
+            raise ValueError(f"root must be a valid rank, got {self.root}")
+        if self.churn is not None and not isinstance(self.churn, ChurnSpec):
+            raise TypeError("churn must be a ChurnSpec or None")
+
+    @property
+    def effective_ttl(self) -> int:
+        """The TTL budget an ``epto`` run uses (resolving ``ttl=0`` = auto)."""
+        if self.ttl > 0:
+            return self.ttl
+        return int(np.ceil(np.log2(max(2, self.num_nodes)))) + 2
+
+    @property
+    def sends_per_sender(self) -> int:
+        """Messages one active sender injects per round (the timing model)."""
+        if self.protocol == "flood":
+            return max(1, self.num_nodes - 1)
+        if self.protocol == "tree":
+            return 1
+        return self.fanout
+
+
+def churn_schedule(spec: GossipSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise ``spec.churn`` into per-node ``(join_round, leave_round)``.
+
+    Node ``i`` is alive in round ``r`` iff ``join_round[i] <= r <
+    leave_round[i]``.  Without churn every node gets ``join_round = 0`` and
+    ``leave_round = rounds + 1`` (beyond the horizon).  The root is always
+    pinned alive for the whole run — an epidemic whose patient zero never
+    existed is not a dissemination study.
+
+    The schedule is drawn from ``derive_seed(spec.seed, "gossip/churn")`` in
+    three bulk calls, so it depends only on the spec — never on which engine
+    consumes it or how a study chunks its runs.
+    """
+    n = spec.num_nodes
+    horizon = np.int64(spec.rounds + 1)
+    join = np.zeros(n, dtype=np.int64)
+    leave = np.full(n, horizon, dtype=np.int64)
+    churn = spec.churn
+    if churn is not None and churn.active:
+        rng = np.random.default_rng(derive_seed(spec.seed, "gossip/churn"))
+        lottery = rng.random(size=(2, n))
+        leavers = lottery[0] < churn.leave_fraction
+        joiners = lottery[1] < churn.join_fraction
+        leave_rounds = rng.integers(1, spec.rounds + 1, size=n)
+        join_rounds = rng.integers(1, spec.rounds + 1, size=n)
+        leave[leavers] = leave_rounds[leavers]
+        join[joiners] = join_rounds[joiners]
+        join[spec.root] = 0
+        leave[spec.root] = horizon
+        # A node whose join lands at or after its leave simply never shows
+        # up; clamp so the interval stays well-formed (empty, not inverted).
+        join = np.minimum(join, leave)
+    return join, leave

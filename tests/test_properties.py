@@ -744,3 +744,97 @@ class TestSchedulingDeterminism:
         fanned = run_simulation_study(config, workers=workers, executor="thread")
         assert np.array_equal(inline.makespans, fanned.makespans)
         assert inline.heuristic_names == fanned.heuristic_names
+
+
+# ---------------------------------------------------------------------------
+# gossip round engines (repro.gossip)
+# ---------------------------------------------------------------------------
+
+from repro.experiments.gossip_study import GossipStudyConfig, run_gossip_study
+from repro.gossip import GOSSIP_PROTOCOLS, ChurnSpec, GossipSpec, run_gossip
+
+
+class TestGossipProperties:
+    """Invariants of the epidemic round engines, for arbitrary specs.
+
+    The deterministic-seeding design (per-round bulk draws keyed on
+    ``(seed, protocol, round)``) means every property that holds for the
+    vectorized engine holds verbatim for the scalar reference —
+    ``tests/test_gossip.py`` pins the two bit-identical, so these
+    properties exercise the fast engine only.
+    """
+
+    @given(
+        protocol=st.sampled_from(GOSSIP_PROTOCOLS),
+        num_nodes=st.integers(min_value=2, max_value=300),
+        fanout=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_informed_set_grows_monotonically_without_churn(
+        self, protocol, num_nodes, fanout, seed
+    ):
+        assume(fanout <= num_nodes - 1)
+        spec = GossipSpec(
+            protocol=protocol, num_nodes=num_nodes, fanout=fanout, seed=seed
+        )
+        result = run_gossip(spec)
+        counts = result.informed_counts()
+        assert np.all(np.diff(counts) >= 0)
+        assert counts[0] >= 1  # the root is informed from round 0
+        # Without churn an informed node stays informed: the cumulative
+        # curve ends exactly at the delivered count.
+        assert counts[-1] == result.delivered_count
+
+    @given(
+        protocol=st.sampled_from(GOSSIP_PROTOCOLS),
+        num_nodes=st.integers(min_value=2, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        leave=st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+        join=st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_count_conservation(
+        self, protocol, num_nodes, seed, leave, join
+    ):
+        """Every delivery is accounted for exactly once, churn or not."""
+        spec = GossipSpec(
+            protocol=protocol,
+            num_nodes=num_nodes,
+            fanout=min(2, num_nodes - 1),
+            seed=seed,
+            churn=ChurnSpec(leave_fraction=leave, join_fraction=join),
+        )
+        result = run_gossip(spec)
+        per_round = result.new_informed_per_round()
+        assert int(per_round.sum()) == result.delivered_count
+        assert 1 <= result.delivered_count <= result.ever_alive_count
+        # A node is informed only within the executed horizon, and only
+        # while it exists: never before joining, never after leaving.
+        informed = result.informed_round[result.delivered_mask]
+        assert np.all(informed <= result.rounds_executed)
+        assert np.all(informed >= result.join_round[result.delivered_mask])
+        assert np.all(informed < result.leave_round[result.delivered_mask])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        workers=st.sampled_from([2, 3, 5]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_seed_worker_and_chunking_invariance_of_studies(self, seed, workers):
+        """Fan-out plumbing never changes a gossip study: any worker count
+        (hence any chunk partition) through the thread lane reproduces the
+        in-process study bit for bit, and the same seed reproduces the
+        same study."""
+        config = GossipStudyConfig(
+            protocols=("tree", "push", "epto"),
+            node_counts=(150, 400),
+            churn=ChurnSpec(leave_fraction=0.2),
+            noise_sigma=0.05,
+            seed=seed,
+        )
+        inline = run_gossip_study(config)
+        fanned = run_gossip_study(config, workers=workers, executor="thread")
+        repeated = run_gossip_study(config)
+        assert np.array_equal(inline.metrics, fanned.metrics)
+        assert np.array_equal(inline.metrics, repeated.metrics)

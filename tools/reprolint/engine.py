@@ -86,6 +86,7 @@ class Config:
         "repro/core",
         "repro/simulator",
         "repro/experiments",
+        "repro/gossip",
     )
     #: Path fragments under which the API-hygiene family applies.
     api_paths: tuple[str, ...] = ("repro/",)
